@@ -1,0 +1,214 @@
+// Command wfsim is the user-facing CLI of the workflow similarity library:
+// it generates corpora, compares workflow pairs under any measure
+// configuration, runs top-k similarity search, and ranks candidate lists.
+//
+// Usage:
+//
+//	wfsim gen    -profile taverna|galaxy -seed N -out corpus.json
+//	wfsim compare -corpus corpus.json -a ID -b ID [-measure NAME]
+//	wfsim search -corpus corpus.json -query ID [-measure NAME] [-k 10]
+//	wfsim dupes  -corpus corpus.json [-measure NAME] [-threshold 0.95]
+//
+// Measure names follow the paper's notation: BW, BT, or
+// {MS|PS|GE}_{np|ip}_{ta|tm|te}_{pw0|pw3|pll|plm|gw1|gll},
+// e.g. MS_ip_te_pll (the paper's best structural configuration).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/corpus"
+	"repro/internal/gen"
+	"repro/internal/measures"
+	"repro/internal/repoknow"
+	"repro/internal/search"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "gen":
+		err = cmdGen(os.Args[2:])
+	case "compare":
+		err = cmdCompare(os.Args[2:])
+	case "search":
+		err = cmdSearch(os.Args[2:])
+	case "dupes":
+		err = cmdDupes(os.Args[2:])
+	case "import":
+		err = cmdImport(os.Args[2:])
+	case "export":
+		err = cmdExport(os.Args[2:])
+	case "cluster":
+		err = cmdCluster(os.Args[2:])
+	case "rank":
+		err = cmdRank(os.Args[2:])
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "wfsim: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: wfsim <gen|compare|search|dupes|import|export|cluster> [flags]
+  gen     -profile taverna|galaxy -seed N -out corpus.json
+  compare -corpus corpus.json -a ID -b ID [-measure MS_ip_te_pll]
+  search  -corpus corpus.json -query ID [-measure MS_ip_te_pll] [-k 10]
+  dupes   -corpus corpus.json [-measure MS_np_ta_pll] [-threshold 0.95]
+  import  -format t2flow|galaxy -out corpus.json file...
+  export  -corpus corpus.json -format t2flow|galaxy -dir DIR [-ids 1,2]
+  cluster -corpus corpus.json [-measure MS_ip_te_pll] [-minsim 0.5]
+  rank    -corpus corpus.json -query ID -candidates 1,2,3 [-measures BW,MS_ip_te_pll]`)
+}
+
+func cmdGen(args []string) error {
+	fs := flag.NewFlagSet("gen", flag.ExitOnError)
+	profile := fs.String("profile", "taverna", "corpus profile: taverna or galaxy")
+	seed := fs.Int64("seed", 1, "generation seed")
+	out := fs.String("out", "corpus.json", "output file")
+	n := fs.Int("n", 0, "override workflow count (0 = profile default)")
+	fs.Parse(args)
+
+	var p gen.Profile
+	switch *profile {
+	case "taverna":
+		p = gen.Taverna()
+	case "galaxy":
+		p = gen.Galaxy()
+	default:
+		return fmt.Errorf("unknown profile %q", *profile)
+	}
+	if *n > 0 {
+		p.Workflows = *n
+		if p.Clusters > *n {
+			p.Clusters = *n
+		}
+	}
+	c, err := gen.Generate(p, *seed)
+	if err != nil {
+		return err
+	}
+	if err := c.Repo.SaveFile(*out); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d %s workflows to %s\n", c.Repo.Size(), p.Name, *out)
+	return nil
+}
+
+// parseMeasure resolves a measure name in the paper's notation, wiring in a
+// shared importance projector and a generous interactive GED budget.
+func parseMeasure(name string) (measures.Measure, error) {
+	return measures.Parse(name, measures.ParseOptions{
+		Project:      repoknow.NewProjector(repoknow.TypeScorer{}, 0.5).Project,
+		GEDDeadline:  5 * time.Second,
+		GEDBeamWidth: 64,
+	})
+}
+
+func cmdCompare(args []string) error {
+	fs := flag.NewFlagSet("compare", flag.ExitOnError)
+	corpusPath := fs.String("corpus", "corpus.json", "corpus file")
+	a := fs.String("a", "", "first workflow ID")
+	b := fs.String("b", "", "second workflow ID")
+	measureName := fs.String("measure", "", "measure name (default: a representative set)")
+	fs.Parse(args)
+
+	repo, err := corpus.LoadFile(*corpusPath)
+	if err != nil {
+		return err
+	}
+	wa, wb := repo.Get(*a), repo.Get(*b)
+	if wa == nil || wb == nil {
+		return fmt.Errorf("workflow %q or %q not found", *a, *b)
+	}
+	names := []string{"BW", "BT", "MS_np_ta_pll", "MS_ip_te_pll", "PS_ip_te_pll", "GE_ip_te_pll"}
+	if *measureName != "" {
+		names = []string{*measureName}
+	}
+	fmt.Printf("%s (%d modules) vs %s (%d modules)\n", wa.ID, wa.Size(), wb.ID, wb.Size())
+	for _, n := range names {
+		m, err := parseMeasure(n)
+		if err != nil {
+			return err
+		}
+		s, err := m.Compare(wa, wb)
+		if err != nil {
+			fmt.Printf("  %-16s error: %v\n", m.Name(), err)
+			continue
+		}
+		fmt.Printf("  %-16s %.4f\n", m.Name(), s)
+	}
+	return nil
+}
+
+func cmdSearch(args []string) error {
+	fs := flag.NewFlagSet("search", flag.ExitOnError)
+	corpusPath := fs.String("corpus", "corpus.json", "corpus file")
+	query := fs.String("query", "", "query workflow ID")
+	measureName := fs.String("measure", "MS_ip_te_pll", "measure name")
+	k := fs.Int("k", 10, "number of results")
+	fs.Parse(args)
+
+	repo, err := corpus.LoadFile(*corpusPath)
+	if err != nil {
+		return err
+	}
+	q := repo.Get(*query)
+	if q == nil {
+		return fmt.Errorf("query workflow %q not found", *query)
+	}
+	m, err := parseMeasure(*measureName)
+	if err != nil {
+		return err
+	}
+	t0 := time.Now()
+	results, skipped := search.TopK(q, repo, m, search.Options{K: *k})
+	fmt.Printf("top-%d for %q (%s) over %d workflows in %v (%d pairs skipped)\n",
+		*k, q.ID, q.Annotations.Title, repo.Size(), time.Since(t0).Round(time.Millisecond), skipped)
+	for i, r := range results {
+		wf := repo.Get(r.ID)
+		fmt.Printf("%2d. %-8s %.4f  %s\n", i+1, r.ID, r.Similarity, wf.Annotations.Title)
+	}
+	return nil
+}
+
+func cmdDupes(args []string) error {
+	fs := flag.NewFlagSet("dupes", flag.ExitOnError)
+	corpusPath := fs.String("corpus", "corpus.json", "corpus file")
+	measureName := fs.String("measure", "MS_np_ta_pll", "measure name")
+	threshold := fs.Float64("threshold", 0.95, "duplicate similarity threshold")
+	limit := fs.Int("limit", 25, "max pairs to print")
+	fs.Parse(args)
+
+	repo, err := corpus.LoadFile(*corpusPath)
+	if err != nil {
+		return err
+	}
+	m, err := parseMeasure(*measureName)
+	if err != nil {
+		return err
+	}
+	t0 := time.Now()
+	pairs := search.Duplicates(repo, m, *threshold, 0)
+	fmt.Printf("%d near-duplicate pairs (>= %.2f under %s) among %d workflows in %v\n",
+		len(pairs), *threshold, m.Name(), repo.Size(), time.Since(t0).Round(time.Millisecond))
+	for i, p := range pairs {
+		if i >= *limit {
+			fmt.Printf("... and %d more\n", len(pairs)-*limit)
+			break
+		}
+		fmt.Printf("  %-8s %-8s %.4f\n", p.A, p.B, p.Similarity)
+	}
+	return nil
+}

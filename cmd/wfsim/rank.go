@@ -1,0 +1,81 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"strings"
+
+	"repro/internal/corpus"
+	"repro/internal/measures"
+	"repro/internal/rank"
+)
+
+// cmdRank ranks a set of candidate workflows against a query workflow under
+// one or more measures, and — when several measures are given — aggregates
+// their rankings into a BioConsert consensus, mirroring how the paper
+// aggregates expert rankings.
+func cmdRank(args []string) error {
+	fs := flag.NewFlagSet("rank", flag.ExitOnError)
+	corpusPath := fs.String("corpus", "corpus.json", "corpus file")
+	query := fs.String("query", "", "query workflow ID")
+	cands := fs.String("candidates", "", "comma-separated candidate workflow IDs")
+	measureNames := fs.String("measures", "BW,MS_ip_te_pll", "comma-separated measure names")
+	fs.Parse(args)
+
+	repo, err := corpus.LoadFile(*corpusPath)
+	if err != nil {
+		return err
+	}
+	q := repo.Get(*query)
+	if q == nil {
+		return fmt.Errorf("rank: query workflow %q not found", *query)
+	}
+	var candidates []string
+	for _, id := range strings.Split(*cands, ",") {
+		id = strings.TrimSpace(id)
+		if id == "" {
+			continue
+		}
+		if repo.Get(id) == nil {
+			return fmt.Errorf("rank: candidate %q not found", id)
+		}
+		candidates = append(candidates, id)
+	}
+	if len(candidates) < 2 {
+		return fmt.Errorf("rank: need at least two candidates")
+	}
+
+	var ms []measures.Measure
+	for _, name := range strings.Split(*measureNames, ",") {
+		m, err := parseMeasure(strings.TrimSpace(name))
+		if err != nil {
+			return err
+		}
+		ms = append(ms, m)
+	}
+
+	var rankings []rank.Ranking
+	for _, m := range ms {
+		scores := map[string]float64{}
+		for _, id := range candidates {
+			s, err := m.Compare(q, repo.Get(id))
+			if err != nil {
+				fmt.Printf("%-20s skipping %s: %v\n", m.Name(), id, err)
+				continue
+			}
+			scores[id] = s
+		}
+		r := rank.FromScores(scores, 1e-9)
+		rankings = append(rankings, r)
+		fmt.Printf("%-20s %s\n", m.Name(), r)
+	}
+	if len(rankings) > 1 {
+		consensus := rank.BioConsert(rankings)
+		fmt.Printf("%-20s %s\n", "consensus", consensus)
+		for i, m := range ms {
+			fmt.Printf("  correctness(%s vs consensus) = %.3f\n",
+				m.Name(), rank.Correctness(consensus, rankings[i]))
+		}
+	}
+	return nil
+}

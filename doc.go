@@ -1,0 +1,16 @@
+// Package repro is a from-scratch Go reproduction of Starlinger, Brancotte,
+// Cohen-Boulakia and Leser, "Similarity Search for Scientific Workflows"
+// (PVLDB 7(12):1143–1154, VLDB 2014).
+//
+// The library decomposes scientific-workflow comparison into the paper's
+// explicit subtasks — pairwise module comparison, module mapping, topological
+// comparison, normalization — and implements every measure the paper
+// evaluates (Module Sets, Path Sets, Graph Edit Distance, Bag of Words, Bag
+// of Tags, ensembles) plus the repository-knowledge refinements (type
+// equivalence preselection, importance projection).
+//
+// See README.md for a tour, DESIGN.md for the system inventory and
+// substitution notes, and EXPERIMENTS.md for the paper-vs-measured record of
+// every figure. The benchmark harness in bench_test.go regenerates each
+// figure; the cmd/wfbench command prints them as text tables.
+package repro

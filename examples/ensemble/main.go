@@ -1,0 +1,96 @@
+// Ensemble ranking: demonstrate the paper's Section 5.1.6 finding that
+// combining an annotational and a structural measure by mean score yields
+// rankings that beat either measure alone and are more stable — evaluated
+// here against the generator's latent ground truth, averaged over several
+// query workflows.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"repro/internal/gen"
+	"repro/internal/measures"
+	"repro/internal/module"
+	"repro/internal/rank"
+	"repro/internal/repoknow"
+	"repro/internal/stats"
+)
+
+func main() {
+	profile := gen.Taverna()
+	profile.Workflows = 300
+	profile.Clusters = 16
+	c, err := gen.Generate(profile, 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	proj := repoknow.NewProjector(repoknow.TypeScorer{}, 0.5)
+	structural := measures.NewStructural(measures.Config{
+		Topology:  measures.ModuleSets,
+		Scheme:    module.PLL(),
+		Preselect: module.TypeEquivalence,
+		Project:   proj.Project,
+		Normalize: true,
+	})
+	bw := measures.BagOfWords{}
+	ensemble := measures.NewEnsemble(bw, structural)
+	ms := []measures.Measure{bw, structural, ensemble}
+
+	// Evaluate each measure's ranking of 40 candidates against the
+	// ground-truth ranking, over 12 query workflows.
+	ids := c.Repo.IDs()
+	queries := ids[:12]
+	perMeasure := map[string][]float64{}
+	for qi, q := range queries {
+		qwf := c.Repo.Get(q)
+		// Candidate window: 40 workflows spread across the corpus.
+		var candidates []string
+		for i := 0; i < 40; i++ {
+			id := ids[(qi*37+i*7)%len(ids)]
+			if id != q {
+				candidates = append(candidates, id)
+			}
+		}
+		truthScores := map[string]float64{}
+		for _, id := range candidates {
+			truthScores[id] = c.Truth.Sim(q, id)
+		}
+		reference := rank.FromScores(truthScores, 0)
+
+		for _, m := range ms {
+			scores := map[string]float64{}
+			for _, id := range candidates {
+				s, err := m.Compare(qwf, c.Repo.Get(id))
+				if err != nil {
+					log.Fatalf("%s on (%s,%s): %v", m.Name(), q, id, err)
+				}
+				scores[id] = s
+			}
+			corr := rank.Correctness(reference, rank.FromScores(scores, 1e-9))
+			perMeasure[m.Name()] = append(perMeasure[m.Name()], corr)
+		}
+	}
+
+	fmt.Printf("mean ranking correctness vs ground truth over %d queries x 40 candidates\n\n", len(queries))
+	fmt.Printf("%-28s %10s %9s\n", "measure", "corr.mean", "corr.sd")
+	type row struct {
+		name string
+		s    stats.Summary
+	}
+	var rows []row
+	for _, m := range ms {
+		rows = append(rows, row{m.Name(), stats.Summarize(perMeasure[m.Name()])})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].s.Mean > rows[j].s.Mean })
+	for _, r := range rows {
+		fmt.Printf("%-28s %10.3f %9.3f\n", r.name, r.s.Mean, r.s.StdDev)
+	}
+	if t, err := stats.PairedTTest(perMeasure[ensemble.Name()], perMeasure[bw.Name()]); err == nil {
+		fmt.Printf("\npaired t-test ensemble vs BW: t=%.2f p=%.4f\n", t.T, t.P)
+	}
+	fmt.Println("\n(the ensemble combines annotational and structural evidence; per the paper")
+	fmt.Println(" it should rank best, with a smaller standard deviation than its members)")
+}

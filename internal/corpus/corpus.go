@@ -1,0 +1,133 @@
+// Package corpus manages collections of scientific workflows: an in-memory
+// repository with ID lookup, and JSON (de)serialisation so generated corpora
+// and their ground truth can be stored, shared and reloaded — the paper's
+// equivalent artefacts are the myExperiment dump transformed into a custom
+// graph format and the published gold-standard ratings.
+package corpus
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"repro/internal/workflow"
+)
+
+// Repository is a collection of workflows with unique IDs.
+type Repository struct {
+	workflows []*workflow.Workflow
+	byID      map[string]*workflow.Workflow
+}
+
+// NewRepository builds a repository from the given workflows.
+// Duplicate or empty IDs are rejected.
+func NewRepository(wfs ...*workflow.Workflow) (*Repository, error) {
+	r := &Repository{byID: make(map[string]*workflow.Workflow, len(wfs))}
+	for _, wf := range wfs {
+		if err := r.Add(wf); err != nil {
+			return nil, err
+		}
+	}
+	return r, nil
+}
+
+// Add inserts a workflow; its ID must be non-empty and unique.
+func (r *Repository) Add(wf *workflow.Workflow) error {
+	if wf == nil {
+		return fmt.Errorf("corpus: nil workflow")
+	}
+	if wf.ID == "" {
+		return fmt.Errorf("corpus: workflow without ID")
+	}
+	if _, dup := r.byID[wf.ID]; dup {
+		return fmt.Errorf("corpus: duplicate workflow ID %q", wf.ID)
+	}
+	if r.byID == nil {
+		r.byID = map[string]*workflow.Workflow{}
+	}
+	r.workflows = append(r.workflows, wf)
+	r.byID[wf.ID] = wf
+	return nil
+}
+
+// Get returns the workflow with the given ID, or nil.
+func (r *Repository) Get(id string) *workflow.Workflow { return r.byID[id] }
+
+// Size returns the number of workflows.
+func (r *Repository) Size() int { return len(r.workflows) }
+
+// Workflows returns the workflows in insertion order. The slice is shared;
+// callers must not modify it.
+func (r *Repository) Workflows() []*workflow.Workflow { return r.workflows }
+
+// IDs returns all workflow IDs, sorted.
+func (r *Repository) IDs() []string {
+	ids := make([]string, 0, len(r.workflows))
+	for _, wf := range r.workflows {
+		ids = append(ids, wf.ID)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// Validate checks every workflow in the repository.
+func (r *Repository) Validate() error {
+	for _, wf := range r.workflows {
+		if err := wf.Validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// fileFormat is the on-disk JSON envelope.
+type fileFormat struct {
+	Format    string               `json:"format"`
+	Workflows []*workflow.Workflow `json:"workflows"`
+}
+
+const formatID = "wfsim-corpus-v1"
+
+// Save writes the repository as JSON.
+func (r *Repository) Save(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(fileFormat{Format: formatID, Workflows: r.workflows})
+}
+
+// Load reads a repository from JSON produced by Save.
+func Load(rd io.Reader) (*Repository, error) {
+	var f fileFormat
+	if err := json.NewDecoder(rd).Decode(&f); err != nil {
+		return nil, fmt.Errorf("corpus: decode: %w", err)
+	}
+	if f.Format != formatID {
+		return nil, fmt.Errorf("corpus: unexpected format %q (want %q)", f.Format, formatID)
+	}
+	return NewRepository(f.Workflows...)
+}
+
+// SaveFile writes the repository to the named file.
+func (r *Repository) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := r.Save(f); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// LoadFile reads a repository from the named file.
+func LoadFile(path string) (*Repository, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Load(f)
+}

@@ -1,0 +1,101 @@
+package corpus
+
+import (
+	"bytes"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/workflow"
+)
+
+func sample(id string) *workflow.Workflow {
+	w := workflow.New(id)
+	w.Annotations = workflow.Annotations{Title: "t " + id, Tags: []string{"x"}}
+	a := w.AddModule(&workflow.Module{ID: "m0", Label: "a", Type: workflow.TypeWSDL, ServiceURI: "http://u"})
+	b := w.AddModule(&workflow.Module{ID: "m1", Label: "b", Type: workflow.TypeBeanshell, Script: "s"})
+	_ = w.AddEdge(a, b)
+	return w
+}
+
+func TestRepositoryAddGet(t *testing.T) {
+	r, err := NewRepository(sample("1"), sample("2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Size() != 2 {
+		t.Errorf("Size = %d", r.Size())
+	}
+	if r.Get("1") == nil || r.Get("404") != nil {
+		t.Error("Get misbehaves")
+	}
+	if got := r.IDs(); !reflect.DeepEqual(got, []string{"1", "2"}) {
+		t.Errorf("IDs = %v", got)
+	}
+	if err := r.Add(sample("1")); err == nil {
+		t.Error("duplicate ID accepted")
+	}
+	if err := r.Add(workflow.New("")); err == nil {
+		t.Error("empty ID accepted")
+	}
+	if err := r.Add(nil); err == nil {
+		t.Error("nil workflow accepted")
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	r, _ := NewRepository(sample("1"), sample("2"))
+	var buf bytes.Buffer
+	if err := r.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.Size() != 2 {
+		t.Fatalf("loaded size = %d", r2.Size())
+	}
+	w1, w2 := r.Get("1"), r2.Get("1")
+	if w1.Annotations.Title != w2.Annotations.Title {
+		t.Error("annotations lost in round trip")
+	}
+	if w1.Size() != w2.Size() || w1.EdgeCount() != w2.EdgeCount() {
+		t.Error("structure lost in round trip")
+	}
+	if w2.Modules[0].ServiceURI != "http://u" {
+		t.Error("module attributes lost")
+	}
+	if err := r2.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLoadRejectsWrongFormat(t *testing.T) {
+	if _, err := Load(strings.NewReader(`{"format":"other","workflows":[]}`)); err == nil {
+		t.Error("wrong format accepted")
+	}
+	if _, err := Load(strings.NewReader(`not json`)); err == nil {
+		t.Error("garbage accepted")
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "corpus.json")
+	r, _ := NewRepository(sample("1"))
+	if err := r.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	r2, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.Size() != 1 {
+		t.Errorf("loaded size = %d", r2.Size())
+	}
+	if _, err := LoadFile(filepath.Join(dir, "missing.json")); err == nil {
+		t.Error("missing file accepted")
+	}
+}

@@ -1,0 +1,73 @@
+// Package eval implements the evaluation apparatus of Section 4 of
+// Starlinger et al. (PVLDB 2014): the four-step Likert rating scale with an
+// "unsure" option, simulated expert raters standing in for the paper's 15
+// human experts, median rating aggregation, retrieval precision at k with
+// configurable relevance thresholds, and the two experiment protocols
+// (ranking against BioConsert consensus; retrieval over the full corpus).
+package eval
+
+import "sort"
+
+// Rating is a similarity judgement on the paper's four-step Likert scale,
+// plus Unsure, which removes the pair from evaluation.
+type Rating int
+
+// Likert levels in increasing similarity order. Numeric values matter:
+// medians and thresholds compare them.
+const (
+	Unsure      Rating = -1
+	Dissimilar  Rating = 0
+	Related     Rating = 1
+	Similar     Rating = 2
+	VerySimilar Rating = 3
+)
+
+// String implements fmt.Stringer.
+func (r Rating) String() string {
+	switch r {
+	case Unsure:
+		return "unsure"
+	case Dissimilar:
+		return "dissimilar"
+	case Related:
+		return "related"
+	case Similar:
+		return "similar"
+	case VerySimilar:
+		return "very similar"
+	}
+	return "invalid"
+}
+
+// MedianRating aggregates multiple expert ratings of one pair as their
+// median, as the paper's second experiment does. Unsure ratings are dropped
+// first; with no usable rating the result is Unsure. An even count takes the
+// lower middle (conservative).
+func MedianRating(rs []Rating) Rating {
+	var vals []int
+	for _, r := range rs {
+		if r != Unsure {
+			vals = append(vals, int(r))
+		}
+	}
+	if len(vals) == 0 {
+		return Unsure
+	}
+	sort.Ints(vals)
+	return Rating(vals[(len(vals)-1)/2])
+}
+
+// RatingFromTruth quantises a latent similarity in [0,1] to the Likert
+// scale. The band edges are the rater model's perception thresholds.
+func RatingFromTruth(sim float64) Rating {
+	switch {
+	case sim >= 0.75:
+		return VerySimilar
+	case sim >= 0.50:
+		return Similar
+	case sim >= 0.25:
+		return Related
+	default:
+		return Dissimilar
+	}
+}

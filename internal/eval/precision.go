@@ -1,0 +1,50 @@
+package eval
+
+// PrecisionAtK computes retrieval precision at rank k (Section 4.3):
+// P@k = (1/k) * sum_{i<=k} rel(r_i), where a result is relevant iff its
+// median expert rating reaches the threshold level (related, similar or
+// very similar). Results without a usable rating (Unsure) count as
+// irrelevant. If fewer than k results exist, the missing positions count as
+// irrelevant (the algorithm failed to fill its top-k).
+func PrecisionAtK(results []string, ratings map[string]Rating, threshold Rating, k int) float64 {
+	if k <= 0 {
+		return 0
+	}
+	rel := 0
+	for i := 0; i < k && i < len(results); i++ {
+		r, ok := ratings[results[i]]
+		if ok && r != Unsure && r >= threshold {
+			rel++
+		}
+	}
+	return float64(rel) / float64(k)
+}
+
+// PrecisionCurve computes P@k for k = 1..maxK, the series plotted in
+// Figures 10 and 11.
+func PrecisionCurve(results []string, ratings map[string]Rating, threshold Rating, maxK int) []float64 {
+	out := make([]float64, maxK)
+	for k := 1; k <= maxK; k++ {
+		out[k-1] = PrecisionAtK(results, ratings, threshold, k)
+	}
+	return out
+}
+
+// MeanCurves averages several precision curves pointwise (mean over query
+// workflows, as in the paper's "Workflow: mean" plots).
+func MeanCurves(curves [][]float64) []float64 {
+	if len(curves) == 0 {
+		return nil
+	}
+	n := len(curves[0])
+	out := make([]float64, n)
+	for _, c := range curves {
+		for i := 0; i < n && i < len(c); i++ {
+			out[i] += c[i]
+		}
+	}
+	for i := range out {
+		out[i] /= float64(len(curves))
+	}
+	return out
+}

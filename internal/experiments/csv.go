@@ -1,0 +1,77 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+)
+
+// CSV exporters for the figure data, so the regenerated series can be
+// plotted or diffed against the paper with external tooling.
+
+// WriteCSV writes a ranking figure as CSV with one row per algorithm.
+func (f RankingFigure) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"figure", "algorithm", "correctness_mean", "correctness_sd", "completeness", "skipped_pairs", "queries"}); err != nil {
+		return err
+	}
+	for _, r := range f.Rows {
+		rec := []string{
+			f.ID, r.Name,
+			fmtF(r.Correctness.Mean), fmtF(r.Correctness.StdDev),
+			fmtF(r.Completeness),
+			strconv.Itoa(r.SkippedPairs), strconv.Itoa(len(r.Queries)),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteCSV writes a retrieval result as CSV with one row per
+// (algorithm, threshold, k).
+func (r RetrievalResult) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"figure", "algorithm", "relevance", "k", "precision"}); err != nil {
+		return err
+	}
+	names := make([]string, 0, len(r.Curves))
+	for n := range r.Curves {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		for _, th := range Thresholds {
+			for k, p := range r.Curves[name][th] {
+				rec := []string{r.ID, name, th.String(), strconv.Itoa(k + 1), fmtF(p)}
+				if err := cw.Write(rec); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteCSV writes the per-rater agreement as CSV.
+func (f Fig4Result) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"rater", "correctness_mean", "correctness_sd", "completeness"}); err != nil {
+		return err
+	}
+	for _, r := range f.Raters {
+		rec := []string{r.Rater, fmtF(r.Correctness.Mean), fmtF(r.Correctness.StdDev), fmtF(r.Completeness)}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func fmtF(v float64) string { return fmt.Sprintf("%.4f", v) }

@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/csv"
+	"strings"
+	"testing"
+
+	"repro/internal/eval"
+	"repro/internal/stats"
+)
+
+func TestRankingFigureWriteCSV(t *testing.T) {
+	fig := RankingFigure{
+		ID: "fig5",
+		Rows: []AlgoRankingResult{
+			{Name: "BW", Correctness: stats.Summary{Mean: 0.9, StdDev: 0.1}, Completeness: 0.98, Queries: []string{"a", "b"}},
+			{Name: "GE", Correctness: stats.Summary{Mean: 0.3, StdDev: 0.4}, SkippedPairs: 5, Queries: []string{"a"}},
+		},
+	}
+	var buf bytes.Buffer
+	if err := fig.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 {
+		t.Fatalf("records = %d, want header + 2 rows", len(recs))
+	}
+	if recs[1][1] != "BW" || recs[1][2] != "0.9000" {
+		t.Errorf("row = %v", recs[1])
+	}
+	if recs[2][5] != "5" || recs[2][6] != "1" {
+		t.Errorf("row = %v", recs[2])
+	}
+}
+
+func TestRetrievalResultWriteCSV(t *testing.T) {
+	r := RetrievalResult{
+		ID: "fig10",
+		Curves: map[string]map[eval.Rating][]float64{
+			"MS": {
+				eval.Related:     {1, 0.5},
+				eval.Similar:     {0.5, 0.25},
+				eval.VerySimilar: {0.25, 0.125},
+			},
+		},
+	}
+	var buf bytes.Buffer
+	if err := r.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// header + 3 thresholds x 2 ks
+	if len(recs) != 7 {
+		t.Fatalf("records = %d, want 7", len(recs))
+	}
+	if recs[1][2] != "related" || recs[1][3] != "1" || recs[1][4] != "1.0000" {
+		t.Errorf("first row = %v", recs[1])
+	}
+}
+
+func TestFig4WriteCSV(t *testing.T) {
+	f := Fig4Result{Raters: []RaterAgreement{
+		{Rater: "expert01", Correctness: stats.Summary{Mean: 0.95}, Completeness: 0.9},
+	}}
+	var buf bytes.Buffer
+	if err := f.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "expert01,0.9500") {
+		t.Errorf("csv = %q", buf.String())
+	}
+}

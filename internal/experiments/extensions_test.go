@@ -1,0 +1,71 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAutoProjection(t *testing.T) {
+	s := quickSetup(t)
+	r := AutoProjection(s)
+	for _, row := range []AlgoRankingResult{r.None, r.Manual, r.Auto} {
+		if row.Correctness.Mean < -1 || row.Correctness.Mean > 1 {
+			t.Errorf("%s correctness out of range: %v", row.Name, row.Correctness.Mean)
+		}
+		if len(row.Queries) == 0 {
+			t.Errorf("%s evaluated no queries", row.Name)
+		}
+	}
+	// Automatic projection is noisy (the paper flags automatic derivation
+	// as open future work); it must at least not collapse below the
+	// unprojected baseline.
+	if r.Auto.Correctness.Mean < r.None.Correctness.Mean-0.15 {
+		t.Errorf("auto ip (%.3f) collapses below np (%.3f)",
+			r.Auto.Correctness.Mean, r.None.Correctness.Mean)
+	}
+	if r.MeanModulesAuto <= 0 || r.MeanModulesManual <= 0 {
+		t.Error("projected module means must be positive")
+	}
+	if !strings.Contains(r.String(), "ext-autoip") {
+		t.Error("String() must label the extension")
+	}
+}
+
+func TestTunedEnsemble(t *testing.T) {
+	s := quickSetup(t)
+	r := TunedEnsemble(s)
+	if r.BestWeight < 0 || r.BestWeight > 1 {
+		t.Errorf("BestWeight = %v", r.BestWeight)
+	}
+	// The tuned ensemble may not beat the mean ensemble on held-out data
+	// (small query counts), but it must stay in a sane range and evaluate
+	// the same held-out queries.
+	if len(r.Tuned.Queries) != len(r.Mean.Queries) {
+		t.Errorf("tuned and mean evaluated different query counts: %d vs %d",
+			len(r.Tuned.Queries), len(r.Mean.Queries))
+	}
+	for _, row := range []AlgoRankingResult{r.MemberA, r.MemberB, r.Mean, r.Tuned} {
+		if row.Correctness.Mean < -1 || row.Correctness.Mean > 1 {
+			t.Errorf("%s correctness out of range", row.Name)
+		}
+	}
+	if !strings.Contains(r.String(), "tuned weight") {
+		t.Error("String() incomplete")
+	}
+}
+
+func TestSubsetStudy(t *testing.T) {
+	s := quickSetup(t)
+	sub := subsetStudy(s.Study, s.Study.Queries[:2])
+	if len(sub.Queries) != 2 {
+		t.Fatalf("subset queries = %d", len(sub.Queries))
+	}
+	for _, q := range sub.Queries {
+		if len(sub.Candidates[q]) == 0 {
+			t.Errorf("subset lost candidates for %s", q)
+		}
+		if sub.Consensus[q].Len() == 0 {
+			t.Errorf("subset lost consensus for %s", q)
+		}
+	}
+}

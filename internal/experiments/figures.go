@@ -1,0 +1,283 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/measures"
+	"repro/internal/module"
+	"repro/internal/rank"
+	"repro/internal/stats"
+)
+
+// RaterAgreement is one expert's agreement with the consensus (Figure 4).
+type RaterAgreement struct {
+	Rater        string
+	Correctness  stats.Summary
+	Completeness float64
+}
+
+// Fig4Result reproduces Figure 4: inter-annotator agreement of each expert's
+// rankings with the BioConsert consensus.
+type Fig4Result struct {
+	Raters []RaterAgreement
+}
+
+// Fig4 computes per-rater ranking correctness and completeness against the
+// consensus over all query workflows of the first experiment.
+func Fig4(s *Setup) Fig4Result {
+	var out Fig4Result
+	for ri, rater := range s.Panel {
+		var corr, comp []float64
+		for _, q := range s.Study.Queries {
+			own := s.Study.RaterRankings[q][ri]
+			consensus := s.Study.Consensus[q]
+			if own.Len() < 2 {
+				continue
+			}
+			corr = append(corr, rank.Correctness(consensus, own))
+			comp = append(comp, rank.Completeness(consensus, own))
+		}
+		out.Raters = append(out.Raters, RaterAgreement{
+			Rater:        rater.Name,
+			Correctness:  stats.Summarize(corr),
+			Completeness: stats.Mean(comp),
+		})
+	}
+	return out
+}
+
+// RankingFigure is a generic "bars with error bars plus completeness
+// squares" figure over a set of algorithms, the shape of Figures 5–9 and 12.
+type RankingFigure struct {
+	ID    string
+	Title string
+	Rows  []AlgoRankingResult
+	// Significance optionally records pairwise t-tests referenced by the
+	// paper's text (e.g. "simGE is the only algorithm significantly worse
+	// than simBW").
+	Significance []SignificanceNote
+}
+
+// SignificanceNote is one paired t-test between two algorithms.
+type SignificanceNote struct {
+	A, B string
+	Test stats.TTestResult
+}
+
+// Fig5 reproduces Figure 5: the baseline evaluation of BW, BT, PS, MS and GE
+// in their basic configuration (pw0, maximum-weight mapping, normalized, no
+// preprocessing, no preselection).
+func Fig5(s *Setup) RankingFigure {
+	ms := []measures.Measure{
+		measures.BagOfWords{},
+		measures.BagOfTags{},
+		s.Structural(measures.PathSets, false, module.AllPairs, module.PW0()),
+		s.Structural(measures.ModuleSets, false, module.AllPairs, module.PW0()),
+		s.Structural(measures.GraphEdit, false, module.AllPairs, module.PW0()),
+	}
+	fig := RankingFigure{
+		ID:    "fig5",
+		Title: "Baseline ranking correctness/completeness (pw0, mw, normalized)",
+		Rows:  EvaluateAll(s.Taverna, s.Study, ms...),
+	}
+	// The paper: GE is the only algorithm with a statistically significant
+	// difference to BW (p < 0.05, paired t-test).
+	bw := fig.Rows[0]
+	for _, other := range fig.Rows[1:] {
+		if t, ok := PairedSignificance(bw, other); ok {
+			fig.Significance = append(fig.Significance, SignificanceNote{A: bw.Name, B: other.Name, Test: t})
+		}
+	}
+	return fig
+}
+
+// Fig6 reproduces Figure 6: the impact of the module comparison scheme —
+// (a) simMS under pw0, pw3, pll, plm; (b) simPS and simGE under pw3.
+func Fig6(s *Setup) RankingFigure {
+	ms := []measures.Measure{
+		s.Structural(measures.ModuleSets, false, module.AllPairs, module.PW0()),
+		s.Structural(measures.ModuleSets, false, module.AllPairs, module.PW3()),
+		s.Structural(measures.ModuleSets, false, module.AllPairs, module.PLL()),
+		s.Structural(measures.ModuleSets, false, module.AllPairs, module.PLM()),
+		s.Structural(measures.PathSets, false, module.AllPairs, module.PW3()),
+		s.Structural(measures.GraphEdit, false, module.AllPairs, module.PW3()),
+	}
+	fig := RankingFigure{
+		ID:    "fig6",
+		Title: "Module comparison schemes: MS x {pw0,pw3,pll,plm}; PS, GE with pw3",
+		Rows:  EvaluateAll(s.Taverna, s.Study, ms...),
+	}
+	// pw0 significantly worst for MS (paper: p < 0.05 vs pw3).
+	if t, ok := PairedSignificance(fig.Rows[0], fig.Rows[1]); ok {
+		fig.Significance = append(fig.Significance, SignificanceNote{A: fig.Rows[0].Name, B: fig.Rows[1].Name, Test: t})
+	}
+	return fig
+}
+
+// Fig7 reproduces Figure 7: the module-mapping and normalization ablations —
+// greedy mapping for simMS (vs maximum weight) and unnormalized simGE.
+func Fig7(s *Setup) RankingFigure {
+	greedyCfg := s.StructuralConfig(measures.ModuleSets, false, module.AllPairs, module.PW0())
+	greedyCfg.Mapping = measures.GreedyMapping
+	nonormCfg := s.StructuralConfig(measures.GraphEdit, false, module.AllPairs, module.PW0())
+	nonormCfg.Normalize = false
+	ms := []measures.Measure{
+		s.Structural(measures.ModuleSets, false, module.AllPairs, module.PW0()),
+		measures.NewStructural(greedyCfg),
+		s.Structural(measures.GraphEdit, false, module.AllPairs, module.PW0()),
+		measures.NewStructural(nonormCfg),
+	}
+	fig := RankingFigure{
+		ID:    "fig7",
+		Title: "Ablations: greedy module mapping (MS); unnormalized edit distance (GE)",
+		Rows:  EvaluateAll(s.Taverna, s.Study, ms...),
+	}
+	// Normalization: paper reports significant reduction without it.
+	if t, ok := PairedSignificance(fig.Rows[2], fig.Rows[3]); ok {
+		fig.Significance = append(fig.Significance, SignificanceNote{A: fig.Rows[2].Name, B: fig.Rows[3].Name, Test: t})
+	}
+	return fig
+}
+
+// Fig8 reproduces Figure 8: the inclusion of repository knowledge — type
+// equivalence preselection (te) and importance projection (ip) for MS, PS
+// and GE.
+func Fig8(s *Setup) RankingFigure {
+	ms := []measures.Measure{
+		s.Structural(measures.ModuleSets, false, module.AllPairs, module.PLL()),
+		s.Structural(measures.ModuleSets, false, module.TypeEquivalence, module.PLL()),
+		s.Structural(measures.ModuleSets, true, module.AllPairs, module.PLL()),
+		s.Structural(measures.ModuleSets, true, module.TypeEquivalence, module.PLL()),
+		s.Structural(measures.PathSets, true, module.TypeEquivalence, module.PLL()),
+		s.Structural(measures.GraphEdit, true, module.TypeEquivalence, module.PLL()),
+	}
+	return RankingFigure{
+		ID:    "fig8",
+		Title: "Repository knowledge: te preselection and ip projection (pll)",
+		Rows:  EvaluateAll(s.Taverna, s.Study, ms...),
+	}
+}
+
+// Fig9Result reproduces Figure 9: (a) the best standalone configuration per
+// algorithm from the configuration sweep, against the annotation measures;
+// (b) the best ensembles of two.
+type Fig9Result struct {
+	Best      RankingFigure
+	Ensembles RankingFigure
+	// SweepSize is the number of structural configurations swept.
+	SweepSize int
+}
+
+// Fig9 sweeps structural configurations (projection x preselection x
+// scheme per topology), picks each topology's best by mean correctness, and
+// evaluates all two-measure ensembles over the best single measures plus
+// the annotation measures.
+func Fig9(s *Setup) Fig9Result {
+	schemes := []module.Scheme{module.PW3(), module.PLL()}
+	presels := []module.Preselect{module.AllPairs, module.TypeEquivalence}
+	projections := []bool{false, true}
+
+	var out Fig9Result
+	best := map[measures.Topology]AlgoRankingResult{}
+	bestMeasure := map[measures.Topology]measures.Measure{}
+	for _, topo := range []measures.Topology{measures.ModuleSets, measures.PathSets, measures.GraphEdit} {
+		for _, ip := range projections {
+			// Unprojected exact GED over the sweep is unaffordable, and the
+			// paper likewise reports GE's best configurations with ip only.
+			if topo == measures.GraphEdit && !ip {
+				continue
+			}
+			for _, presel := range presels {
+				for _, scheme := range schemes {
+					m := s.Structural(topo, ip, presel, scheme)
+					out.SweepSize++
+					r := EvaluateRanking(s.Taverna, s.Study, m)
+					if cur, ok := best[topo]; !ok || r.Correctness.Mean > cur.Correctness.Mean {
+						best[topo] = r
+						bestMeasure[topo] = m
+					}
+				}
+			}
+		}
+	}
+
+	bw := measures.BagOfWords{}
+	bt := measures.BagOfTags{}
+	out.Best = RankingFigure{
+		ID:    "fig9a",
+		Title: "Best standalone configuration per algorithm vs annotation measures",
+		Rows: append(EvaluateAll(s.Taverna, s.Study, bw, bt),
+			best[measures.ModuleSets], best[measures.PathSets], best[measures.GraphEdit]),
+	}
+
+	// Ensembles of two over {BW, BT, best MS, best PS}.
+	members := []measures.Measure{
+		bw, bt,
+		bestMeasure[measures.ModuleSets],
+		bestMeasure[measures.PathSets],
+	}
+	var rows []AlgoRankingResult
+	for i := 0; i < len(members); i++ {
+		for j := i + 1; j < len(members); j++ {
+			ens := measures.NewEnsemble(members[i], members[j])
+			rows = append(rows, EvaluateRanking(s.Taverna, s.Study, ens))
+		}
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].Correctness.Mean > rows[j].Correctness.Mean })
+	out.Ensembles = RankingFigure{
+		ID:    "fig9b",
+		Title: "Ensembles of two (mean of scores), best first",
+		Rows:  rows,
+	}
+	return out
+}
+
+// Fig12 reproduces Figure 12: the ranking experiment repeated on the Galaxy
+// corpus with the gw1 (multi-attribute) and gll (label-only) schemes.
+// The headline finding: BW collapses on the sparsely annotated corpus while
+// structural measures keep working.
+func Fig12(s *Setup) RankingFigure {
+	ms := []measures.Measure{
+		measures.BagOfWords{},
+		measures.BagOfTags{},
+		s.GalaxyStructural(measures.ModuleSets, false, module.AllPairs, module.GW1()),
+		s.GalaxyStructural(measures.ModuleSets, false, module.AllPairs, module.GLL()),
+		s.GalaxyStructural(measures.PathSets, false, module.AllPairs, module.GW1()),
+		s.GalaxyStructural(measures.PathSets, false, module.AllPairs, module.GLL()),
+		s.GalaxyStructural(measures.GraphEdit, true, module.AllPairs, module.GW1()),
+		s.GalaxyStructural(measures.GraphEdit, true, module.AllPairs, module.GLL()),
+	}
+	return RankingFigure{
+		ID:    "fig12",
+		Title: "Galaxy corpus ranking (gw1 multi-attribute vs gll label-only)",
+		Rows:  EvaluateAll(s.Galaxy, s.GalaxyStudy, ms...),
+	}
+}
+
+// String renders the figure as an aligned text table.
+func (f RankingFigure) String() string {
+	out := fmt.Sprintf("== %s: %s ==\n", f.ID, f.Title)
+	out += fmt.Sprintf("%-28s %10s %9s %13s %8s %8s\n",
+		"algorithm", "corr.mean", "corr.sd", "completeness", "skipped", "queries")
+	for _, r := range f.Rows {
+		out += fmt.Sprintf("%-28s %10.3f %9.3f %13.3f %8d %8d\n",
+			r.Name, r.Correctness.Mean, r.Correctness.StdDev, r.Completeness, r.SkippedPairs, len(r.Queries))
+	}
+	for _, n := range f.Significance {
+		out += fmt.Sprintf("  t-test %s vs %s: t=%.3f p=%.4f significant(0.05)=%v\n",
+			n.A, n.B, n.Test.T, n.Test.P, n.Test.Significant(0.05))
+	}
+	return out
+}
+
+// String renders the per-rater agreement table.
+func (f Fig4Result) String() string {
+	out := "== fig4: Inter-annotator agreement vs BioConsert consensus ==\n"
+	out += fmt.Sprintf("%-10s %10s %9s %13s\n", "rater", "corr.mean", "corr.sd", "completeness")
+	for _, r := range f.Raters {
+		out += fmt.Sprintf("%-10s %10.3f %9.3f %13.3f\n",
+			r.Rater, r.Correctness.Mean, r.Correctness.StdDev, r.Completeness)
+	}
+	return out
+}

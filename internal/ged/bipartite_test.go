@@ -1,0 +1,100 @@
+package ged
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBipartiteUpperIdentical(t *testing.T) {
+	g := lineGraph([]int{1, 2, 3})
+	if got := BipartiteUpper(g, g); got != 0 {
+		t.Errorf("BipartiteUpper(g,g) = %v, want 0", got)
+	}
+}
+
+func TestBipartiteUpperEmpty(t *testing.T) {
+	g := lineGraph([]int{1, 2})
+	if got := BipartiteUpper(NewGraph(0), g); got != 3 {
+		t.Errorf("empty vs line = %v, want 3", got)
+	}
+	if got := BipartiteUpper(g, NewGraph(0)); got != 3 {
+		t.Errorf("line vs empty = %v, want 3", got)
+	}
+}
+
+func TestBipartiteUpperKnownCase(t *testing.T) {
+	// One substitution: the assignment must find the obvious mapping.
+	g1 := lineGraph([]int{1, 2, 3})
+	g2 := lineGraph([]int{1, 2, 4})
+	if got := BipartiteUpper(g1, g2); got != 1 {
+		t.Errorf("one-sub upper = %v, want 1", got)
+	}
+}
+
+// The defining property: the bipartite result is never below the exact
+// distance, and never above the trivial worst case.
+func TestPropertyBipartiteIsUpperBound(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g1 := randGraph(r, r.Intn(5)+1, 3)
+		g2 := randGraph(r, r.Intn(5)+1, 3)
+		exact, err := Distance(g1, g2, Options{})
+		if err != nil {
+			return false
+		}
+		upper := BipartiteUpper(g1, g2)
+		return upper >= exact-1e-9 && upper <= MaxCost(g1, g2)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyBipartiteSymmetric(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g1 := randGraph(r, r.Intn(5)+1, 3)
+		g2 := randGraph(r, r.Intn(5)+1, 3)
+		d1 := BipartiteUpper(g1, g2)
+		d2 := BipartiteUpper(g2, g1)
+		// The heuristic is not guaranteed symmetric (assignment ties), but
+		// both directions must bound the exact distance; check closeness.
+		diff := d1 - d2
+		if diff < 0 {
+			diff = -diff
+		}
+		return diff <= MaxCost(g1, g2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// On larger graphs the approximation must stay close to the beam result
+// while being much cheaper than exact search.
+func TestBipartiteTracksBeamOnLargerGraphs(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 10; trial++ {
+		g1 := randGraph(r, 10, 5)
+		g2 := randGraph(r, 10, 5)
+		beam, err := Distance(g1, g2, Options{BeamWidth: 128})
+		if err != nil {
+			t.Fatal(err)
+		}
+		upper := BipartiteUpper(g1, g2)
+		if upper > 2.5*beam+6 {
+			t.Errorf("bipartite upper %v far above beam %v", upper, beam)
+		}
+	}
+}
+
+func BenchmarkBipartiteUpper12Nodes(b *testing.B) {
+	r := rand.New(rand.NewSource(11))
+	g1 := randGraph(r, 12, 6)
+	g2 := randGraph(r, 12, 6)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		BipartiteUpper(g1, g2)
+	}
+}

@@ -1,0 +1,304 @@
+package ged
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// bruteForce computes the exact GED by enumerating all injective partial
+// mappings of g1 nodes onto g2 nodes.
+func bruteForce(g1, g2 *Graph) float64 {
+	n1, n2 := g1.N(), g2.N()
+	best := math.Inf(1)
+	assign := make([]int, n1)
+	var rec func(k int, used int)
+	rec = func(k int, used int) {
+		if k == n1 {
+			if c := mappingCost(g1, g2, assign); c < best {
+				best = c
+			}
+			return
+		}
+		assign[k] = -1
+		rec(k+1, used)
+		for v := 0; v < n2; v++ {
+			if used&(1<<uint(v)) == 0 {
+				assign[k] = v
+				rec(k+1, used|1<<uint(v))
+			}
+		}
+	}
+	rec(0, 0)
+	return best
+}
+
+// mappingCost scores a complete assignment under the uniform cost model.
+func mappingCost(g1, g2 *Graph, assign []int) float64 {
+	n1, n2 := g1.N(), g2.N()
+	cost := 0.0
+	used := make([]bool, n2)
+	for u := 0; u < n1; u++ {
+		v := assign[u]
+		if v == -1 {
+			cost++ // deletion
+			continue
+		}
+		used[v] = true
+		if g1.Labels[u] != g2.Labels[v] {
+			cost++ // substitution
+		}
+	}
+	for v := 0; v < n2; v++ {
+		if !used[v] {
+			cost++ // insertion
+		}
+	}
+	// g1 edges: deleted unless mapped onto a g2 edge.
+	for u := 0; u < n1; u++ {
+		for w := 0; w < n1; w++ {
+			if !g1.HasEdge(u, w) {
+				continue
+			}
+			if assign[u] == -1 || assign[w] == -1 || !g2.HasEdge(assign[u], assign[w]) {
+				cost++
+			}
+		}
+	}
+	// g2 edges: inserted unless covered by a mapped g1 edge.
+	inv := make([]int, n2)
+	for i := range inv {
+		inv[i] = -1
+	}
+	for u, v := range assign {
+		if v >= 0 {
+			inv[v] = u
+		}
+	}
+	for x := 0; x < n2; x++ {
+		for y := 0; y < n2; y++ {
+			if !g2.HasEdge(x, y) {
+				continue
+			}
+			if inv[x] == -1 || inv[y] == -1 || !g1.HasEdge(inv[x], inv[y]) {
+				cost++
+			}
+		}
+	}
+	return cost
+}
+
+func lineGraph(labels []int) *Graph {
+	g := NewGraph(len(labels))
+	copy(g.Labels, labels)
+	for i := 0; i+1 < len(labels); i++ {
+		g.AddEdge(i, i+1)
+	}
+	return g
+}
+
+func TestDistanceIdenticalGraphs(t *testing.T) {
+	g := lineGraph([]int{1, 2, 3})
+	d, err := Distance(g, g, Options{})
+	if err != nil || d != 0 {
+		t.Fatalf("Distance(g,g) = %v, %v; want 0, nil", d, err)
+	}
+}
+
+func TestDistanceEmptyGraphs(t *testing.T) {
+	d, err := Distance(NewGraph(0), NewGraph(0), Options{})
+	if err != nil || d != 0 {
+		t.Fatalf("empty Distance = %v, %v", d, err)
+	}
+	// Empty vs 2-node 1-edge graph: 2 insertions + 1 edge insertion.
+	d, err = Distance(NewGraph(0), lineGraph([]int{1, 2}), Options{})
+	if err != nil || d != 3 {
+		t.Fatalf("empty-vs-line Distance = %v, %v; want 3", d, err)
+	}
+}
+
+func TestDistanceOneSubstitution(t *testing.T) {
+	g1 := lineGraph([]int{1, 2, 3})
+	g2 := lineGraph([]int{1, 2, 4})
+	d, err := Distance(g1, g2, Options{})
+	if err != nil || d != 1 {
+		t.Fatalf("Distance = %v, %v; want 1 (one relabel)", d, err)
+	}
+}
+
+func TestDistanceNodeAndEdgeInsertion(t *testing.T) {
+	g1 := lineGraph([]int{1, 2})
+	g2 := lineGraph([]int{1, 2, 3})
+	// Insert node labeled 3 and edge 2->3: cost 2.
+	d, err := Distance(g1, g2, Options{})
+	if err != nil || d != 2 {
+		t.Fatalf("Distance = %v, %v; want 2", d, err)
+	}
+}
+
+func TestDistanceEdgeDirectionMatters(t *testing.T) {
+	g1 := NewGraph(2)
+	g1.Labels = []int{1, 2}
+	g1.AddEdge(0, 1)
+	g2 := NewGraph(2)
+	g2.Labels = []int{1, 2}
+	g2.AddEdge(1, 0)
+	// Same labels, opposite edge: delete one edge, insert the other.
+	d, err := Distance(g1, g2, Options{})
+	if err != nil || d != 2 {
+		t.Fatalf("Distance = %v, %v; want 2", d, err)
+	}
+}
+
+func TestDistanceSymmetric(t *testing.T) {
+	g1 := lineGraph([]int{1, 2, 3, 4})
+	g2 := lineGraph([]int{1, 3, 5})
+	d1, err1 := Distance(g1, g2, Options{})
+	d2, err2 := Distance(g2, g1, Options{})
+	if err1 != nil || err2 != nil {
+		t.Fatalf("errors: %v %v", err1, err2)
+	}
+	if d1 != d2 {
+		t.Errorf("asymmetric: %v vs %v", d1, d2)
+	}
+}
+
+func TestDeadline(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	g1 := randGraph(r, 14, 6)
+	g2 := randGraph(r, 14, 6)
+	_, err := Distance(g1, g2, Options{Deadline: time.Microsecond})
+	if err != ErrTimeout {
+		t.Fatalf("err = %v, want ErrTimeout", err)
+	}
+}
+
+func TestBeamUpperBoundsExact(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		g1 := randGraph(r, r.Intn(4)+2, 8)
+		g2 := randGraph(r, r.Intn(4)+2, 8)
+		exact, err := Distance(g1, g2, Options{})
+		if err != nil {
+			t.Fatalf("exact: %v", err)
+		}
+		beamed, err := Distance(g1, g2, Options{BeamWidth: 8})
+		if err != nil {
+			t.Fatalf("beam: %v", err)
+		}
+		if beamed < exact-1e-9 {
+			t.Errorf("beam %v below exact %v", beamed, exact)
+		}
+	}
+}
+
+func TestMaxCost(t *testing.T) {
+	g1 := lineGraph([]int{1, 2, 3}) // 3 nodes, 2 edges
+	g2 := lineGraph([]int{4, 5})    // 2 nodes, 1 edge
+	if got := MaxCost(g1, g2); got != 6 {
+		t.Errorf("MaxCost = %v, want 6 (max(3,2)+2+1)", got)
+	}
+}
+
+func TestDistanceNeverExceedsMaxCost(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 30; trial++ {
+		g1 := randGraph(r, r.Intn(5)+1, 4)
+		g2 := randGraph(r, r.Intn(5)+1, 4)
+		d, err := Distance(g1, g2, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d > MaxCost(g1, g2)+1e-9 {
+			t.Errorf("distance %v exceeds max cost %v", d, MaxCost(g1, g2))
+		}
+	}
+}
+
+func randGraph(r *rand.Rand, n, labelRange int) *Graph {
+	g := NewGraph(n)
+	for i := range g.Labels {
+		g.Labels[i] = r.Intn(labelRange)
+	}
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if r.Intn(3) == 0 {
+				g.AddEdge(u, v)
+			}
+		}
+	}
+	return g
+}
+
+func TestPropertyExactMatchesBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g1 := randGraph(r, r.Intn(4)+1, 3)
+		g2 := randGraph(r, r.Intn(4)+1, 3)
+		d, err := Distance(g1, g2, Options{})
+		if err != nil {
+			return false
+		}
+		return math.Abs(d-bruteForce(g1, g2)) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyTriangleInequality(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a := randGraph(r, r.Intn(3)+1, 3)
+		b := randGraph(r, r.Intn(3)+1, 3)
+		c := randGraph(r, r.Intn(3)+1, 3)
+		dab, _ := Distance(a, b, Options{})
+		dbc, _ := Distance(b, c, Options{})
+		dac, _ := Distance(a, c, Options{})
+		return dac <= dab+dbc+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAddEdgeGuards(t *testing.T) {
+	g := NewGraph(2)
+	g.AddEdge(0, 0) // self-loop ignored
+	g.AddEdge(-1, 1)
+	g.AddEdge(0, 5)
+	if g.Edges() != 0 {
+		t.Errorf("invalid edges accepted, count = %d", g.Edges())
+	}
+	g.AddEdge(0, 1)
+	g.AddEdge(0, 1) // duplicate
+	if g.Edges() != 1 {
+		t.Errorf("edge count = %d, want 1", g.Edges())
+	}
+}
+
+func BenchmarkDistanceExact6Nodes(b *testing.B) {
+	r := rand.New(rand.NewSource(11))
+	g1 := randGraph(r, 6, 4)
+	g2 := randGraph(r, 6, 4)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Distance(g1, g2, Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDistanceBeam12Nodes(b *testing.B) {
+	r := rand.New(rand.NewSource(11))
+	g1 := randGraph(r, 12, 6)
+	g2 := randGraph(r, 12, 6)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Distance(g1, g2, Options{BeamWidth: 64}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,289 @@
+package gen
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/measures"
+	"repro/internal/module"
+	"repro/internal/workflow"
+)
+
+func smallProfile() Profile {
+	p := Taverna()
+	p.Workflows = 120
+	p.Clusters = 8
+	return p
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	c1, err := Generate(smallProfile(), 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := Generate(smallProfile(), 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c1.Repo.Size() != c2.Repo.Size() {
+		t.Fatalf("sizes differ: %d vs %d", c1.Repo.Size(), c2.Repo.Size())
+	}
+	for _, wf1 := range c1.Repo.Workflows() {
+		wf2 := c2.Repo.Get(wf1.ID)
+		if wf2 == nil {
+			t.Fatalf("workflow %s missing in second run", wf1.ID)
+		}
+		if wf1.Size() != wf2.Size() || wf1.EdgeCount() != wf2.EdgeCount() {
+			t.Fatalf("workflow %s differs across runs", wf1.ID)
+		}
+		if wf1.Annotations.Title != wf2.Annotations.Title {
+			t.Fatalf("title of %s differs across runs", wf1.ID)
+		}
+	}
+}
+
+func TestGenerateSizeAndValidity(t *testing.T) {
+	c, err := Generate(smallProfile(), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Repo.Size() != 120 {
+		t.Errorf("size = %d, want 120", c.Repo.Size())
+	}
+	if err := c.Repo.Validate(); err != nil {
+		t.Errorf("invalid corpus: %v", err)
+	}
+	for _, wf := range c.Repo.Workflows() {
+		if wf.Size() == 0 {
+			t.Errorf("workflow %s empty", wf.ID)
+		}
+		if _, ok := c.Truth.Meta[wf.ID]; !ok {
+			t.Errorf("workflow %s missing from truth", wf.ID)
+		}
+	}
+}
+
+func TestGenerateTavernaStatistics(t *testing.T) {
+	c, err := Generate(Taverna(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Repo.Size() != 1483 {
+		t.Fatalf("size = %d, want 1483", c.Repo.Size())
+	}
+	var modules, tagged, withDesc int
+	typeSpellings := map[string]bool{}
+	for _, wf := range c.Repo.Workflows() {
+		modules += wf.Size()
+		if len(wf.Annotations.Tags) > 0 {
+			tagged++
+		}
+		if wf.Annotations.Description != "" {
+			withDesc++
+		}
+		for _, m := range wf.Modules {
+			typeSpellings[m.Type] = true
+		}
+	}
+	mean := float64(modules) / float64(c.Repo.Size())
+	if mean < 8 || mean > 15 {
+		t.Errorf("mean modules/workflow = %.1f, want near the paper's 11.3", mean)
+	}
+	tagFrac := float64(tagged) / float64(c.Repo.Size())
+	if tagFrac < 0.78 || tagFrac > 0.92 {
+		t.Errorf("tagged fraction = %.2f, want ~0.85", tagFrac)
+	}
+	// Heterogeneous web-service spellings must occur.
+	found := 0
+	for _, sp := range wsdlSpellings() {
+		if typeSpellings[sp] {
+			found++
+		}
+	}
+	if found < 3 {
+		t.Errorf("only %d wsdl spellings in corpus, want >= 3", found)
+	}
+}
+
+func TestGenerateGalaxySparseAnnotations(t *testing.T) {
+	c, err := Generate(Galaxy(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Repo.Size() != 139 {
+		t.Fatalf("size = %d, want 139", c.Repo.Size())
+	}
+	var withDesc int
+	for _, wf := range c.Repo.Workflows() {
+		if wf.Annotations.Description != "" {
+			withDesc++
+		}
+		for _, m := range wf.Modules {
+			if !m.IsLocal() && m.Type != workflow.TypeTool {
+				t.Fatalf("galaxy module with type %q", m.Type)
+			}
+		}
+	}
+	frac := float64(withDesc) / float64(c.Repo.Size())
+	if frac > 0.3 {
+		t.Errorf("description fraction = %.2f, want sparse (< 0.3)", frac)
+	}
+}
+
+func TestTruthStructure(t *testing.T) {
+	c, err := Generate(smallProfile(), 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := c.Truth
+	// Group IDs by cluster and domain.
+	byCluster := map[int][]string{}
+	byDomain := map[int][]string{}
+	for id, m := range tr.Meta {
+		byCluster[m.Cluster] = append(byCluster[m.Cluster], id)
+		byDomain[m.Domain] = append(byDomain[m.Domain], id)
+	}
+	// Intra-cluster similarity must dominate cross-domain similarity.
+	var intra, cross []float64
+	for _, ids := range byCluster {
+		if len(ids) >= 2 {
+			intra = append(intra, tr.Sim(ids[0], ids[1]))
+		}
+	}
+	for id1, m1 := range tr.Meta {
+		for id2, m2 := range tr.Meta {
+			if m1.Domain != m2.Domain {
+				cross = append(cross, tr.Sim(id1, id2))
+				break
+			}
+		}
+		break
+	}
+	for _, v := range intra {
+		if v < 0.4 {
+			t.Errorf("intra-cluster truth %v too low", v)
+		}
+	}
+	for _, v := range cross {
+		if v > 0.15 {
+			t.Errorf("cross-domain truth %v too high", v)
+		}
+	}
+	if got := tr.Sim("1000", "1000"); got != 1 {
+		t.Errorf("self truth = %v, want 1", got)
+	}
+	if got := tr.Sim("nope", "1000"); got != 0 {
+		t.Errorf("unknown truth = %v, want 0", got)
+	}
+}
+
+func TestTruthSymmetricDeterministic(t *testing.T) {
+	c, _ := Generate(smallProfile(), 3)
+	ids := c.Repo.IDs()
+	for i := 0; i < 20; i++ {
+		a, b := ids[i], ids[len(ids)-1-i]
+		if c.Truth.Sim(a, b) != c.Truth.Sim(b, a) {
+			t.Fatalf("truth asymmetric for (%s,%s)", a, b)
+		}
+	}
+}
+
+// The generated corpus must be discriminable by the similarity measures:
+// same-cluster pairs should score above cross-domain pairs on average for
+// both structural and annotation measures. This is the linchpin of the
+// whole evaluation pipeline.
+func TestGeneratedCorpusDiscriminable(t *testing.T) {
+	c, err := Generate(smallProfile(), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byCluster := map[int][]string{}
+	for id, m := range c.Truth.Meta {
+		byCluster[m.Cluster] = append(byCluster[m.Cluster], id)
+	}
+	ms := measures.NewStructural(measures.Config{
+		Topology:  measures.ModuleSets,
+		Scheme:    module.PLL(),
+		Normalize: true,
+	})
+	bw := measures.BagOfWords{}
+
+	var sameMS, crossMS, sameBW, crossBW []float64
+	count := 0
+	for _, ids := range byCluster {
+		if len(ids) < 2 || count >= 6 {
+			continue
+		}
+		count++
+		a := c.Repo.Get(ids[0])
+		b := c.Repo.Get(ids[1])
+		s, _ := ms.Compare(a, b)
+		sameMS = append(sameMS, s)
+		s, _ = bw.Compare(a, b)
+		sameBW = append(sameBW, s)
+		// Cross-domain partner.
+		ma := c.Truth.Meta[ids[0]]
+		for id2, m2 := range c.Truth.Meta {
+			if m2.Domain != ma.Domain {
+				x := c.Repo.Get(id2)
+				s, _ := ms.Compare(a, x)
+				crossMS = append(crossMS, s)
+				s, _ = bw.Compare(a, x)
+				crossBW = append(crossBW, s)
+				break
+			}
+		}
+	}
+	if mean(sameMS) <= mean(crossMS) {
+		t.Errorf("MS cannot discriminate: same %.3f vs cross %.3f", mean(sameMS), mean(crossMS))
+	}
+	if mean(sameBW) <= mean(crossBW) {
+		t.Errorf("BW cannot discriminate: same %.3f vs cross %.3f", mean(sameBW), mean(crossBW))
+	}
+}
+
+// Labels in the same cluster must drift (case/style variants) so that edit
+// distance beats strict matching — a precondition for the paper's pll vs
+// plm finding.
+func TestLabelDriftWithinClusters(t *testing.T) {
+	c, err := Generate(smallProfile(), 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byCluster := map[int][]string{}
+	for id, m := range c.Truth.Meta {
+		byCluster[m.Cluster] = append(byCluster[m.Cluster], id)
+	}
+	drifted := 0
+	for _, ids := range byCluster {
+		if len(ids) < 4 {
+			continue
+		}
+		labels := map[string]bool{}
+		for _, id := range ids {
+			for _, m := range c.Repo.Get(id).Modules {
+				if !m.IsLocal() {
+					labels[strings.ToLower(m.Label)] = true
+				}
+			}
+		}
+		if len(labels) > 4 { // more label variants than core ops implies drift
+			drifted++
+		}
+	}
+	if drifted == 0 {
+		t.Error("no cluster exhibits label drift")
+	}
+}
+
+func mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}

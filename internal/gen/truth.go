@@ -1,0 +1,80 @@
+package gen
+
+import (
+	"hash/fnv"
+)
+
+// Truth is the latent ground-truth similarity structure of a generated
+// corpus. It substitutes for the paper's expert gold standard: simulated
+// raters perceive a noisy version of this function (see package eval).
+type Truth struct {
+	// Meta maps workflow ID to its generation metadata.
+	Meta map[string]WorkflowMeta
+}
+
+// WorkflowMeta records how a workflow was derived.
+type WorkflowMeta struct {
+	// Cluster is the functional cluster the workflow belongs to.
+	Cluster int
+	// Domain is the scientific domain of the cluster.
+	Domain int
+	// MutationDepth is the number of mutations applied to the cluster
+	// prototype when deriving this workflow (0 = the prototype itself).
+	MutationDepth int
+}
+
+// Sim returns the latent functional similarity of two workflows in [0,1]:
+// 1 for identical IDs; high (decaying with mutation depth) within a cluster;
+// moderate across clusters of the same domain ("related"); near zero across
+// domains. A small deterministic per-pair jitter avoids degenerate ties.
+func (t *Truth) Sim(id1, id2 string) float64 {
+	if id1 == id2 {
+		return 1
+	}
+	m1, ok1 := t.Meta[id1]
+	m2, ok2 := t.Meta[id2]
+	if !ok1 || !ok2 {
+		return 0
+	}
+	jitter := pairJitter(id1, id2) // in [0, 1)
+	switch {
+	case m1.Cluster == m2.Cluster:
+		v := 0.92 - 0.07*float64(m1.MutationDepth+m2.MutationDepth) + 0.04*jitter
+		return clamp(v, 0.45, 1)
+	case m1.Domain == m2.Domain:
+		return clamp(0.28+0.12*jitter, 0, 0.42)
+	default:
+		return clamp(0.02+0.08*jitter, 0, 0.12)
+	}
+}
+
+// Related reports whether two workflows share a domain (but see Sim for the
+// graded view).
+func (t *Truth) Related(id1, id2 string) bool {
+	m1, ok1 := t.Meta[id1]
+	m2, ok2 := t.Meta[id2]
+	return ok1 && ok2 && m1.Domain == m2.Domain
+}
+
+// pairJitter returns a deterministic pseudo-random value in [0,1) for an
+// unordered pair of IDs.
+func pairJitter(a, b string) float64 {
+	if a > b {
+		a, b = b, a
+	}
+	h := fnv.New64a()
+	h.Write([]byte(a))
+	h.Write([]byte{0})
+	h.Write([]byte(b))
+	return float64(h.Sum64()%1_000_000) / 1_000_000
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

@@ -1,0 +1,151 @@
+// Package gen generates synthetic scientific-workflow corpora that stand in
+// for the paper's myExperiment (1483 Taverna workflows) and Galaxy (139
+// workflows) datasets, which are not redistributable here. The generator
+// reproduces the statistical properties the similarity algorithms are
+// sensitive to — heterogeneous module labels for the same operation, varying
+// web-service type spellings, trivial shim modules, clustered functionality,
+// annotation richness (Taverna) vs. sparsity (Galaxy) — and records latent
+// ground-truth similarity used to simulate expert raters. See DESIGN.md for
+// the substitution argument.
+package gen
+
+// domain is a scientific field whose clusters share vocabulary and service
+// providers; workflows from the same domain but different clusters are
+// "related", not "similar".
+type domain struct {
+	name       string
+	topics     []string    // words for titles, descriptions and tags
+	operations []operation // pool of data-processing operations
+}
+
+// operation is an abstract data-processing step a cluster pipeline can use.
+type operation struct {
+	labelWords []string // words combined into module labels
+	authority  string   // service provider
+	service    string   // service operation name
+	uri        string   // service endpoint
+	scripted   bool     // realised as a script module instead of a service
+	script     string
+}
+
+// shim is a trivial local operation inserted as structural noise. These are
+// the high-frequency, unspecific modules the importance projection removes.
+type shim struct {
+	label string
+	typ   string
+}
+
+func shimBank() []shim {
+	return []shim{
+		{"split_string", "localworker"},
+		{"string_constant", "stringconstant"},
+		{"flatten_list", "localworker"},
+		{"merge_string_list", "localworker"},
+		{"concatenate_strings", "localworker"},
+		{"xml_splitter", "xmlsplitter"},
+		{"xml_merger", "xmlmerger"},
+		{"byte_array_to_string", "localworker"},
+		{"remove_duplicates", "localworker"},
+		{"extract_element", "xmlsplitter"},
+	}
+}
+
+// noiseWords pad titles and descriptions without carrying signal.
+func noiseWords() []string {
+	return []string{
+		"workflow", "analysis", "data", "result", "input", "output",
+		"simple", "example", "test", "updated", "version", "final",
+		"pipeline", "service", "list", "annotated", "basic",
+	}
+}
+
+func domains() []domain {
+	return []domain{
+		{
+			name:   "pathways",
+			topics: []string{"kegg", "pathway", "gene", "entrez", "compound", "enzyme", "metabolic", "map"},
+			operations: []operation{
+				{labelWords: []string{"get", "pathways", "by", "genes"}, authority: "kegg", service: "get_pathways_by_genes", uri: "http://soap.genome.jp/KEGG.wsdl"},
+				{labelWords: []string{"get", "genes", "by", "pathway"}, authority: "kegg", service: "get_genes_by_pathway", uri: "http://soap.genome.jp/KEGG.wsdl"},
+				{labelWords: []string{"get", "compounds", "by", "pathway"}, authority: "kegg", service: "get_compounds_by_pathway", uri: "http://soap.genome.jp/KEGG.wsdl"},
+				{labelWords: []string{"color", "pathway", "by", "objects"}, authority: "kegg", service: "color_pathway_by_objects", uri: "http://soap.genome.jp/KEGG.wsdl"},
+				{labelWords: []string{"convert", "entrez", "to", "kegg", "id"}, scripted: true, script: "ids = map(entrez2kegg, input);"},
+				{labelWords: []string{"get", "enzymes", "by", "compound"}, authority: "kegg", service: "get_enzymes_by_compound", uri: "http://soap.genome.jp/KEGG.wsdl"},
+				{labelWords: []string{"render", "pathway", "image"}, scripted: true, script: "img = render(pathway);"},
+				{labelWords: []string{"fetch", "gene", "annotation"}, authority: "ncbi", service: "efetch_gene", uri: "http://eutils.ncbi.nlm.nih.gov/soap/eutils.wsdl"},
+			},
+		},
+		{
+			name:   "alignment",
+			topics: []string{"blast", "sequence", "alignment", "protein", "swissprot", "similarity", "hit", "homolog"},
+			operations: []operation{
+				{labelWords: []string{"fetch", "sequence"}, authority: "ebi", service: "fetchData", uri: "http://www.ebi.ac.uk/ws/services/urn:Dbfetch"},
+				{labelWords: []string{"run", "ncbi", "blast"}, authority: "ebi", service: "runNCBIBlast", uri: "http://www.ebi.ac.uk/ws/services/WSNCBIBlast"},
+				{labelWords: []string{"run", "wu", "blast"}, authority: "ebi", service: "runWUBlast", uri: "http://www.ebi.ac.uk/ws/services/WSWUBlast"},
+				{labelWords: []string{"poll", "job", "status"}, authority: "ebi", service: "checkStatus", uri: "http://www.ebi.ac.uk/ws/services/WSWUBlast"},
+				{labelWords: []string{"parse", "blast", "report"}, scripted: true, script: "hits = parseBlast(report);"},
+				{labelWords: []string{"filter", "hits", "by", "evalue"}, scripted: true, script: "hits[hits$eval < 1e-5,]"},
+				{labelWords: []string{"clustalw", "multiple", "alignment"}, authority: "ebi", service: "runClustalW", uri: "http://www.ebi.ac.uk/ws/services/WSClustalW"},
+				{labelWords: []string{"get", "fasta", "from", "uniprot"}, authority: "uniprot", service: "getFasta", uri: "http://www.uniprot.org/ws/fasta.wsdl"},
+			},
+		},
+		{
+			name:   "proteomics",
+			topics: []string{"protein", "interpro", "domain", "motif", "structure", "pdb", "scan", "family"},
+			operations: []operation{
+				{labelWords: []string{"interproscan", "sequence"}, authority: "ebi", service: "runInterProScan", uri: "http://www.ebi.ac.uk/ws/services/WSInterProScan"},
+				{labelWords: []string{"get", "pdb", "structure"}, authority: "pdb", service: "getStructure", uri: "http://www.rcsb.org/pdb/services/pdbws.wsdl"},
+				{labelWords: []string{"extract", "domains"}, scripted: true, script: "domains = extract(scan);"},
+				{labelWords: []string{"map", "uniprot", "accession"}, authority: "uniprot", service: "mapAccession", uri: "http://www.uniprot.org/ws/mapping.wsdl"},
+				{labelWords: []string{"predict", "secondary", "structure"}, authority: "ebi", service: "runJpred", uri: "http://www.compbio.dundee.ac.uk/jpred.wsdl"},
+				{labelWords: []string{"summarise", "motif", "hits"}, scripted: true, script: "summary(motifs)"},
+			},
+		},
+		{
+			name:   "expression",
+			topics: []string{"microarray", "expression", "probe", "affymetrix", "normalize", "differential", "chip"},
+			operations: []operation{
+				{labelWords: []string{"load", "cel", "files"}, scripted: true, script: "data = ReadAffy();"},
+				{labelWords: []string{"normalize", "rma"}, scripted: true, script: "eset = rma(data);"},
+				{labelWords: []string{"fit", "linear", "model"}, scripted: true, script: "fit = lmFit(eset, design);"},
+				{labelWords: []string{"get", "probe", "annotation"}, authority: "biomart", service: "getAnnotation", uri: "http://www.biomart.org/biomart/martservice.wsdl"},
+				{labelWords: []string{"select", "differential", "genes"}, scripted: true, script: "topTable(fit)"},
+				{labelWords: []string{"plot", "heatmap"}, scripted: true, script: "heatmap(exprs)"},
+			},
+		},
+		{
+			name:   "phylogenetics",
+			topics: []string{"tree", "phylogeny", "taxonomy", "species", "newick", "distance", "evolution"},
+			operations: []operation{
+				{labelWords: []string{"fetch", "taxonomy", "lineage"}, authority: "ncbi", service: "efetch_taxonomy", uri: "http://eutils.ncbi.nlm.nih.gov/soap/eutils.wsdl"},
+				{labelWords: []string{"compute", "distance", "matrix"}, scripted: true, script: "d = distMatrix(aln);"},
+				{labelWords: []string{"build", "neighbor", "joining", "tree"}, scripted: true, script: "tree = nj(d);"},
+				{labelWords: []string{"draw", "phylogram"}, scripted: true, script: "plot(tree)"},
+				{labelWords: []string{"run", "muscle", "alignment"}, authority: "ebi", service: "runMuscle", uri: "http://www.ebi.ac.uk/ws/services/WSMuscle"},
+			},
+		},
+		{
+			name:   "astronomy",
+			topics: []string{"image", "catalog", "survey", "magnitude", "coordinates", "fits", "photometry"},
+			operations: []operation{
+				{labelWords: []string{"query", "vizier", "catalog"}, authority: "cds", service: "queryVizieR", uri: "http://vizier.u-strasbg.fr/viz-bin/votable.wsdl"},
+				{labelWords: []string{"cone", "search"}, authority: "ivoa", service: "coneSearch", uri: "http://www.ivoa.net/cone.wsdl"},
+				{labelWords: []string{"convert", "coordinates"}, scripted: true, script: "radec = convert(coords);"},
+				{labelWords: []string{"crossmatch", "sources"}, scripted: true, script: "xmatch(a, b)"},
+				{labelWords: []string{"plot", "lightcurve"}, scripted: true, script: "plot(lc)"},
+			},
+		},
+	}
+}
+
+// wsdlSpellings are the heterogeneous Taverna type identifiers for
+// web-service modules; the generator picks one per module instance,
+// reproducing the heterogeneity that motivates type-equivalence classes.
+func wsdlSpellings() []string {
+	return []string{"wsdl", "arbitrarywsdl", "soaplabwsdl", "biomobywsdl"}
+}
+
+// scriptSpellings are the type identifiers for scripted modules.
+func scriptSpellings() []string {
+	return []string{"beanshell", "rshell", "script"}
+}

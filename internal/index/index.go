@@ -1,0 +1,163 @@
+// Package index accelerates similarity search over large repositories with a
+// filter-and-refine strategy: an inverted index over canonicalized module
+// labels generates candidate workflows sharing vocabulary with the query,
+// and only candidates are scored exactly. The paper's conclusion calls for
+// "topological information with less computational complexity"; candidate
+// pruning is the standard systems answer for the module-set side.
+//
+// The filter is lossless for strict label matching (plm: workflows sharing
+// no canonical label have similarity 0) and a high-recall heuristic for
+// edit-distance schemes (two workflows can have nonzero label edit
+// similarity without sharing a token). Search reports how many repository
+// workflows were pruned so callers can trade recall for speed consciously.
+package index
+
+import (
+	"sort"
+
+	"repro/internal/corpus"
+	"repro/internal/measures"
+	"repro/internal/repoknow"
+	"repro/internal/search"
+	"repro/internal/workflow"
+)
+
+// Index is an inverted index from canonical module labels to workflows.
+type Index struct {
+	repo    *corpus.Repository
+	posting map[string][]int // canonical label -> workflow positions
+	labels  [][]string       // workflow position -> its canonical labels
+}
+
+// Build scans the repository once and indexes every workflow under the
+// canonical forms of its module labels (see repoknow.CanonicalLabel).
+func Build(repo *corpus.Repository) *Index {
+	idx := &Index{
+		repo:    repo,
+		posting: map[string][]int{},
+		labels:  make([][]string, repo.Size()),
+	}
+	for pos, wf := range repo.Workflows() {
+		seen := map[string]bool{}
+		for _, m := range wf.Modules {
+			key := repoknow.CanonicalLabel(m.Label)
+			if key == "" || seen[key] {
+				continue
+			}
+			seen[key] = true
+			idx.posting[key] = append(idx.posting[key], pos)
+			idx.labels[pos] = append(idx.labels[pos], key)
+		}
+	}
+	return idx
+}
+
+// Vocabulary returns the number of distinct canonical labels indexed.
+func (idx *Index) Vocabulary() int { return len(idx.posting) }
+
+// Candidates returns the positions of workflows sharing at least minShared
+// canonical labels with the query, sorted by descending overlap count.
+// minShared < 1 is treated as 1.
+func (idx *Index) Candidates(query *workflow.Workflow, minShared int) []int {
+	if minShared < 1 {
+		minShared = 1
+	}
+	counts := map[int]int{}
+	seen := map[string]bool{}
+	for _, m := range query.Modules {
+		key := repoknow.CanonicalLabel(m.Label)
+		if key == "" || seen[key] {
+			continue
+		}
+		seen[key] = true
+		for _, pos := range idx.posting[key] {
+			counts[pos]++
+		}
+	}
+	out := make([]int, 0, len(counts))
+	for pos, c := range counts {
+		if c >= minShared {
+			out = append(out, pos)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if counts[out[i]] != counts[out[j]] {
+			return counts[out[i]] > counts[out[j]]
+		}
+		return out[i] < out[j]
+	})
+	return out
+}
+
+// SearchResult is an accelerated top-k result with pruning statistics.
+type SearchResult struct {
+	Results []search.Result
+	// CandidateCount is the number of workflows scored exactly.
+	CandidateCount int
+	// Pruned is the number of repository workflows never scored.
+	Pruned int
+	// Skipped counts candidates the measure failed on.
+	Skipped int
+}
+
+// TopK runs filter-and-refine top-k search: candidates sharing at least
+// minShared canonical labels with the query are scored with m; the k best
+// are returned. The query itself is excluded.
+func (idx *Index) TopK(query *workflow.Workflow, m measures.Measure, k, minShared int) SearchResult {
+	if k <= 0 {
+		k = 10
+	}
+	cands := idx.Candidates(query, minShared)
+	wfs := idx.repo.Workflows()
+	var out SearchResult
+	out.CandidateCount = len(cands)
+	out.Pruned = idx.repo.Size() - len(cands)
+	results := make([]search.Result, 0, len(cands))
+	for _, pos := range cands {
+		wf := wfs[pos]
+		if wf.ID == query.ID {
+			out.CandidateCount--
+			continue
+		}
+		s, err := m.Compare(query, wf)
+		if err != nil {
+			out.Skipped++
+			continue
+		}
+		results = append(results, search.Result{ID: wf.ID, Similarity: s})
+	}
+	sort.Slice(results, func(i, j int) bool {
+		if results[i].Similarity != results[j].Similarity {
+			return results[i].Similarity > results[j].Similarity
+		}
+		return results[i].ID < results[j].ID
+	})
+	if len(results) > k {
+		results = results[:k]
+	}
+	out.Results = results
+	return out
+}
+
+// RecallAgainst measures the top-k recall of the accelerated search against
+// an exact scan with the same measure: the fraction of the exact top-k found
+// in the accelerated top-k. It quantifies the filter's (heuristic) loss for
+// edit-distance schemes.
+func (idx *Index) RecallAgainst(query *workflow.Workflow, m measures.Measure, k, minShared int) float64 {
+	exact, _ := search.TopK(query, idx.repo, m, search.Options{K: k})
+	if len(exact) == 0 {
+		return 1
+	}
+	fast := idx.TopK(query, m, k, minShared)
+	got := map[string]bool{}
+	for _, r := range fast.Results {
+		got[r.ID] = true
+	}
+	hit := 0
+	for _, r := range exact {
+		if got[r.ID] {
+			hit++
+		}
+	}
+	return float64(hit) / float64(len(exact))
+}

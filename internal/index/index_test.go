@@ -1,0 +1,178 @@
+package index
+
+import (
+	"testing"
+
+	"repro/internal/corpus"
+	"repro/internal/gen"
+	"repro/internal/measures"
+	"repro/internal/module"
+	"repro/internal/search"
+	"repro/internal/workflow"
+)
+
+func testCorpus(t testing.TB) *gen.Corpus {
+	t.Helper()
+	p := gen.Taverna()
+	p.Workflows = 200
+	p.Clusters = 10
+	c, err := gen.Generate(p, 31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func pllMS() measures.Measure {
+	return measures.NewStructural(measures.Config{
+		Topology: measures.ModuleSets, Scheme: module.PLL(), Normalize: true,
+	})
+}
+
+func plmMS() measures.Measure {
+	return measures.NewStructural(measures.Config{
+		Topology: measures.ModuleSets, Scheme: module.PLM(), Normalize: true,
+	})
+}
+
+func TestBuildIndexesAllWorkflows(t *testing.T) {
+	c := testCorpus(t)
+	idx := Build(c.Repo)
+	if idx.Vocabulary() == 0 {
+		t.Fatal("empty vocabulary")
+	}
+	for pos := range c.Repo.Workflows() {
+		if len(idx.labels[pos]) == 0 {
+			t.Fatalf("workflow at %d has no indexed labels", pos)
+		}
+	}
+}
+
+func TestCandidatesShareLabels(t *testing.T) {
+	c := testCorpus(t)
+	idx := Build(c.Repo)
+	query := c.Repo.Workflows()[0]
+	cands := idx.Candidates(query, 1)
+	if len(cands) == 0 {
+		t.Fatal("no candidates")
+	}
+	// Every candidate shares at least one canonical label by construction;
+	// spot check the top candidate overlaps heavily.
+	if len(cands) == c.Repo.Size() {
+		t.Log("warning: no pruning on this corpus (labels too shared)")
+	}
+	// With a high minShared the candidate set shrinks monotonically.
+	strict := idx.Candidates(query, 4)
+	if len(strict) > len(cands) {
+		t.Errorf("minShared=4 yields more candidates (%d) than minShared=1 (%d)", len(strict), len(cands))
+	}
+}
+
+func TestTopKExcludesQueryAndSorts(t *testing.T) {
+	c := testCorpus(t)
+	idx := Build(c.Repo)
+	query := c.Repo.Workflows()[0]
+	res := idx.TopK(query, pllMS(), 10, 1)
+	if len(res.Results) != 10 {
+		t.Fatalf("results = %d", len(res.Results))
+	}
+	for i, r := range res.Results {
+		if r.ID == query.ID {
+			t.Error("query in results")
+		}
+		if i > 0 && r.Similarity > res.Results[i-1].Similarity {
+			t.Error("not sorted")
+		}
+	}
+	if res.CandidateCount+res.Pruned != c.Repo.Size() && res.CandidateCount+res.Pruned != c.Repo.Size()-1 {
+		t.Errorf("accounting: %d candidates + %d pruned vs %d total",
+			res.CandidateCount, res.Pruned, c.Repo.Size())
+	}
+}
+
+func TestLosslessForStrictLabelMatching(t *testing.T) {
+	// For plm (strict label matching on the canonical... actually raw
+	// labels), workflows sharing no canonical label score 0 under MS: the
+	// filter at minShared=1 must reproduce the exact top-k whenever the
+	// exact top-k has positive scores.
+	c := testCorpus(t)
+	idx := Build(c.Repo)
+	m := plmMS()
+	for _, query := range c.Repo.Workflows()[:10] {
+		exact, _ := search.TopK(query, c.Repo, m, search.Options{K: 5})
+		fast := idx.TopK(query, m, 5, 1)
+		for i, er := range exact {
+			if er.Similarity <= 0 {
+				break // zero-score tail may differ arbitrarily
+			}
+			if i >= len(fast.Results) {
+				t.Fatalf("query %s: accelerated list too short", query.ID)
+			}
+			if fast.Results[i].Similarity < er.Similarity-1e-9 {
+				t.Errorf("query %s rank %d: fast %.4f < exact %.4f",
+					query.ID, i, fast.Results[i].Similarity, er.Similarity)
+			}
+		}
+	}
+}
+
+func TestRecallHighForEditDistance(t *testing.T) {
+	c := testCorpus(t)
+	idx := Build(c.Repo)
+	m := pllMS()
+	var total float64
+	queries := c.Repo.Workflows()[:8]
+	for _, q := range queries {
+		total += idx.RecallAgainst(q, m, 10, 1)
+	}
+	mean := total / float64(len(queries))
+	if mean < 0.9 {
+		t.Errorf("mean top-10 recall = %.2f, want >= 0.9", mean)
+	}
+}
+
+func TestPruningActuallyHappens(t *testing.T) {
+	// Two disjoint vocabularies: query from one must prune the other.
+	w1 := workflow.New("a")
+	w1.AddModule(&workflow.Module{Label: "alpha_one", Type: workflow.TypeWSDL})
+	w2 := workflow.New("b")
+	w2.AddModule(&workflow.Module{Label: "alpha_one_v2", Type: workflow.TypeWSDL})
+	w3 := workflow.New("c")
+	w3.AddModule(&workflow.Module{Label: "totally_different", Type: workflow.TypeWSDL})
+	repo, err := corpus.NewRepository(w1, w2, w3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx := Build(repo)
+	res := idx.TopK(w1, pllMS(), 10, 1)
+	if res.Pruned < 1 {
+		t.Errorf("expected pruning, got %d", res.Pruned)
+	}
+	// Canonicalization strips the _v2-style digits... "alpha_one_v2" ->
+	// "alphaonev": shares no key with "alphaone"; so only exact-canonical
+	// matches are candidates.
+	for _, r := range res.Results {
+		if r.ID == "c" {
+			t.Error("disjoint workflow not pruned")
+		}
+	}
+}
+
+func BenchmarkIndexedVsExactSearch(b *testing.B) {
+	c := testCorpus(b)
+	idx := Build(c.Repo)
+	query := c.Repo.Workflows()[0]
+	m := pllMS()
+	b.Run("indexed", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			idx.TopK(query, m, 10, 1)
+		}
+	})
+	b.Run("exact", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			search.TopK(query, c.Repo, m, search.Options{K: 10, Parallelism: 1})
+		}
+	})
+}

@@ -1,0 +1,34 @@
+package matching_test
+
+import (
+	"fmt"
+
+	"repro/internal/matching"
+)
+
+// ExampleMaxWeight shows why maximum-weight matching can beat greedy
+// selection: taking the single best pair first can block a better total.
+func ExampleMaxWeight() {
+	w := matching.Weights{
+		{0.9, 0.8},
+		{0.8, 0.1},
+	}
+	fmt.Printf("greedy    %.1f\n", matching.Greedy(w).TotalWeight())
+	fmt.Printf("maxweight %.1f\n", matching.MaxWeight(w).TotalWeight())
+	// Output:
+	// greedy    1.0
+	// maxweight 1.6
+}
+
+// ExampleMaxWeightNonCrossing aligns two ordered sequences (e.g. the modules
+// along two workflow paths) without crossing pairs.
+func ExampleMaxWeightNonCrossing() {
+	// Crossing pairs (0→1) and (1→0) cannot both be taken.
+	w := matching.Weights{
+		{0, 1},
+		{1, 0},
+	}
+	m := matching.MaxWeightNonCrossing(w)
+	fmt.Printf("total %.0f, non-crossing %v\n", m.TotalWeight(), m.IsNonCrossing())
+	// Output: total 1, non-crossing true
+}

@@ -1,0 +1,66 @@
+package measures
+
+import (
+	"strings"
+
+	"repro/internal/textutil"
+	"repro/internal/workflow"
+)
+
+// BagOfWords implements simBW (Section 2.2, after Costa et al.): workflows
+// are compared by their titles and descriptions. Both are tokenized on
+// whitespace and underscores, lowercased, cleansed of non-alphanumeric
+// characters and filtered for stopwords; similarity is
+// #matches / (#matches + #mismatches), the Jaccard index on token sets.
+// Multiple occurrences of a token are deliberately not counted (the paper
+// reports counted variants performed slightly worse).
+type BagOfWords struct{}
+
+// Name implements Measure.
+func (BagOfWords) Name() string { return "BW" }
+
+// Compare implements Measure.
+func (BagOfWords) Compare(a, b *workflow.Workflow) (float64, error) {
+	return textutil.SetJaccard(bwTokens(a), bwTokens(b)), nil
+}
+
+func bwTokens(w *workflow.Workflow) map[string]bool {
+	return textutil.TokenSet(w.Annotations.Title + " " + w.Annotations.Description)
+}
+
+// HasWords reports whether the workflow carries any Bag of Words evidence.
+func HasWords(w *workflow.Workflow) bool { return len(bwTokens(w)) > 0 }
+
+// BagOfTags implements simBT (after Stoyanovich et al.): the keyword tags
+// assigned in the repository are treated as a bag of tags and compared by
+// the same match/mismatch quotient. Following the original approach, no
+// stopword removal or other preprocessing is applied beyond trimming and
+// case folding, reflecting the expectation that tags are deliberately chosen
+// by the author.
+type BagOfTags struct{}
+
+// Name implements Measure.
+func (BagOfTags) Name() string { return "BT" }
+
+// Compare implements Measure. Workflows without tags (about 15% of the
+// myExperiment corpus) match nothing: the similarity is 0. Callers that
+// rank should exclude tagless query workflows, as the paper's evaluation
+// does; see HasTags.
+func (BagOfTags) Compare(a, b *workflow.Workflow) (float64, error) {
+	return textutil.SetJaccard(tagSet(a), tagSet(b)), nil
+}
+
+func tagSet(w *workflow.Workflow) map[string]bool {
+	set := make(map[string]bool, len(w.Annotations.Tags))
+	for _, t := range w.Annotations.Tags {
+		t = strings.ToLower(strings.TrimSpace(t))
+		if t != "" {
+			set[t] = true
+		}
+	}
+	return set
+}
+
+// HasTags reports whether the workflow carries any tags. Queries without
+// tags cannot be ranked by BT and are excluded from its evaluation.
+func HasTags(w *workflow.Workflow) bool { return len(tagSet(w)) > 0 }

@@ -1,0 +1,70 @@
+package measures
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/workflow"
+)
+
+// Ensemble combines two or more measures by the mean of their scores
+// (Section 5.1.6). The paper's best ensembles aggregate BW with MS or PS
+// under ip, te and pll; the combination is both significantly and
+// substantially better than any single algorithm, with lower variance.
+//
+// Member scores should be normalized to comparable ranges ([0,1]) for the
+// mean to be meaningful.
+type Ensemble struct {
+	members []Measure
+	weights []float64
+}
+
+// NewEnsemble builds an equally weighted ensemble.
+func NewEnsemble(members ...Measure) *Ensemble {
+	w := make([]float64, len(members))
+	for i := range w {
+		w[i] = 1
+	}
+	return &Ensemble{members: members, weights: w}
+}
+
+// NewWeightedEnsemble builds an ensemble with per-member weights.
+// It panics if the slice lengths differ or no member is given, which is a
+// programming error in experiment setup.
+func NewWeightedEnsemble(members []Measure, weights []float64) *Ensemble {
+	if len(members) == 0 || len(members) != len(weights) {
+		panic("measures: ensemble members and weights must be non-empty and equal length")
+	}
+	return &Ensemble{members: members, weights: weights}
+}
+
+// Name implements Measure, e.g. "ENS(BW+MS_ip_te_pll)".
+func (e *Ensemble) Name() string {
+	parts := make([]string, len(e.members))
+	for i, m := range e.members {
+		parts[i] = m.Name()
+	}
+	return fmt.Sprintf("ENS(%s)", strings.Join(parts, "+"))
+}
+
+// Compare implements Measure: the weighted mean of member scores. If a
+// member fails (e.g. a GED timeout), the error propagates so the caller can
+// disregard the pair consistently across measures.
+func (e *Ensemble) Compare(a, b *workflow.Workflow) (float64, error) {
+	var sum, wsum float64
+	for i, m := range e.members {
+		s, err := m.Compare(a, b)
+		if err != nil {
+			return 0, err
+		}
+		sum += e.weights[i] * s
+		wsum += e.weights[i]
+	}
+	if wsum == 0 {
+		return 0, nil
+	}
+	return sum / wsum, nil
+}
+
+// Members returns the ensemble's member measures.
+func (e *Ensemble) Members() []Measure { return e.members }

@@ -1,0 +1,96 @@
+package measures_test
+
+import (
+	"fmt"
+
+	"repro/internal/measures"
+	"repro/internal/module"
+	"repro/internal/repoknow"
+	"repro/internal/workflow"
+)
+
+func buildPair() (*workflow.Workflow, *workflow.Workflow) {
+	a := workflow.New("1189")
+	a.Annotations = workflow.Annotations{
+		Title: "KEGG pathway analysis",
+		Tags:  []string{"kegg", "pathway"},
+	}
+	g := a.AddModule(&workflow.Module{Label: "get_pathways_by_genes", Type: workflow.TypeWSDL,
+		ServiceURI: "http://soap.genome.jp/KEGG.wsdl", ServiceName: "get_pathways_by_genes", Authority: "kegg"})
+	s := a.AddModule(&workflow.Module{Label: "split_string", Type: workflow.TypeLocalWorker})
+	r := a.AddModule(&workflow.Module{Label: "render_pathway", Type: workflow.TypeBeanshell, Script: "render(p)"})
+	_ = a.AddEdge(g, s)
+	_ = a.AddEdge(s, r)
+
+	b := workflow.New("2805")
+	b.Annotations = workflow.Annotations{
+		Title: "Get Pathway-Genes by Entrez gene id",
+		Tags:  []string{"kegg", "entrez"},
+	}
+	g2 := b.AddModule(&workflow.Module{Label: "getPathwaysByGenes", Type: workflow.TypeArbitraryWSDL,
+		ServiceURI: "http://soap.genome.jp/KEGG.wsdl", ServiceName: "get_pathways_by_genes", Authority: "kegg"})
+	r2 := b.AddModule(&workflow.Module{Label: "render_pathway_image", Type: workflow.TypeRShell, Script: "render(p)"})
+	_ = b.AddEdge(g2, r2)
+	return a, b
+}
+
+// ExampleStructural shows the paper's best structural configuration:
+// Module Sets with importance projection, type equivalence and label edit
+// distance (MS_ip_te_pll).
+func ExampleStructural() {
+	a, b := buildPair()
+	proj := repoknow.NewProjector(repoknow.TypeScorer{}, 0.5)
+	m := measures.NewStructural(measures.Config{
+		Topology:  measures.ModuleSets,
+		Scheme:    module.PLL(),
+		Preselect: module.TypeEquivalence,
+		Project:   proj.Project,
+		Normalize: true,
+	})
+	sim, err := m.Compare(a, b)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("%s = %.2f\n", m.Name(), sim)
+	// Output: MS_ip_te_pll = 0.55
+}
+
+// ExampleBagOfWords compares workflows by their titles and descriptions.
+func ExampleBagOfWords() {
+	a, b := buildPair()
+	sim, _ := measures.BagOfWords{}.Compare(a, b)
+	fmt.Printf("BW = %.2f\n", sim)
+	// Output: BW = 0.00
+}
+
+// ExampleBagOfTags compares workflows by their keyword tags.
+func ExampleBagOfTags() {
+	a, b := buildPair()
+	sim, _ := measures.BagOfTags{}.Compare(a, b)
+	fmt.Printf("BT = %.2f\n", sim)
+	// Output: BT = 0.33
+}
+
+// ExampleNewEnsemble combines annotational and structural evidence by mean
+// score, the paper's best-performing setup.
+func ExampleNewEnsemble() {
+	a, b := buildPair()
+	ms := measures.NewStructural(measures.Config{
+		Topology: measures.ModuleSets, Scheme: module.PLL(), Normalize: true,
+	})
+	ens := measures.NewEnsemble(measures.BagOfWords{}, ms)
+	sim, _ := ens.Compare(a, b)
+	fmt.Printf("%s = %.2f\n", ens.Name(), sim)
+	// Output: ENS(BW+MS_np_ta_pll) = 0.20
+}
+
+// ExampleParse resolves measure names in the paper's notation.
+func ExampleParse() {
+	proj := repoknow.NewProjector(repoknow.TypeScorer{}, 0.5)
+	m, err := measures.Parse("MS_ip_te_pll", measures.ParseOptions{Project: proj.Project})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(m.Name())
+	// Output: MS_ip_te_pll
+}

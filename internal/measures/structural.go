@@ -1,0 +1,334 @@
+package measures
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/ged"
+	"repro/internal/matching"
+	"repro/internal/module"
+	"repro/internal/workflow"
+)
+
+// Topology selects the topological comparison class of Section 2.1.3.
+type Topology int
+
+const (
+	// ModuleSets compares workflows as sets of modules (structure
+	// agnostic), after Silva et al., Santos et al., Stoyanovich et al.
+	ModuleSets Topology = iota
+	// PathSets decomposes workflows into source-to-sink paths and compares
+	// the path sets (substructure based), after Krinke's maximum similar
+	// subgraph notion.
+	PathSets
+	// GraphEdit compares the full DAG structures by graph edit distance,
+	// after Xiang & Madey (SUBDUE).
+	GraphEdit
+)
+
+// String returns the notation prefix (MS, PS, GE).
+func (t Topology) String() string {
+	switch t {
+	case ModuleSets:
+		return "MS"
+	case PathSets:
+		return "PS"
+	case GraphEdit:
+		return "GE"
+	}
+	return "??"
+}
+
+// MappingKind selects the module-mapping strategy of Section 2.1.2.
+type MappingKind int
+
+const (
+	// MaxWeight computes the mapping of maximum overall weight (mw).
+	MaxWeight MappingKind = iota
+	// GreedyMapping selects pairs greedily by descending weight.
+	GreedyMapping
+)
+
+// String implements fmt.Stringer.
+func (m MappingKind) String() string {
+	if m == GreedyMapping {
+		return "greedy"
+	}
+	return "mw"
+}
+
+// Projector preprocesses a workflow before structural comparison; the
+// importance projection of package repoknow satisfies this signature.
+type Projector func(*workflow.Workflow) *workflow.Workflow
+
+// Config fully describes one structural similarity algorithm configuration —
+// one cell of the paper's 72-configuration sweep.
+type Config struct {
+	// Topology is the comparison class: MS, PS or GE.
+	Topology Topology
+	// Scheme is the module-comparison scheme (pw0, pw3, pll, plm, ...).
+	Scheme module.Scheme
+	// Preselect is the module-pair preselection strategy (ta, tm, te).
+	Preselect module.Preselect
+	// Project, when non-nil, is applied to both workflows before
+	// comparison (the paper's ip). Nil means no preprocessing (np).
+	Project Projector
+	// Mapping is the module-mapping strategy (mw or greedy).
+	Mapping MappingKind
+	// Normalize enables the Section 2.1.4 normalization. The paper shows
+	// disabling it significantly hurts GE ranking quality (Fig. 7).
+	Normalize bool
+	// PathCap bounds path enumeration for PS; 0 uses the default.
+	PathCap int
+	// GEDBeamWidth bounds the GED search frontier; 0 means exact.
+	GEDBeamWidth int
+	// GEDBipartite switches GED to the polynomial assignment-based upper
+	// bound (Riesen & Bunke) instead of the A*/beam search — the fastest
+	// option for whole-repository scans.
+	GEDBipartite bool
+	// GEDDeadline is the per-pair GED time budget; 0 means unlimited.
+	// The paper used 5 minutes per pair and disregarded timeouts.
+	GEDDeadline time.Duration
+	// MappingLabelThreshold is the minimum module-pair similarity for a
+	// mapped pair to receive a shared node label in GED preprocessing.
+	// 0 uses DefaultMappingLabelThreshold.
+	MappingLabelThreshold float64
+	// Counter, when non-nil, accumulates module-pair comparison counts.
+	Counter *PairCounter
+}
+
+// DefaultMappingLabelThreshold is the minimum mapped-pair similarity that
+// identifies two modules for GED label preprocessing. A mapped pair below
+// the threshold is treated as distinct nodes; without a threshold every
+// maximum-weight-mapped pair — however dissimilar — would count as
+// identical.
+const DefaultMappingLabelThreshold = 0.5
+
+// Structural is a configured structural similarity measure.
+type Structural struct {
+	cfg Config
+}
+
+// NewStructural validates and wraps a configuration.
+func NewStructural(cfg Config) *Structural {
+	return &Structural{cfg: cfg}
+}
+
+// Config returns the measure's configuration.
+func (s *Structural) Config() Config { return s.cfg }
+
+// Name renders the paper's notation: TOPO_{ip|np}_{ta|tm|te}_{scheme},
+// with non-default mapping or normalization noted as suffixes.
+func (s *Structural) Name() string {
+	proj := "np"
+	if s.cfg.Project != nil {
+		proj = "ip"
+	}
+	name := fmt.Sprintf("%s_%s_%s_%s", s.cfg.Topology, proj, s.cfg.Preselect, s.cfg.Scheme.Name)
+	if s.cfg.Mapping == GreedyMapping {
+		name += "_greedy"
+	}
+	if !s.cfg.Normalize {
+		name += "_nonorm"
+	}
+	return name
+}
+
+// Compare computes the configured structural similarity of a and b.
+func (s *Structural) Compare(a, b *workflow.Workflow) (float64, error) {
+	if s.cfg.Project != nil {
+		a = s.cfg.Project(a)
+		b = s.cfg.Project(b)
+	}
+	switch s.cfg.Topology {
+	case ModuleSets:
+		return s.moduleSets(a, b), nil
+	case PathSets:
+		return s.pathSets(a, b), nil
+	case GraphEdit:
+		return s.graphEdit(a, b)
+	}
+	return 0, fmt.Errorf("measures: unknown topology %d", s.cfg.Topology)
+}
+
+func (s *Structural) match(w matching.Weights) matching.Matching {
+	if s.cfg.Mapping == GreedyMapping {
+		return matching.Greedy(w)
+	}
+	return matching.MaxWeight(w)
+}
+
+// moduleSets implements simMS: the additive similarity score of the mapped
+// module pairs, normalized by the similarity-Jaccard
+// nnsim / (|V1| + |V2| - nnsim).
+func (s *Structural) moduleSets(a, b *workflow.Workflow) float64 {
+	if a.Size() == 0 || b.Size() == 0 {
+		return 0
+	}
+	w, st := module.WeightMatrix(a, b, s.cfg.Scheme, s.cfg.Preselect)
+	s.cfg.Counter.Add(st.Total, st.Compared)
+	nnsim := s.match(w).TotalWeight()
+	if !s.cfg.Normalize {
+		return nnsim
+	}
+	return jaccardNorm(nnsim, float64(a.Size()), float64(b.Size()))
+}
+
+// pathSets implements simPS: workflows are decomposed into source-to-sink
+// paths; each pair of paths is aligned by maximum-weight non-crossing
+// matching (mwnc) respecting module order; path-pair similarities are then
+// combined by a maximum-weight matching over the path sets.
+//
+// Path-pair scores are themselves Jaccard-normalized into [0,1] so that the
+// outer normalization nnsim / (|PS1| + |PS2| - nnsim) attains 1 exactly for
+// identical workflows (see DESIGN.md).
+func (s *Structural) pathSets(a, b *workflow.Workflow) float64 {
+	pa := a.Paths(s.cfg.PathCap)
+	pb := b.Paths(s.cfg.PathCap)
+	if len(pa) == 0 || len(pb) == 0 {
+		return 0
+	}
+	// Module similarities are computed once for the workflow pair; path
+	// alignment then indexes into the shared matrix. Modules occur on many
+	// paths, so recomputing per path pair would be quadratically wasteful.
+	full, st := module.WeightMatrix(a, b, s.cfg.Scheme, s.cfg.Preselect)
+	s.cfg.Counter.Add(st.Total, st.Compared)
+
+	pathWeights := make(matching.Weights, len(pa))
+	var buf matching.Weights // reused per path pair
+	for i, p := range pa {
+		pathWeights[i] = make([]float64, len(pb))
+		for j, q := range pb {
+			w := sliceWeights(&buf, full, p, q)
+			nn := matching.MaxWeightNonCrossing(w).TotalWeight()
+			pathWeights[i][j] = jaccardNorm(nn, float64(len(p)), float64(len(q)))
+		}
+	}
+	nnsim := s.match(pathWeights).TotalWeight()
+	if !s.cfg.Normalize {
+		return nnsim
+	}
+	return jaccardNorm(nnsim, float64(len(pa)), float64(len(pb)))
+}
+
+// sliceWeights materialises the sub-matrix of full for the module sequences
+// along paths p and q, reusing buf's backing storage.
+func sliceWeights(buf *matching.Weights, full matching.Weights, p, q workflow.Path) matching.Weights {
+	w := *buf
+	if cap(w) < len(p) {
+		w = make(matching.Weights, len(p))
+	}
+	w = w[:len(p)]
+	for i, pi := range p {
+		if cap(w[i]) < len(q) {
+			w[i] = make([]float64, len(q))
+		}
+		w[i] = w[i][:len(q)]
+		for j, qj := range q {
+			w[i][j] = full[pi][qj]
+		}
+	}
+	*buf = w
+	return w
+}
+
+// graphEdit implements simGE: the module mapping derived from maximum-weight
+// matching assigns shared node labels to mapped pairs (the paper's SUBDUE
+// input conversion); the labeled DAGs are then compared by uniform-cost
+// graph edit distance. Normalized similarity is
+//
+//	1 - cost / (max(|V1|,|V2|) + |E1| + |E2|);
+//
+// unnormalized similarity is -cost.
+func (s *Structural) graphEdit(a, b *workflow.Workflow) (float64, error) {
+	// Canonicalize the orientation: the maximum-weight module mapping can
+	// have multiple optima, and which one the matcher returns depends on
+	// argument order; fixing the order keeps the measure symmetric.
+	if a.ID > b.ID || (a.ID == b.ID && a.Size() > b.Size()) {
+		a, b = b, a
+	}
+	g1, g2 := s.labeledGraphs(a, b)
+	var cost float64
+	var err error
+	if s.cfg.GEDBipartite {
+		cost = ged.BipartiteUpper(g1, g2)
+	} else {
+		cost, err = ged.Distance(g1, g2, ged.Options{
+			BeamWidth: s.cfg.GEDBeamWidth,
+			Deadline:  s.cfg.GEDDeadline,
+		})
+		if err != nil {
+			return 0, fmt.Errorf("GE on (%s, %s): %w", a.ID, b.ID, err)
+		}
+	}
+	if !s.cfg.Normalize {
+		return -cost, nil
+	}
+	max := ged.MaxCost(g1, g2)
+	if max == 0 {
+		return 1, nil // two empty graphs are identical
+	}
+	return 1 - cost/max, nil
+}
+
+// labeledGraphs converts the two workflows into labeled GED graphs: modules
+// mapped onto each other (with similarity >= the mapping label threshold)
+// share a label; all other modules receive unique labels.
+func (s *Structural) labeledGraphs(a, b *workflow.Workflow) (*ged.Graph, *ged.Graph) {
+	w, st := module.WeightMatrix(a, b, s.cfg.Scheme, s.cfg.Preselect)
+	s.cfg.Counter.Add(st.Total, st.Compared)
+	mapping := s.match(w)
+
+	threshold := s.cfg.MappingLabelThreshold
+	if threshold == 0 {
+		threshold = DefaultMappingLabelThreshold
+	}
+
+	g1 := ged.NewGraph(a.Size())
+	g2 := ged.NewGraph(b.Size())
+	// Unique labels by default: positive for g1, negative for g2.
+	for i := range g1.Labels {
+		g1.Labels[i] = i + 1
+	}
+	for j := range g2.Labels {
+		g2.Labels[j] = -(j + 1)
+	}
+	shared := a.Size() + b.Size() + 1
+	for _, p := range mapping {
+		if p.Weight >= threshold {
+			g1.Labels[p.I] = shared
+			g2.Labels[p.J] = shared
+			shared++
+		}
+	}
+	for _, e := range a.Edges {
+		g1.AddEdge(e.From, e.To)
+	}
+	for _, e := range b.Edges {
+		g2.AddEdge(e.From, e.To)
+	}
+	return g1, g2
+}
+
+// jaccardNorm is the paper's modified Jaccard index for similarity-based
+// overlaps: nnsim / (sizeA + sizeB - nnsim). It maps identical inputs
+// (nnsim == sizeA == sizeB) to 1 and disjoint ones (nnsim == 0) to 0.
+func jaccardNorm(nnsim, sizeA, sizeB float64) float64 {
+	den := sizeA + sizeB - nnsim
+	if den <= 0 {
+		return 0
+	}
+	v := nnsim / den
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+func modulesOn(w *workflow.Workflow, p workflow.Path) []*workflow.Module {
+	out := make([]*workflow.Module, len(p))
+	for i, idx := range p {
+		out[i] = w.Modules[idx]
+	}
+	return out
+}

@@ -1,0 +1,232 @@
+// Package module implements pairwise module comparison (Section 2.1.1 of
+// Starlinger et al., PVLDB 2014): configurable multi-attribute similarity
+// with per-attribute comparators and weights, the concrete weighting schemes
+// evaluated in the paper (pw0, pw3, pll, plm and the Galaxy variants gw1,
+// gll), and module-pair preselection strategies (all pairs, strict type
+// match, type-equivalence classes).
+package module
+
+import (
+	"strings"
+
+	"repro/internal/textutil"
+	"repro/internal/workflow"
+)
+
+// Attribute identifies a comparable module attribute.
+type Attribute string
+
+// The attributes the framework can compare. Which ones are populated depends
+// on the module type (a ServiceURI exists only on web-service modules).
+const (
+	AttrLabel       Attribute = "label"
+	AttrType        Attribute = "type"
+	AttrDescription Attribute = "description"
+	AttrScript      Attribute = "script"
+	AttrServiceURI  Attribute = "serviceURI"
+	AttrServiceName Attribute = "serviceName"
+	AttrAuthority   Attribute = "authority"
+	AttrParams      Attribute = "params"
+)
+
+// value extracts the attribute's raw value from a module.
+func value(m *workflow.Module, a Attribute) string {
+	switch a {
+	case AttrLabel:
+		return m.Label
+	case AttrType:
+		return m.Type
+	case AttrDescription:
+		return m.Description
+	case AttrScript:
+		return m.Script
+	case AttrServiceURI:
+		return m.ServiceURI
+	case AttrServiceName:
+		return m.ServiceName
+	case AttrAuthority:
+		return m.Authority
+	case AttrParams:
+		return m.ParamSignature()
+	}
+	return ""
+}
+
+// Comparator is a similarity function on attribute values, returning a value
+// in [0,1].
+type Comparator int
+
+const (
+	// Exact yields 1 for identical strings, 0 otherwise.
+	Exact Comparator = iota
+	// ExactFold yields 1 for case-insensitively identical strings.
+	ExactFold
+	// EditDistance yields the length-normalised Levenshtein similarity.
+	EditDistance
+)
+
+func (c Comparator) compare(a, b string) float64 {
+	switch c {
+	case Exact:
+		if a == b {
+			return 1
+		}
+		return 0
+	case ExactFold:
+		if strings.EqualFold(a, b) {
+			return 1
+		}
+		return 0
+	case EditDistance:
+		return textutil.LevenshteinSimilarity(a, b)
+	}
+	return 0
+}
+
+// String implements fmt.Stringer.
+func (c Comparator) String() string {
+	switch c {
+	case Exact:
+		return "exact"
+	case ExactFold:
+		return "exactfold"
+	case EditDistance:
+		return "editdistance"
+	}
+	return "unknown"
+}
+
+// AttributeSpec configures how one attribute contributes to module
+// similarity.
+type AttributeSpec struct {
+	Attr   Attribute
+	Weight float64
+	Cmp    Comparator
+}
+
+// Scheme is a complete module-comparison configuration: a named set of
+// attribute specs. Similarity is the weighted mean of per-attribute
+// similarities over the attributes present in at least one of the modules;
+// weights are renormalised over present attributes so that modules of types
+// carrying fewer attributes (e.g. local operations without a ServiceURI) are
+// not penalised for structurally absent data.
+type Scheme struct {
+	Name  string
+	Specs []AttributeSpec
+}
+
+// Similarity computes the scheme's module similarity in [0,1].
+func (s Scheme) Similarity(a, b *workflow.Module) float64 {
+	var sum, wsum float64
+	for _, spec := range s.Specs {
+		va, vb := value(a, spec.Attr), value(b, spec.Attr)
+		if va == "" && vb == "" {
+			continue // attribute absent from both: no evidence either way
+		}
+		sum += spec.Weight * spec.Cmp.compare(va, vb)
+		wsum += spec.Weight
+	}
+	if wsum == 0 {
+		return 0
+	}
+	return sum / wsum
+}
+
+// PW0 is the paper's default scheme: uniform weights on all attributes,
+// exact string matching for module type and the web-service properties
+// (authority, service name, service URI), Levenshtein edit distance for
+// labels, descriptions and scripts.
+func PW0() Scheme {
+	return Scheme{
+		Name: "pw0",
+		Specs: []AttributeSpec{
+			{AttrType, 1, Exact},
+			{AttrAuthority, 1, Exact},
+			{AttrServiceName, 1, Exact},
+			{AttrServiceURI, 1, Exact},
+			{AttrLabel, 1, EditDistance},
+			{AttrDescription, 1, EditDistance},
+			{AttrScript, 1, EditDistance},
+		},
+	}
+}
+
+// PW3 compares the same attributes as PW0 but with tuned, non-uniform
+// weights: highest on labels, script and service URI, then service name,
+// then service authority (after Silva et al. 2011).
+func PW3() Scheme {
+	return Scheme{
+		Name: "pw3",
+		Specs: []AttributeSpec{
+			{AttrLabel, 3, EditDistance},
+			{AttrScript, 3, EditDistance},
+			{AttrServiceURI, 3, Exact},
+			{AttrServiceName, 2, Exact},
+			{AttrAuthority, 1, Exact},
+			{AttrType, 1, Exact},
+			{AttrDescription, 1, EditDistance},
+		},
+	}
+}
+
+// PLL disregards all attributes but the labels and compares them by edit
+// distance (after Bergmann & Gil 2012).
+func PLL() Scheme {
+	return Scheme{
+		Name:  "pll",
+		Specs: []AttributeSpec{{AttrLabel, 1, EditDistance}},
+	}
+}
+
+// PLM disregards all attributes but the labels and compares them by strict
+// string matching (after Santos et al. 2008, Goderis et al. 2006, Xiang &
+// Madey 2007).
+func PLM() Scheme {
+	return Scheme{
+		Name:  "plm",
+		Specs: []AttributeSpec{{AttrLabel, 1, Exact}},
+	}
+}
+
+// GW1 is the Galaxy-profile scheme of Section 5.3: a selection of attributes
+// compared with uniform weights (labels and tool parameters by edit
+// distance, tool id/type exactly).
+func GW1() Scheme {
+	return Scheme{
+		Name: "gw1",
+		Specs: []AttributeSpec{
+			{AttrLabel, 1, EditDistance},
+			{AttrType, 1, Exact},
+			{AttrServiceName, 1, Exact}, // Galaxy tool id
+			{AttrParams, 1, EditDistance},
+		},
+	}
+}
+
+// GLL compares only module labels by edit distance on Galaxy workflows.
+func GLL() Scheme {
+	return Scheme{
+		Name:  "gll",
+		Specs: []AttributeSpec{{AttrLabel, 1, EditDistance}},
+	}
+}
+
+// SchemeByName resolves a scheme identifier as used in algorithm notation
+// (e.g. the "pll" in "MS_ip_te_pll"). It returns false for unknown names.
+func SchemeByName(name string) (Scheme, bool) {
+	switch name {
+	case "pw0":
+		return PW0(), true
+	case "pw3":
+		return PW3(), true
+	case "pll":
+		return PLL(), true
+	case "plm":
+		return PLM(), true
+	case "gw1":
+		return GW1(), true
+	case "gll":
+		return GLL(), true
+	}
+	return Scheme{}, false
+}

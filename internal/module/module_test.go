@@ -1,0 +1,251 @@
+package module
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/workflow"
+)
+
+func wsModule(label, uri, svc, auth string) *workflow.Module {
+	return &workflow.Module{
+		Label: label, Type: workflow.TypeWSDL,
+		ServiceURI: uri, ServiceName: svc, Authority: auth,
+	}
+}
+
+func TestSchemeIdenticalModules(t *testing.T) {
+	m := wsModule("getPathway", "http://soap.genome.jp/KEGG.wsdl", "get_pathway", "kegg")
+	for _, s := range []Scheme{PW0(), PW3(), PLL(), PLM(), GW1(), GLL()} {
+		if got := s.Similarity(m, m); got != 1 {
+			t.Errorf("%s self-similarity = %v, want 1", s.Name, got)
+		}
+	}
+}
+
+func TestSchemeRange(t *testing.T) {
+	a := wsModule("getPathway", "http://a", "op1", "x")
+	b := &workflow.Module{Label: "split_string", Type: workflow.TypeLocalWorker}
+	for _, s := range []Scheme{PW0(), PW3(), PLL(), PLM()} {
+		got := s.Similarity(a, b)
+		if got < 0 || got > 1 {
+			t.Errorf("%s similarity out of range: %v", s.Name, got)
+		}
+	}
+}
+
+func TestPLMStrictVsPLLGraded(t *testing.T) {
+	a := &workflow.Module{Label: "getPathways"}
+	b := &workflow.Module{Label: "getPathway"} // one char off
+	if got := PLM().Similarity(a, b); got != 0 {
+		t.Errorf("plm on near-identical labels = %v, want 0 (strict)", got)
+	}
+	if got := PLL().Similarity(a, b); got <= 0.8 {
+		t.Errorf("pll on near-identical labels = %v, want > 0.8", got)
+	}
+}
+
+func TestAbsentAttributesNotPenalised(t *testing.T) {
+	// Two local modules with identical labels: under pw0 the web-service
+	// attributes are absent from both and must not drag similarity down.
+	a := &workflow.Module{Label: "mergeLists", Type: workflow.TypeLocalWorker}
+	b := &workflow.Module{Label: "mergeLists", Type: workflow.TypeLocalWorker}
+	if got := PW0().Similarity(a, b); got != 1 {
+		t.Errorf("pw0 on identical local modules = %v, want 1", got)
+	}
+}
+
+func TestAttributePresentOnOneSideCounts(t *testing.T) {
+	// One module has a script, the other doesn't: the script attribute is
+	// present in the union and must contribute a mismatch.
+	a := &workflow.Module{Label: "x", Type: workflow.TypeBeanshell, Script: "return 1;"}
+	b := &workflow.Module{Label: "x", Type: workflow.TypeBeanshell}
+	got := PW0().Similarity(a, b)
+	if got >= 1 {
+		t.Errorf("similarity = %v, want < 1 (script mismatch)", got)
+	}
+	if got <= 0 {
+		t.Errorf("similarity = %v, want > 0 (labels+types match)", got)
+	}
+}
+
+func TestPW3WeightsLabelHigher(t *testing.T) {
+	// Same label, different type: pw3 weighs the label (3) against type (1),
+	// pw0 weighs them equally, so pw3 must score higher.
+	a := &workflow.Module{Label: "BLAST", Type: workflow.TypeWSDL}
+	b := &workflow.Module{Label: "BLAST", Type: workflow.TypeSoaplabWSDL}
+	if pw3, pw0 := PW3().Similarity(a, b), PW0().Similarity(a, b); pw3 <= pw0 {
+		t.Errorf("pw3=%v should exceed pw0=%v when labels agree but type differs", pw3, pw0)
+	}
+}
+
+func TestSchemeByName(t *testing.T) {
+	for _, name := range []string{"pw0", "pw3", "pll", "plm", "gw1", "gll"} {
+		s, ok := SchemeByName(name)
+		if !ok || s.Name != name {
+			t.Errorf("SchemeByName(%q) = %v, %v", name, s.Name, ok)
+		}
+	}
+	if _, ok := SchemeByName("nope"); ok {
+		t.Error("unknown scheme resolved")
+	}
+}
+
+func TestComparators(t *testing.T) {
+	if Exact.compare("a", "a") != 1 || Exact.compare("a", "A") != 0 {
+		t.Error("Exact misbehaves")
+	}
+	if ExactFold.compare("a", "A") != 1 || ExactFold.compare("a", "b") != 0 {
+		t.Error("ExactFold misbehaves")
+	}
+	if EditDistance.compare("abc", "abc") != 1 {
+		t.Error("EditDistance identical != 1")
+	}
+}
+
+func TestClassOf(t *testing.T) {
+	cases := map[string]TypeClass{
+		workflow.TypeWSDL:          ClassWebService,
+		workflow.TypeArbitraryWSDL: ClassWebService,
+		workflow.TypeSoaplabWSDL:   ClassWebService,
+		workflow.TypeBioMoby:       ClassWebService,
+		workflow.TypeRESTService:   ClassWebService,
+		workflow.TypeBeanshell:     ClassScript,
+		workflow.TypeRShell:        ClassScript,
+		workflow.TypeLocalWorker:   ClassLocal,
+		workflow.TypeStringConst:   ClassLocal,
+		workflow.TypeDataflow:      ClassDataflow,
+		workflow.TypeTool:          ClassTool,
+		"somethingelse":            ClassOther,
+	}
+	for typ, want := range cases {
+		if got := ClassOf(typ); got != want {
+			t.Errorf("ClassOf(%q) = %v, want %v", typ, got, want)
+		}
+	}
+}
+
+func TestPreselectAllows(t *testing.T) {
+	wsdl := &workflow.Module{Type: workflow.TypeWSDL}
+	soaplab := &workflow.Module{Type: workflow.TypeSoaplabWSDL}
+	local := &workflow.Module{Type: workflow.TypeLocalWorker}
+
+	if !AllPairs.Allows(wsdl, local) {
+		t.Error("ta must allow everything")
+	}
+	if TypeMatch.Allows(wsdl, soaplab) {
+		t.Error("tm must reject wsdl vs soaplabwsdl")
+	}
+	if !TypeMatch.Allows(wsdl, wsdl) {
+		t.Error("tm must allow identical types")
+	}
+	if !TypeEquivalence.Allows(wsdl, soaplab) {
+		t.Error("te must allow wsdl vs soaplabwsdl (same class)")
+	}
+	if TypeEquivalence.Allows(wsdl, local) {
+		t.Error("te must reject webservice vs local")
+	}
+}
+
+func TestWeightMatrixStats(t *testing.T) {
+	a := workflow.New("a")
+	a.AddModule(wsModule("get", "u1", "s1", "auth"))
+	a.AddModule(&workflow.Module{Label: "split", Type: workflow.TypeLocalWorker})
+	b := workflow.New("b")
+	b.AddModule(wsModule("get", "u1", "s1", "auth"))
+	b.AddModule(&workflow.Module{Label: "merge", Type: workflow.TypeLocalWorker})
+	b.AddModule(&workflow.Module{Label: "sh", Type: workflow.TypeBeanshell, Script: "x"})
+
+	w, st := WeightMatrix(a, b, PW0(), TypeEquivalence)
+	if st.Total != 6 {
+		t.Errorf("Total = %d, want 6", st.Total)
+	}
+	// Admitted: ws-ws (1), local-local (1); rejected: ws-local, ws-script,
+	// local-ws, local-script.
+	if st.Compared != 2 {
+		t.Errorf("Compared = %d, want 2", st.Compared)
+	}
+	if w[0][0] != 1 {
+		t.Errorf("identical ws modules weight = %v, want 1", w[0][0])
+	}
+	if w[0][1] != 0 || w[0][2] != 0 {
+		t.Error("excluded pairs must have weight 0")
+	}
+}
+
+func TestPreselectString(t *testing.T) {
+	if AllPairs.String() != "ta" || TypeMatch.String() != "tm" || TypeEquivalence.String() != "te" {
+		t.Error("Preselect notation tokens wrong")
+	}
+}
+
+func randModule(r *rand.Rand) *workflow.Module {
+	types := []string{
+		workflow.TypeWSDL, workflow.TypeSoaplabWSDL, workflow.TypeBeanshell,
+		workflow.TypeLocalWorker, workflow.TypeStringConst, "weird",
+	}
+	labels := []string{"getPathway", "get_pathway", "BLAST", "split", "merge", ""}
+	return &workflow.Module{
+		Label:      labels[r.Intn(len(labels))],
+		Type:       types[r.Intn(len(types))],
+		Script:     []string{"", "return x;"}[r.Intn(2)],
+		ServiceURI: []string{"", "http://a", "http://b"}[r.Intn(3)],
+	}
+}
+
+func TestPropertySchemeSymmetricBounded(t *testing.T) {
+	schemes := []Scheme{PW0(), PW3(), PLL(), PLM(), GW1(), GLL()}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := randModule(r), randModule(r)
+		for _, s := range schemes {
+			sab, sba := s.Similarity(a, b), s.Similarity(b, a)
+			if sab != sba {
+				return false
+			}
+			if sab < 0 || sab > 1 {
+				return false
+			}
+			// Self-similarity must be 1 whenever the scheme sees at
+			// least one non-empty attribute on the module.
+			seesValue := false
+			for _, spec := range s.Specs {
+				if value(a, spec.Attr) != "" {
+					seesValue = true
+					break
+				}
+			}
+			if seesValue && s.Similarity(a, a) < 1-1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkPW0Similarity(b *testing.B) {
+	x := wsModule("getKEGGPathway", "http://soap.genome.jp/KEGG.wsdl", "get_pathway", "kegg")
+	y := wsModule("get_pathway_by_gene", "http://soap.genome.jp/KEGG.wsdl", "get_pathways_by_genes", "kegg")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		PW0().Similarity(x, y)
+	}
+}
+
+func BenchmarkWeightMatrix12x12(b *testing.B) {
+	r := rand.New(rand.NewSource(7))
+	wa, wb := workflow.New("a"), workflow.New("b")
+	for i := 0; i < 12; i++ {
+		wa.AddModule(randModule(r))
+		wb.AddModule(randModule(r))
+	}
+	s := PW0()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		WeightMatrix(wa, wb, s, AllPairs)
+	}
+}

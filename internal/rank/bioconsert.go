@@ -1,0 +1,288 @@
+package rank
+
+import (
+	"math"
+	"sort"
+)
+
+// BioConsert computes a consensus ranking for a set of (possibly incomplete)
+// rankings with ties, after Cohen-Boulakia, Denise & Hamel (SSDBM 2011),
+// extended — as in Section 4.2 of the paper — to incomplete rankings: an
+// input ranking contributes distance only over the pairs of elements it
+// ranks, so "unsure" ratings simply leave elements unranked.
+//
+// The algorithm is a local search for a median ranking under the generalized
+// Kendall-tau distance with tie penalty 1/2: starting from each input
+// ranking (completed with unranked elements in a trailing bucket), elements
+// are repeatedly moved into other buckets or new singleton buckets whenever
+// the move reduces the summed distance to all inputs; the best local optimum
+// over all starts is returned.
+func BioConsert(inputs []Ranking) Ranking {
+	universe := unionItems(inputs)
+	if len(universe) == 0 {
+		return Ranking{}
+	}
+	idx := make(map[string]int, len(universe))
+	for i, id := range universe {
+		idx[id] = i
+	}
+	// Precompute, for every input ranking, the bucket position of each
+	// element (-1 = unranked).
+	pos := make([][]int, len(inputs))
+	for k, r := range inputs {
+		pos[k] = make([]int, len(universe))
+		for i := range pos[k] {
+			pos[k][i] = -1
+		}
+		for b, bucket := range r.Buckets {
+			for _, id := range bucket {
+				pos[k][idx[id]] = b
+			}
+		}
+	}
+
+	best := []int(nil)
+	bestCost := math.Inf(1)
+	for _, start := range startStates(inputs, universe, idx) {
+		state := localSearch(start, pos, len(universe))
+		c := totalCost(state, pos)
+		if c < bestCost-1e-12 {
+			bestCost = c
+			best = state
+		}
+	}
+	return stateToRanking(best, universe)
+}
+
+// unionItems returns the sorted union of items over all rankings.
+func unionItems(inputs []Ranking) []string {
+	set := map[string]bool{}
+	for _, r := range inputs {
+		for _, b := range r.Buckets {
+			for _, id := range b {
+				set[id] = true
+			}
+		}
+	}
+	out := make([]string, 0, len(set))
+	for id := range set {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// startStates builds one candidate start per input ranking: the ranking's
+// own bucket assignment with unranked elements appended as a final bucket.
+// A single all-tied state is added as a neutral start.
+func startStates(inputs []Ranking, universe []string, idx map[string]int) [][]int {
+	var starts [][]int
+	for _, r := range inputs {
+		state := make([]int, len(universe))
+		for i := range state {
+			state[i] = -1
+		}
+		for b, bucket := range r.Buckets {
+			for _, id := range bucket {
+				state[idx[id]] = b
+			}
+		}
+		last := len(r.Buckets)
+		for i := range state {
+			if state[i] == -1 {
+				state[i] = last
+			}
+		}
+		starts = append(starts, normalize(state))
+	}
+	starts = append(starts, make([]int, len(universe))) // all tied
+	return starts
+}
+
+// pairCost returns the generalized Kendall-tau contribution of the ordered
+// element pair (i, j) between a consensus assignment (ci, cj) and an input
+// ranking's positions (ri, rj), with unranked elements (position -1)
+// contributing nothing and ties penalised by 1/2.
+func pairCost(ci, cj, ri, rj int) float64 {
+	if ri == -1 || rj == -1 {
+		return 0
+	}
+	dc, dr := ci-cj, ri-rj
+	switch {
+	case dc == 0 && dr == 0:
+		return 0
+	case dc == 0 || dr == 0:
+		return 0.5
+	case (dc < 0) == (dr < 0):
+		return 0
+	default:
+		return 1
+	}
+}
+
+// totalCost sums the distance of the consensus state to all input rankings.
+func totalCost(state []int, pos [][]int) float64 {
+	n := len(state)
+	var cost float64
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			for k := range pos {
+				cost += pairCost(state[i], state[j], pos[k][i], pos[k][j])
+			}
+		}
+	}
+	return cost
+}
+
+// moveDelta computes the cost change of moving element e from its current
+// bucket to bucket nb (which may be a fresh bucket value not used by any
+// other element).
+func moveDelta(state []int, pos [][]int, e, nb int) float64 {
+	old := state[e]
+	if old == nb {
+		return 0
+	}
+	var delta float64
+	for j := range state {
+		if j == e {
+			continue
+		}
+		for k := range pos {
+			delta += pairCost(nb, state[j], pos[k][e], pos[k][j]) -
+				pairCost(old, state[j], pos[k][e], pos[k][j])
+		}
+	}
+	return delta
+}
+
+// localSearch applies best-improvement moves until a local optimum.
+// Bucket values are kept sparse (normalised lazily); candidate targets are
+// every existing bucket value plus "between" positions realised as fresh
+// values via renormalisation.
+func localSearch(start []int, pos [][]int, n int) []int {
+	state := normalize(start)
+	for iter := 0; iter < 1000; iter++ {
+		improved := false
+		// Candidate bucket values: existing buckets and new buckets between
+		// them. After normalize, buckets are 0..m-1; we scale by 2 so odd
+		// values denote fresh in-between (and boundary) buckets.
+		scaled := make([]int, len(state))
+		maxB := 0
+		for i, b := range state {
+			scaled[i] = 2*b + 1
+			if scaled[i] > maxB {
+				maxB = scaled[i]
+			}
+		}
+		state = scaled
+		for e := 0; e < n; e++ {
+			bestDelta := -1e-9 // strict improvement required
+			bestTarget := state[e]
+			for nb := 0; nb <= maxB+1; nb++ {
+				if nb == state[e] {
+					continue
+				}
+				if d := moveDelta(state, pos, e, nb); d < bestDelta {
+					bestDelta = d
+					bestTarget = nb
+				}
+			}
+			if bestTarget != state[e] {
+				state[e] = bestTarget
+				improved = true
+			}
+		}
+		state = normalize(state)
+		if !improved {
+			break
+		}
+	}
+	return state
+}
+
+// normalize renumbers bucket values to consecutive integers starting at 0,
+// preserving order.
+func normalize(state []int) []int {
+	vals := map[int]bool{}
+	for _, b := range state {
+		vals[b] = true
+	}
+	sorted := make([]int, 0, len(vals))
+	for v := range vals {
+		sorted = append(sorted, v)
+	}
+	sort.Ints(sorted)
+	remap := make(map[int]int, len(sorted))
+	for i, v := range sorted {
+		remap[v] = i
+	}
+	out := make([]int, len(state))
+	for i, b := range state {
+		out[i] = remap[b]
+	}
+	return out
+}
+
+func stateToRanking(state []int, universe []string) Ranking {
+	if state == nil {
+		return Ranking{}
+	}
+	maxB := 0
+	for _, b := range state {
+		if b > maxB {
+			maxB = b
+		}
+	}
+	buckets := make([][]string, maxB+1)
+	for i, b := range state {
+		buckets[b] = append(buckets[b], universe[i])
+	}
+	var r Ranking
+	for _, b := range buckets {
+		if len(b) > 0 {
+			sort.Strings(b)
+			r.Buckets = append(r.Buckets, b)
+		}
+	}
+	return r
+}
+
+// ConsensusCost returns the summed generalized Kendall-tau distance from the
+// consensus to the inputs — exposed for testing and for inter-annotator
+// agreement reporting.
+func ConsensusCost(consensus Ranking, inputs []Ranking) float64 {
+	universe := unionItems(append([]Ranking{consensus}, inputs...))
+	idx := make(map[string]int, len(universe))
+	for i, id := range universe {
+		idx[id] = i
+	}
+	state := make([]int, len(universe))
+	for i := range state {
+		state[i] = -1
+	}
+	for b, bucket := range consensus.Buckets {
+		for _, id := range bucket {
+			state[idx[id]] = b
+		}
+	}
+	// Unranked-by-consensus elements go to a trailing bucket.
+	last := len(consensus.Buckets)
+	for i := range state {
+		if state[i] == -1 {
+			state[i] = last
+		}
+	}
+	pos := make([][]int, len(inputs))
+	for k, r := range inputs {
+		pos[k] = make([]int, len(universe))
+		for i := range pos[k] {
+			pos[k][i] = -1
+		}
+		for b, bucket := range r.Buckets {
+			for _, id := range bucket {
+				pos[k][idx[id]] = b
+			}
+		}
+	}
+	return totalCost(state, pos)
+}

@@ -1,0 +1,42 @@
+package rank_test
+
+import (
+	"fmt"
+
+	"repro/internal/rank"
+)
+
+// ExampleFromScores builds a ranking with ties from similarity scores.
+func ExampleFromScores() {
+	scores := map[string]float64{
+		"wf1": 0.92,
+		"wf2": 0.92,
+		"wf3": 0.41,
+	}
+	r := rank.FromScores(scores, 0)
+	fmt.Println(r)
+	// Output: wf1 = wf2 > wf3
+}
+
+// ExampleBioConsert aggregates expert rankings — including incomplete ones —
+// into a consensus.
+func ExampleBioConsert() {
+	expert1 := rank.Ranking{Buckets: [][]string{{"a"}, {"b"}, {"c"}}}
+	expert2 := rank.Ranking{Buckets: [][]string{{"a"}, {"c"}, {"b"}}}
+	expert3 := rank.Ranking{Buckets: [][]string{{"a"}, {"b"}}} // unsure about c
+	consensus := rank.BioConsert([]rank.Ranking{expert1, expert2, expert3})
+	fmt.Println(consensus)
+	// Output: a > b > c
+}
+
+// ExampleCorrectness evaluates an algorithmic ranking against an expert
+// consensus: tied pairs are excluded from correctness and penalised in
+// completeness.
+func ExampleCorrectness() {
+	consensus := rank.Ranking{Buckets: [][]string{{"a"}, {"b"}, {"c"}}}
+	algorithm := rank.Ranking{Buckets: [][]string{{"a"}, {"b", "c"}}}
+	fmt.Printf("correctness %.2f completeness %.2f\n",
+		rank.Correctness(consensus, algorithm),
+		rank.Completeness(consensus, algorithm))
+	// Output: correctness 1.00 completeness 0.67
+}

@@ -1,0 +1,271 @@
+package rank
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestFromScores(t *testing.T) {
+	scores := map[string]float64{"a": 0.9, "b": 0.5, "c": 0.5, "d": 0.1}
+	r := FromScores(scores, 0)
+	want := [][]string{{"a"}, {"b", "c"}, {"d"}}
+	if !reflect.DeepEqual(r.Buckets, want) {
+		t.Errorf("Buckets = %v, want %v", r.Buckets, want)
+	}
+	if err := r.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+	if r.Len() != 4 {
+		t.Errorf("Len = %d, want 4", r.Len())
+	}
+}
+
+func TestFromScoresEps(t *testing.T) {
+	scores := map[string]float64{"a": 0.91, "b": 0.90, "c": 0.1}
+	if got := len(FromScores(scores, 0.05).Buckets); got != 2 {
+		t.Errorf("eps-tied buckets = %d, want 2", got)
+	}
+	if got := len(FromScores(scores, 0).Buckets); got != 3 {
+		t.Errorf("exact buckets = %d, want 3", got)
+	}
+}
+
+func TestCorrectnessPerfectAndInverted(t *testing.T) {
+	ref := Ranking{Buckets: [][]string{{"a"}, {"b"}, {"c"}}}
+	if got := Correctness(ref, ref); got != 1 {
+		t.Errorf("self correctness = %v, want 1", got)
+	}
+	inv := Ranking{Buckets: [][]string{{"c"}, {"b"}, {"a"}}}
+	if got := Correctness(ref, inv); got != -1 {
+		t.Errorf("inverted correctness = %v, want -1", got)
+	}
+	if got := Completeness(ref, ref); got != 1 {
+		t.Errorf("self completeness = %v, want 1", got)
+	}
+}
+
+func TestCorrectnessIgnoresTiedPairs(t *testing.T) {
+	ref := Ranking{Buckets: [][]string{{"a"}, {"b"}, {"c"}}}
+	// Algorithm ties b and c: pair (b,c) doesn't count for correctness,
+	// pairs (a,b), (a,c) are concordant.
+	algo := Ranking{Buckets: [][]string{{"a"}, {"b", "c"}}}
+	if got := Correctness(ref, algo); got != 1 {
+		t.Errorf("correctness = %v, want 1 (tied pair excluded)", got)
+	}
+	if got := Completeness(ref, algo); math.Abs(got-2.0/3.0) > 1e-9 {
+		t.Errorf("completeness = %v, want 2/3", got)
+	}
+}
+
+func TestCorrectnessRefTiesDontCount(t *testing.T) {
+	// Reference ties a,b; algorithm orders them: no penalty either way.
+	ref := Ranking{Buckets: [][]string{{"a", "b"}, {"c"}}}
+	algo := Ranking{Buckets: [][]string{{"a"}, {"b"}, {"c"}}}
+	pc := CountPairs(ref, algo)
+	if pc.RefOrdered != 2 { // (a,c) and (b,c)
+		t.Errorf("RefOrdered = %d, want 2", pc.RefOrdered)
+	}
+	if got := Correctness(ref, algo); got != 1 {
+		t.Errorf("correctness = %v, want 1", got)
+	}
+}
+
+func TestIncompleteRankingsUseCommonItems(t *testing.T) {
+	ref := Ranking{Buckets: [][]string{{"a"}, {"b"}, {"c"}, {"d"}}}
+	algo := Ranking{Buckets: [][]string{{"b"}, {"a"}}} // only ranks a, b
+	pc := CountPairs(ref, algo)
+	if pc.Concordant != 0 || pc.Discordant != 1 {
+		t.Errorf("pc = %+v, want 1 discordant pair", pc)
+	}
+	if got := Correctness(ref, algo); got != -1 {
+		t.Errorf("correctness = %v, want -1", got)
+	}
+}
+
+func TestCorrectnessNoQualifyingPairs(t *testing.T) {
+	ref := Ranking{Buckets: [][]string{{"a", "b"}}}
+	algo := Ranking{Buckets: [][]string{{"a"}, {"b"}}}
+	if got := Correctness(ref, algo); got != 0 {
+		t.Errorf("correctness = %v, want 0", got)
+	}
+	if got := Completeness(ref, algo); got != 1 {
+		t.Errorf("completeness with no ref-ordered pairs = %v, want 1", got)
+	}
+}
+
+func TestRankingString(t *testing.T) {
+	r := Ranking{Buckets: [][]string{{"a"}, {"b", "c"}}}
+	if got := r.String(); got != "a > b = c" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestValidateDuplicate(t *testing.T) {
+	r := Ranking{Buckets: [][]string{{"a"}, {"a"}}}
+	if err := r.Validate(); err == nil {
+		t.Error("duplicate item accepted")
+	}
+}
+
+func TestBioConsertUnanimous(t *testing.T) {
+	r := Ranking{Buckets: [][]string{{"a"}, {"b"}, {"c"}}}
+	consensus := BioConsert([]Ranking{r, r, r})
+	if !reflect.DeepEqual(consensus.Buckets, r.Buckets) {
+		t.Errorf("consensus = %v, want unanimous input %v", consensus.Buckets, r.Buckets)
+	}
+	if got := ConsensusCost(consensus, []Ranking{r, r, r}); got != 0 {
+		t.Errorf("unanimous cost = %v, want 0", got)
+	}
+}
+
+func TestBioConsertMajority(t *testing.T) {
+	maj := Ranking{Buckets: [][]string{{"a"}, {"b"}, {"c"}}}
+	minr := Ranking{Buckets: [][]string{{"c"}, {"b"}, {"a"}}}
+	consensus := BioConsert([]Ranking{maj, maj, maj, minr})
+	if !reflect.DeepEqual(consensus.Buckets, maj.Buckets) {
+		t.Errorf("consensus = %v, want majority %v", consensus.Buckets, maj.Buckets)
+	}
+}
+
+func TestBioConsertEmpty(t *testing.T) {
+	if got := BioConsert(nil); got.Len() != 0 {
+		t.Errorf("empty consensus = %v", got)
+	}
+}
+
+func TestBioConsertIncomplete(t *testing.T) {
+	// Two raters each rank a strict subset; consensus must cover the union
+	// and respect both partial orders (they are compatible).
+	r1 := Ranking{Buckets: [][]string{{"a"}, {"b"}}}
+	r2 := Ranking{Buckets: [][]string{{"b"}, {"c"}}}
+	consensus := BioConsert([]Ranking{r1, r2})
+	if consensus.Len() != 3 {
+		t.Fatalf("consensus items = %d, want 3 (%v)", consensus.Len(), consensus)
+	}
+	pos := consensus.Positions()
+	if !(pos["a"] <= pos["b"] && pos["b"] <= pos["c"]) {
+		t.Errorf("consensus %v violates compatible partial orders", consensus)
+	}
+	if pos["a"] == pos["c"] {
+		t.Errorf("consensus %v should separate a and c", consensus)
+	}
+}
+
+func TestBioConsertNotWorseThanAnyInput(t *testing.T) {
+	// The consensus cost must not exceed the cost of adopting any single
+	// input as consensus (inputs are among the start states).
+	r := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 20; trial++ {
+		inputs := randomRankings(r, 4, 6)
+		consensus := BioConsert(inputs)
+		cCost := ConsensusCost(consensus, inputs)
+		for _, in := range inputs {
+			if inCost := ConsensusCost(in, inputs); cCost > inCost+1e-9 {
+				t.Fatalf("consensus cost %v exceeds input cost %v", cCost, inCost)
+			}
+		}
+	}
+}
+
+func randomRankings(r *rand.Rand, k, n int) []Ranking {
+	ids := make([]string, n)
+	for i := range ids {
+		ids[i] = string(rune('a' + i))
+	}
+	out := make([]Ranking, k)
+	for i := range out {
+		perm := r.Perm(n)
+		var rk Ranking
+		var bucket []string
+		for _, p := range perm {
+			if r.Intn(4) == 0 { // skip: incomplete
+				continue
+			}
+			bucket = append(bucket, ids[p])
+			if r.Intn(2) == 0 {
+				rk.Buckets = append(rk.Buckets, bucket)
+				bucket = nil
+			}
+		}
+		if len(bucket) > 0 {
+			rk.Buckets = append(rk.Buckets, bucket)
+		}
+		out[i] = rk
+	}
+	return out
+}
+
+func TestPropertyCorrectnessBounds(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		rks := randomRankings(r, 2, 6)
+		c := Correctness(rks[0], rks[1])
+		comp := Completeness(rks[0], rks[1])
+		return c >= -1 && c <= 1 && comp >= 0 && comp <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyFromScoresValidAndComplete(t *testing.T) {
+	f := func(raw []uint8) bool {
+		scores := map[string]float64{}
+		for i, v := range raw {
+			if i >= 12 {
+				break
+			}
+			scores[string(rune('a'+i))] = float64(v) / 255
+		}
+		r := FromScores(scores, 0)
+		if err := r.Validate(); err != nil {
+			return false
+		}
+		return r.Len() == len(scores)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyBioConsertCoversUnion(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		inputs := randomRankings(r, 3, 5)
+		consensus := BioConsert(inputs)
+		if err := consensus.Validate(); err != nil {
+			return false
+		}
+		union := map[string]bool{}
+		for _, in := range inputs {
+			for _, id := range in.Items() {
+				union[id] = true
+			}
+		}
+		return consensus.Len() == len(union)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkBioConsert10Items5Raters(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	inputs := randomRankings(r, 5, 10)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		BioConsert(inputs)
+	}
+}
+
+func BenchmarkCorrectness(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	rks := randomRankings(r, 2, 20)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Correctness(rks[0], rks[1])
+	}
+}

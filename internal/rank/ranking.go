@@ -1,0 +1,185 @@
+// Package rank provides rankings with ties, the ranking correctness and
+// completeness measures used to evaluate similarity algorithms against
+// expert consensus (Cheng et al. 2010, as adopted in Section 4.3 of
+// Starlinger et al., PVLDB 2014), and the BioConsert median-ranking
+// consensus algorithm (Cohen-Boulakia et al. 2011) extended to incomplete
+// rankings.
+package rank
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Ranking is an ordered sequence of buckets. Items in earlier buckets rank
+// higher (more similar); items within a bucket are tied. A Ranking may be
+// incomplete: items absent from all buckets are unranked (e.g. rated
+// "unsure" by an expert).
+type Ranking struct {
+	Buckets [][]string
+}
+
+// FromScores builds a ranking from similarity scores, higher scores first.
+// Scores within eps of each other are placed in the same bucket (ties).
+// A strictly positive eps models measures with coarse similarity output
+// (label matching, tag overlap); eps 0 ties exactly equal scores only.
+func FromScores(scores map[string]float64, eps float64) Ranking {
+	type kv struct {
+		id string
+		s  float64
+	}
+	items := make([]kv, 0, len(scores))
+	for id, s := range scores {
+		items = append(items, kv{id, s})
+	}
+	sort.Slice(items, func(i, j int) bool {
+		if items[i].s != items[j].s {
+			return items[i].s > items[j].s
+		}
+		return items[i].id < items[j].id
+	})
+	var r Ranking
+	for i := 0; i < len(items); {
+		j := i + 1
+		for j < len(items) && items[i].s-items[j].s <= eps {
+			j++
+		}
+		bucket := make([]string, 0, j-i)
+		for k := i; k < j; k++ {
+			bucket = append(bucket, items[k].id)
+		}
+		sort.Strings(bucket)
+		r.Buckets = append(r.Buckets, bucket)
+		i = j
+	}
+	return r
+}
+
+// Positions returns a map from item to bucket index. Unranked items are
+// absent from the map.
+func (r Ranking) Positions() map[string]int {
+	pos := make(map[string]int)
+	for b, bucket := range r.Buckets {
+		for _, id := range bucket {
+			pos[id] = b
+		}
+	}
+	return pos
+}
+
+// Items returns all ranked items in rank order.
+func (r Ranking) Items() []string {
+	var out []string
+	for _, b := range r.Buckets {
+		out = append(out, b...)
+	}
+	return out
+}
+
+// Len returns the number of ranked items.
+func (r Ranking) Len() int {
+	n := 0
+	for _, b := range r.Buckets {
+		n += len(b)
+	}
+	return n
+}
+
+// String renders the ranking as "a > b = c > d".
+func (r Ranking) String() string {
+	parts := make([]string, len(r.Buckets))
+	for i, b := range r.Buckets {
+		parts[i] = strings.Join(b, " = ")
+	}
+	return strings.Join(parts, " > ")
+}
+
+// Validate reports an error if any item appears in more than one bucket.
+func (r Ranking) Validate() error {
+	seen := map[string]bool{}
+	for _, b := range r.Buckets {
+		for _, id := range b {
+			if seen[id] {
+				return fmt.Errorf("rank: item %q appears twice", id)
+			}
+			seen[id] = true
+		}
+	}
+	return nil
+}
+
+// PairCounts tallies the pair classifications between a reference (expert)
+// ranking and an evaluated (algorithmic) ranking, over items ranked by both.
+type PairCounts struct {
+	// Concordant pairs are strictly ordered the same way in both rankings.
+	Concordant int
+	// Discordant pairs are strictly ordered oppositely.
+	Discordant int
+	// RefOrdered is the number of pairs strictly ordered by the reference
+	// (the completeness denominator).
+	RefOrdered int
+}
+
+// CountPairs classifies every pair of items ranked by both rankings.
+// Pairs tied in either ranking count neither as concordant nor discordant;
+// pairs strictly ordered by the reference but tied by the evaluated ranking
+// reduce completeness.
+func CountPairs(ref, eval Ranking) PairCounts {
+	refPos := ref.Positions()
+	evalPos := eval.Positions()
+	// Deterministic iteration: common items sorted.
+	common := make([]string, 0, len(refPos))
+	for id := range refPos {
+		if _, ok := evalPos[id]; ok {
+			common = append(common, id)
+		}
+	}
+	sort.Strings(common)
+	var pc PairCounts
+	for i := 0; i < len(common); i++ {
+		for j := i + 1; j < len(common); j++ {
+			a, b := common[i], common[j]
+			dr := refPos[a] - refPos[b]
+			de := evalPos[a] - evalPos[b]
+			if dr == 0 {
+				continue // tied by reference: not counted at all
+			}
+			pc.RefOrdered++
+			if de == 0 {
+				continue // tied by evaluated ranking: incompleteness
+			}
+			if (dr < 0) == (de < 0) {
+				pc.Concordant++
+			} else {
+				pc.Discordant++
+			}
+		}
+	}
+	return pc
+}
+
+// Correctness computes (#concordant - #discordant)/(#concordant +
+// #discordant) in [-1, 1]; 1 means full correlation with the reference,
+// 0 no correlation. Pairs tied in either ranking do not count. If no pair
+// qualifies, correctness is 0.
+func Correctness(ref, eval Ranking) float64 {
+	pc := CountPairs(ref, eval)
+	den := pc.Concordant + pc.Discordant
+	if den == 0 {
+		return 0
+	}
+	return float64(pc.Concordant-pc.Discordant) / float64(den)
+}
+
+// Completeness computes (#concordant + #discordant) / #pairs strictly
+// ordered by the reference, penalising the evaluated ranking for tying
+// items the reference distinguishes. If the reference orders no pairs,
+// completeness is 1 (nothing to distinguish).
+func Completeness(ref, eval Ranking) float64 {
+	pc := CountPairs(ref, eval)
+	if pc.RefOrdered == 0 {
+		return 1
+	}
+	return float64(pc.Concordant+pc.Discordant) / float64(pc.RefOrdered)
+}

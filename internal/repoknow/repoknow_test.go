@@ -1,0 +1,126 @@
+package repoknow
+
+import (
+	"testing"
+
+	"repro/internal/workflow"
+)
+
+func wfWithModules(id string, types ...string) *workflow.Workflow {
+	w := workflow.New(id)
+	for i, typ := range types {
+		w.AddModule(&workflow.Module{Label: "m" + string(rune('a'+i)), Type: typ})
+		if i > 0 {
+			_ = w.AddEdge(i-1, i)
+		}
+	}
+	return w
+}
+
+func TestCollectUsage(t *testing.T) {
+	wfs := []*workflow.Workflow{
+		wfWithModules("a", workflow.TypeWSDL, workflow.TypeLocalWorker),
+		wfWithModules("b", workflow.TypeWSDL),
+	}
+	s := CollectUsage(wfs)
+	if s.Workflows != 2 || s.Modules != 3 {
+		t.Errorf("Workflows=%d Modules=%d, want 2, 3", s.Workflows, s.Modules)
+	}
+	if s.ByType[workflow.TypeWSDL] != 2 || s.ByType[workflow.TypeLocalWorker] != 1 {
+		t.Errorf("ByType = %v", s.ByType)
+	}
+	if s.ByLabel["ma"] != 2 {
+		t.Errorf("ByLabel[ma] = %d, want 2 (case-folded)", s.ByLabel["ma"])
+	}
+}
+
+func TestTypeScorer(t *testing.T) {
+	s := TypeScorer{}
+	if s.Score(&workflow.Module{Type: workflow.TypeLocalWorker}) != 0 {
+		t.Error("local worker should score 0")
+	}
+	if s.Score(&workflow.Module{Type: workflow.TypeStringConst}) != 0 {
+		t.Error("string constant should score 0")
+	}
+	if s.Score(&workflow.Module{Type: workflow.TypeWSDL}) != 1 {
+		t.Error("web service should score 1")
+	}
+	if s.Score(&workflow.Module{Type: workflow.TypeBeanshell}) != 1 {
+		t.Error("script should score 1")
+	}
+}
+
+func TestFrequencyScorer(t *testing.T) {
+	wfs := []*workflow.Workflow{}
+	for i := 0; i < 10; i++ {
+		w := workflow.New("w")
+		w.AddModule(&workflow.Module{Label: "split_string", Type: workflow.TypeLocalWorker})
+		if i == 0 {
+			w.AddModule(&workflow.Module{Label: "rare_service", Type: workflow.TypeWSDL})
+		}
+		wfs = append(wfs, w)
+	}
+	f := NewFrequencyScorer(CollectUsage(wfs))
+	common := f.Score(&workflow.Module{Label: "split_string"})
+	rare := f.Score(&workflow.Module{Label: "rare_service"})
+	if common != 0 {
+		t.Errorf("most frequent label score = %v, want 0", common)
+	}
+	if rare <= common {
+		t.Errorf("rare %v should outscore common %v", rare, common)
+	}
+	unseen := f.Score(&workflow.Module{Label: "never_seen"})
+	if unseen != 1 {
+		t.Errorf("unseen label score = %v, want 1", unseen)
+	}
+}
+
+func TestProjectorRemovesTrivialAndBridges(t *testing.T) {
+	// ws -> local -> script: projection must drop the local module and
+	// bridge ws -> script.
+	w := wfWithModules("w", workflow.TypeWSDL, workflow.TypeLocalWorker, workflow.TypeBeanshell)
+	p := NewProjector(TypeScorer{}, 0.5)
+	out := p.Project(w)
+	if out.Size() != 2 {
+		t.Fatalf("projected size = %d, want 2", out.Size())
+	}
+	if !out.HasEdge(0, 1) {
+		t.Errorf("bridge edge missing: %v", out.Edges)
+	}
+}
+
+func TestProjectorAllTrivialKeepsOriginal(t *testing.T) {
+	w := wfWithModules("w", workflow.TypeLocalWorker, workflow.TypeStringConst)
+	p := NewProjector(TypeScorer{}, 0.5)
+	out := p.Project(w)
+	if out != w {
+		t.Error("projection to empty set must return the original workflow")
+	}
+}
+
+func TestProjectorCaches(t *testing.T) {
+	w := wfWithModules("w", workflow.TypeWSDL, workflow.TypeLocalWorker, workflow.TypeBeanshell)
+	p := NewProjector(TypeScorer{}, 0.5)
+	a, b := p.Project(w), p.Project(w)
+	if a != b {
+		t.Error("repeated projection must return the cached value")
+	}
+}
+
+func TestMeanModuleCount(t *testing.T) {
+	wfs := []*workflow.Workflow{
+		wfWithModules("a", workflow.TypeWSDL, workflow.TypeLocalWorker, workflow.TypeLocalWorker, workflow.TypeBeanshell),
+		wfWithModules("b", workflow.TypeWSDL, workflow.TypeLocalWorker),
+	}
+	p := NewProjector(TypeScorer{}, 0.5)
+	before, after := p.MeanModuleCount(wfs)
+	if before != 3 {
+		t.Errorf("before = %v, want 3", before)
+	}
+	if after != 1.5 {
+		t.Errorf("after = %v, want 1.5", after)
+	}
+	if b0, a0 := p.MeanModuleCount(nil); b0 != 0 || a0 != 0 {
+		t.Error("empty input should give zeros")
+	}
+}

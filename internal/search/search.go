@@ -1,0 +1,179 @@
+// Package search provides similarity search over a workflow repository:
+// scoring a query workflow against every repository workflow with a
+// configurable similarity measure, in parallel, and returning the top-k
+// results — the retrieval operation evaluated in Section 5.2 of Starlinger
+// et al. (PVLDB 2014).
+package search
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/internal/corpus"
+	"repro/internal/measures"
+	"repro/internal/workflow"
+)
+
+// Result is one search hit.
+type Result struct {
+	ID         string
+	Similarity float64
+}
+
+// Options configures a search.
+type Options struct {
+	// K is the number of results to return (default 10, the paper's top-10).
+	K int
+	// Parallelism bounds the scoring goroutines (default GOMAXPROCS).
+	Parallelism int
+	// IncludeQuery keeps the query workflow itself in the results
+	// (off by default: a workflow trivially matches itself).
+	IncludeQuery bool
+	// MinSimilarity drops results scoring at or below the threshold.
+	// The zero value drops nothing (scores can be negative for
+	// unnormalized GE).
+	MinSimilarity *float64
+}
+
+// TopK scores query against every workflow in repo using m and returns the
+// k best results, ties broken by ID for determinism. Pairs for which the
+// measure errors (e.g. GED timeouts) are skipped, mirroring the paper's
+// treatment of incomputable pairs; the number of skipped pairs is returned.
+func TopK(query *workflow.Workflow, repo *corpus.Repository, m measures.Measure, opts Options) ([]Result, int) {
+	k := opts.K
+	if k <= 0 {
+		k = 10
+	}
+	par := opts.Parallelism
+	if par <= 0 {
+		par = runtime.GOMAXPROCS(0)
+	}
+	wfs := repo.Workflows()
+
+	type scored struct {
+		res  Result
+		ok   bool
+		skip bool
+	}
+	out := make([]scored, len(wfs))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, par)
+	for i, wf := range wfs {
+		if !opts.IncludeQuery && wf.ID == query.ID {
+			continue
+		}
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int, wf *workflow.Workflow) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			s, err := m.Compare(query, wf)
+			if err != nil {
+				out[i] = scored{skip: true}
+				return
+			}
+			out[i] = scored{res: Result{ID: wf.ID, Similarity: s}, ok: true}
+		}(i, wf)
+	}
+	wg.Wait()
+
+	results := make([]Result, 0, len(wfs))
+	skipped := 0
+	for _, s := range out {
+		switch {
+		case s.skip:
+			skipped++
+		case s.ok:
+			if opts.MinSimilarity != nil && s.res.Similarity <= *opts.MinSimilarity {
+				continue
+			}
+			results = append(results, s.res)
+		}
+	}
+	sort.Slice(results, func(i, j int) bool {
+		if results[i].Similarity != results[j].Similarity {
+			return results[i].Similarity > results[j].Similarity
+		}
+		return results[i].ID < results[j].ID
+	})
+	if len(results) > k {
+		results = results[:k]
+	}
+	return results, skipped
+}
+
+// IDs extracts the result IDs in rank order.
+func IDs(results []Result) []string {
+	out := make([]string, len(results))
+	for i, r := range results {
+		out[i] = r.ID
+	}
+	return out
+}
+
+// PoolResults merges several algorithms' result lists for the same query
+// into a deduplicated union, preserving first-seen order — the merged lists
+// presented to the raters in the paper's second experiment (21–68 elements
+// depending on overlap).
+func PoolResults(lists ...[]Result) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, list := range lists {
+		for _, r := range list {
+			if !seen[r.ID] {
+				seen[r.ID] = true
+				out = append(out, r.ID)
+			}
+		}
+	}
+	return out
+}
+
+// Duplicates finds near-duplicate workflow pairs in a repository: pairs
+// scoring at or above threshold under m. It scans the upper triangle of the
+// pair matrix in parallel. Errors are skipped.
+func Duplicates(repo *corpus.Repository, m measures.Measure, threshold float64, par int) []Pair {
+	if par <= 0 {
+		par = runtime.GOMAXPROCS(0)
+	}
+	wfs := repo.Workflows()
+	var mu sync.Mutex
+	var out []Pair
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, par)
+	for i := 0; i < len(wfs); i++ {
+		for j := i + 1; j < len(wfs); j++ {
+			wg.Add(1)
+			sem <- struct{}{}
+			go func(a, b *workflow.Workflow) {
+				defer wg.Done()
+				defer func() { <-sem }()
+				s, err := m.Compare(a, b)
+				if err != nil || s < threshold {
+					return
+				}
+				mu.Lock()
+				out = append(out, Pair{A: a.ID, B: b.ID, Similarity: s})
+				mu.Unlock()
+			}(wfs[i], wfs[j])
+		}
+	}
+	wg.Wait()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Similarity != out[j].Similarity {
+			return out[i].Similarity > out[j].Similarity
+		}
+		if out[i].A != out[j].A {
+			return out[i].A < out[j].A
+		}
+		return out[i].B < out[j].B
+	})
+	return out
+}
+
+// Pair is a scored workflow pair.
+type Pair struct {
+	A, B       string
+	Similarity float64
+}

@@ -1,0 +1,187 @@
+package search
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/corpus"
+	"repro/internal/gen"
+	"repro/internal/measures"
+	"repro/internal/module"
+	"repro/internal/workflow"
+)
+
+func testCorpus(t *testing.T) *gen.Corpus {
+	t.Helper()
+	p := gen.Taverna()
+	p.Workflows = 100
+	p.Clusters = 6
+	c, err := gen.Generate(p, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func msMeasure() measures.Measure {
+	return measures.NewStructural(measures.Config{
+		Topology:  measures.ModuleSets,
+		Scheme:    module.PLL(),
+		Normalize: true,
+	})
+}
+
+func TestTopKBasic(t *testing.T) {
+	c := testCorpus(t)
+	query := c.Repo.Workflows()[0]
+	results, skipped := TopK(query, c.Repo, msMeasure(), Options{K: 10})
+	if skipped != 0 {
+		t.Errorf("skipped = %d", skipped)
+	}
+	if len(results) != 10 {
+		t.Fatalf("results = %d, want 10", len(results))
+	}
+	for i := 1; i < len(results); i++ {
+		if results[i].Similarity > results[i-1].Similarity {
+			t.Fatal("results not sorted by similarity")
+		}
+	}
+	for _, r := range results {
+		if r.ID == query.ID {
+			t.Error("query included in results")
+		}
+	}
+}
+
+func TestTopKIncludeQuery(t *testing.T) {
+	c := testCorpus(t)
+	query := c.Repo.Workflows()[0]
+	results, _ := TopK(query, c.Repo, msMeasure(), Options{K: 5, IncludeQuery: true})
+	if results[0].ID != query.ID || results[0].Similarity != 1 {
+		t.Errorf("top result = %+v, want the query itself at similarity 1", results[0])
+	}
+}
+
+func TestTopKFindsClusterSiblings(t *testing.T) {
+	c := testCorpus(t)
+	query := c.Repo.Workflows()[0]
+	meta := c.Truth.Meta[query.ID]
+	results, _ := TopK(query, c.Repo, msMeasure(), Options{K: 10})
+	same := 0
+	for _, r := range results {
+		if c.Truth.Meta[r.ID].Cluster == meta.Cluster {
+			same++
+		}
+	}
+	if same < 5 {
+		t.Errorf("only %d/10 top results from the query's cluster", same)
+	}
+}
+
+func TestTopKDeterministic(t *testing.T) {
+	c := testCorpus(t)
+	query := c.Repo.Workflows()[3]
+	r1, _ := TopK(query, c.Repo, msMeasure(), Options{K: 10})
+	r2, _ := TopK(query, c.Repo, msMeasure(), Options{K: 10, Parallelism: 1})
+	if len(r1) != len(r2) {
+		t.Fatal("lengths differ")
+	}
+	for i := range r1 {
+		if r1[i] != r2[i] {
+			t.Fatalf("result %d differs: %+v vs %+v", i, r1[i], r2[i])
+		}
+	}
+}
+
+func TestTopKMinSimilarity(t *testing.T) {
+	c := testCorpus(t)
+	query := c.Repo.Workflows()[0]
+	zero := 0.99
+	results, _ := TopK(query, c.Repo, msMeasure(), Options{K: 100, MinSimilarity: &zero})
+	for _, r := range results {
+		if r.Similarity <= zero {
+			t.Errorf("result %v below threshold", r)
+		}
+	}
+}
+
+type failingMeasure struct{ failID string }
+
+func (f failingMeasure) Name() string { return "fail" }
+func (f failingMeasure) Compare(a, b *workflow.Workflow) (float64, error) {
+	if b.ID == f.failID {
+		return 0, errors.New("boom")
+	}
+	return 0.5, nil
+}
+
+func TestTopKSkipsErrors(t *testing.T) {
+	c := testCorpus(t)
+	query := c.Repo.Workflows()[0]
+	failID := c.Repo.Workflows()[1].ID
+	results, skipped := TopK(query, c.Repo, failingMeasure{failID: failID}, Options{K: 1000})
+	if skipped != 1 {
+		t.Errorf("skipped = %d, want 1", skipped)
+	}
+	for _, r := range results {
+		if r.ID == failID {
+			t.Error("failing pair included")
+		}
+	}
+}
+
+func TestIDsAndPool(t *testing.T) {
+	a := []Result{{ID: "x", Similarity: 1}, {ID: "y", Similarity: 0.5}}
+	b := []Result{{ID: "y", Similarity: 0.7}, {ID: "z", Similarity: 0.2}}
+	if got := IDs(a); got[0] != "x" || got[1] != "y" {
+		t.Errorf("IDs = %v", got)
+	}
+	pooled := PoolResults(a, b)
+	want := []string{"x", "y", "z"}
+	if len(pooled) != 3 {
+		t.Fatalf("pooled = %v", pooled)
+	}
+	for i := range want {
+		if pooled[i] != want[i] {
+			t.Errorf("pooled = %v, want %v", pooled, want)
+		}
+	}
+}
+
+func TestDuplicates(t *testing.T) {
+	// Two identical workflows plus one unrelated.
+	w1 := workflow.New("1")
+	w1.AddModule(&workflow.Module{Label: "get_pathway", Type: workflow.TypeWSDL})
+	w2 := w1.Clone()
+	w2.ID = "2"
+	w3 := workflow.New("3")
+	w3.AddModule(&workflow.Module{Label: "zzzzzz", Type: workflow.TypeWSDL})
+	repo, err := corpus.NewRepository(w1, w2, w3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dups := Duplicates(repo, msMeasure(), 0.95, 2)
+	if len(dups) != 1 {
+		t.Fatalf("duplicates = %v, want exactly (1,2)", dups)
+	}
+	if dups[0].A != "1" || dups[0].B != "2" {
+		t.Errorf("pair = %+v", dups[0])
+	}
+}
+
+func BenchmarkTopK100Workflows(b *testing.B) {
+	p := gen.Taverna()
+	p.Workflows = 100
+	p.Clusters = 6
+	c, err := gen.Generate(p, 17)
+	if err != nil {
+		b.Fatal(err)
+	}
+	query := c.Repo.Workflows()[0]
+	m := msMeasure()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		TopK(query, c.Repo, m, Options{K: 10})
+	}
+}

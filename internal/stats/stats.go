@@ -1,0 +1,180 @@
+// Package stats provides the small statistical toolkit the evaluation needs:
+// mean, standard deviation, and the paired two-tailed Student t-test used for
+// the paper's significance statements (p < 0.05).
+package stats
+
+import (
+	"errors"
+	"math"
+)
+
+// Mean returns the arithmetic mean of xs, or 0 for empty input.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// StdDev returns the sample standard deviation (n-1 denominator), or 0 when
+// fewer than two values are given.
+func StdDev(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var ss float64
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(len(xs)-1))
+}
+
+// ErrTooFewSamples is returned when a test needs more observations.
+var ErrTooFewSamples = errors.New("stats: need at least two paired samples")
+
+// TTestResult holds the outcome of a paired t-test.
+type TTestResult struct {
+	T  float64 // t statistic
+	DF int     // degrees of freedom (n-1)
+	P  float64 // two-tailed p-value
+}
+
+// Significant reports whether the two-tailed p-value is below alpha.
+func (r TTestResult) Significant(alpha float64) bool { return r.P < alpha }
+
+// PairedTTest performs a two-tailed paired Student t-test on equally long
+// samples a and b. A zero-variance difference vector yields p = 1 when the
+// means are equal and p = 0 otherwise (the distributions are degenerate).
+func PairedTTest(a, b []float64) (TTestResult, error) {
+	if len(a) != len(b) {
+		return TTestResult{}, errors.New("stats: paired samples must have equal length")
+	}
+	n := len(a)
+	if n < 2 {
+		return TTestResult{}, ErrTooFewSamples
+	}
+	d := make([]float64, n)
+	for i := range a {
+		d[i] = a[i] - b[i]
+	}
+	md := Mean(d)
+	sd := StdDev(d)
+	df := n - 1
+	if sd == 0 {
+		if md == 0 {
+			return TTestResult{T: 0, DF: df, P: 1}, nil
+		}
+		return TTestResult{T: math.Inf(sign(md)), DF: df, P: 0}, nil
+	}
+	t := md / (sd / math.Sqrt(float64(n)))
+	p := 2 * studentTTail(math.Abs(t), float64(df))
+	if p > 1 {
+		p = 1
+	}
+	return TTestResult{T: t, DF: df, P: p}, nil
+}
+
+func sign(x float64) int {
+	if x < 0 {
+		return -1
+	}
+	return 1
+}
+
+// studentTTail returns P(T > t) for t >= 0 under a Student t distribution
+// with df degrees of freedom, via the regularized incomplete beta function:
+// P(T > t) = I_{df/(df+t^2)}(df/2, 1/2) / 2.
+func studentTTail(t, df float64) float64 {
+	x := df / (df + t*t)
+	return 0.5 * regIncBeta(df/2, 0.5, x)
+}
+
+// regIncBeta computes the regularized incomplete beta function I_x(a, b)
+// using the continued-fraction expansion (Numerical Recipes, betacf).
+func regIncBeta(a, b, x float64) float64 {
+	switch {
+	case x <= 0:
+		return 0
+	case x >= 1:
+		return 1
+	}
+	ln := lgamma(a+b) - lgamma(a) - lgamma(b) + a*math.Log(x) + b*math.Log(1-x)
+	front := math.Exp(ln)
+	if x < (a+1)/(a+b+2) {
+		return front * betacf(a, b, x) / a
+	}
+	return 1 - front*betacf(b, a, 1-x)/b
+}
+
+func lgamma(x float64) float64 {
+	v, _ := math.Lgamma(x)
+	return v
+}
+
+// betacf evaluates the continued fraction for the incomplete beta function
+// by the modified Lentz method.
+func betacf(a, b, x float64) float64 {
+	const (
+		maxIter = 300
+		eps     = 3e-14
+		fpmin   = 1e-300
+	)
+	qab, qap, qam := a+b, a+1, a-1
+	c := 1.0
+	d := 1 - qab*x/qap
+	if math.Abs(d) < fpmin {
+		d = fpmin
+	}
+	d = 1 / d
+	h := d
+	for m := 1; m <= maxIter; m++ {
+		fm := float64(m)
+		m2 := 2 * fm
+		aa := fm * (b - fm) * x / ((qam + m2) * (a + m2))
+		d = 1 + aa*d
+		if math.Abs(d) < fpmin {
+			d = fpmin
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < fpmin {
+			c = fpmin
+		}
+		d = 1 / d
+		h *= d * c
+		aa = -(a + fm) * (qab + fm) * x / ((a + m2) * (qap + m2))
+		d = 1 + aa*d
+		if math.Abs(d) < fpmin {
+			d = fpmin
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < fpmin {
+			c = fpmin
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < eps {
+			break
+		}
+	}
+	return h
+}
+
+// Summary bundles the descriptive statistics reported per algorithm in the
+// paper's bar charts: mean with upper and lower standard deviation.
+type Summary struct {
+	N      int
+	Mean   float64
+	StdDev float64
+}
+
+// Summarize computes a Summary of xs.
+func Summarize(xs []float64) Summary {
+	return Summary{N: len(xs), Mean: Mean(xs), StdDev: StdDev(xs)}
+}

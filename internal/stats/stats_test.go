@@ -1,0 +1,159 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestMeanStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Mean(xs); got != 5 {
+		t.Errorf("Mean = %v, want 5", got)
+	}
+	// Sample stddev of the classic dataset is sqrt(32/7).
+	if got := StdDev(xs); !almost(got, math.Sqrt(32.0/7.0), 1e-12) {
+		t.Errorf("StdDev = %v", got)
+	}
+	if Mean(nil) != 0 || StdDev(nil) != 0 || StdDev([]float64{1}) != 0 {
+		t.Error("degenerate inputs must give 0")
+	}
+}
+
+func TestPairedTTestKnownValue(t *testing.T) {
+	// Classic paired example: differences [1, 2, 3, 4, 5]:
+	// mean 3, sd sqrt(2.5), t = 3 / (sqrt(2.5)/sqrt(5)) = 4.2426, df 4,
+	// two-tailed p ~ 0.0132.
+	a := []float64{2, 4, 6, 8, 10}
+	b := []float64{1, 2, 3, 4, 5}
+	res, err := PairedTTest(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(res.T, 4.242640687, 1e-6) {
+		t.Errorf("T = %v, want 4.2426", res.T)
+	}
+	if res.DF != 4 {
+		t.Errorf("DF = %d, want 4", res.DF)
+	}
+	if !almost(res.P, 0.0132, 5e-4) {
+		t.Errorf("P = %v, want ~0.0132", res.P)
+	}
+	if !res.Significant(0.05) || res.Significant(0.01) {
+		t.Errorf("significance thresholds wrong for p=%v", res.P)
+	}
+}
+
+func TestPairedTTestIdenticalSamples(t *testing.T) {
+	a := []float64{1, 2, 3}
+	res, err := PairedTTest(a, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.P != 1 || res.T != 0 {
+		t.Errorf("identical samples: T=%v P=%v, want 0, 1", res.T, res.P)
+	}
+}
+
+func TestPairedTTestConstantShift(t *testing.T) {
+	a := []float64{1, 2, 3}
+	b := []float64{2, 3, 4} // constant difference, zero variance
+	res, err := PairedTTest(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.P != 0 || !math.IsInf(res.T, -1) {
+		t.Errorf("constant shift: T=%v P=%v, want -Inf, 0", res.T, res.P)
+	}
+}
+
+func TestPairedTTestErrors(t *testing.T) {
+	if _, err := PairedTTest([]float64{1}, []float64{1}); err != ErrTooFewSamples {
+		t.Errorf("err = %v, want ErrTooFewSamples", err)
+	}
+	if _, err := PairedTTest([]float64{1, 2}, []float64{1}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+}
+
+func TestRegIncBetaKnownValues(t *testing.T) {
+	// I_x(1,1) = x (uniform CDF).
+	for _, x := range []float64{0, 0.25, 0.5, 0.75, 1} {
+		if got := regIncBeta(1, 1, x); !almost(got, x, 1e-10) {
+			t.Errorf("I_%v(1,1) = %v, want %v", x, got, x)
+		}
+	}
+	// I_0.5(a, a) = 0.5 by symmetry.
+	for _, a := range []float64{0.5, 1, 2, 5} {
+		if got := regIncBeta(a, a, 0.5); !almost(got, 0.5, 1e-10) {
+			t.Errorf("I_0.5(%v,%v) = %v, want 0.5", a, a, got)
+		}
+	}
+}
+
+func TestStudentTTailKnownQuantiles(t *testing.T) {
+	// For df=10, t=1.812 is the 0.95 quantile: tail ~0.05.
+	if got := studentTTail(1.812, 10); !almost(got, 0.05, 2e-3) {
+		t.Errorf("tail(1.812, 10) = %v, want ~0.05", got)
+	}
+	// For df=1 (Cauchy), t=1 gives tail 0.25.
+	if got := studentTTail(1, 1); !almost(got, 0.25, 1e-6) {
+		t.Errorf("tail(1,1) = %v, want 0.25", got)
+	}
+	if got := studentTTail(0, 5); !almost(got, 0.5, 1e-9) {
+		t.Errorf("tail(0,5) = %v, want 0.5", got)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3})
+	if s.N != 3 || s.Mean != 2 || !almost(s.StdDev, 1, 1e-12) {
+		t.Errorf("Summary = %+v", s)
+	}
+}
+
+func TestPropertyPValueRange(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := r.Intn(10) + 2
+		a := make([]float64, n)
+		b := make([]float64, n)
+		for i := range a {
+			a[i] = r.NormFloat64()
+			b[i] = r.NormFloat64()
+		}
+		res, err := PairedTTest(a, b)
+		if err != nil {
+			return false
+		}
+		return res.P >= 0 && res.P <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyTTestSymmetry(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := r.Intn(8) + 3
+		a := make([]float64, n)
+		b := make([]float64, n)
+		for i := range a {
+			a[i] = r.NormFloat64()
+			b[i] = r.NormFloat64()
+		}
+		r1, err1 := PairedTTest(a, b)
+		r2, err2 := PairedTTest(b, a)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return almost(r1.P, r2.P, 1e-9) && almost(r1.T, -r2.T, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

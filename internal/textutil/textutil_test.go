@@ -1,0 +1,200 @@
+package textutil
+
+import (
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestLevenshteinKnownValues(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want int
+	}{
+		{"", "", 0},
+		{"abc", "abc", 0},
+		{"abc", "", 3},
+		{"", "abc", 3},
+		{"kitten", "sitting", 3},
+		{"flaw", "lawn", 2},
+		{"gumbo", "gambol", 2},
+		{"blast", "blastn", 1},
+		{"BLAST", "blast", 5}, // case-sensitive by design
+		{"héllo", "hello", 1}, // rune-wise, not byte-wise
+	}
+	for _, c := range cases {
+		if got := Levenshtein(c.a, c.b); got != c.want {
+			t.Errorf("Levenshtein(%q,%q) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestLevenshteinSimilarity(t *testing.T) {
+	if got := LevenshteinSimilarity("", ""); got != 1 {
+		t.Errorf("sim of empties = %v, want 1", got)
+	}
+	if got := LevenshteinSimilarity("abc", "abc"); got != 1 {
+		t.Errorf("identical = %v, want 1", got)
+	}
+	if got := LevenshteinSimilarity("abc", "xyz"); got != 0 {
+		t.Errorf("disjoint = %v, want 0", got)
+	}
+	if got := LevenshteinSimilarity("abcd", "abce"); got != 0.75 {
+		t.Errorf("one-sub-of-four = %v, want 0.75", got)
+	}
+}
+
+// Metric axioms for Levenshtein, checked by property testing on short
+// random strings over a small alphabet (so collisions are frequent).
+func randString(r *rand.Rand, n int) string {
+	const alpha = "abcXYZ "
+	var b strings.Builder
+	for i := 0; i < n; i++ {
+		b.WriteByte(alpha[r.Intn(len(alpha))])
+	}
+	return b.String()
+}
+
+func TestPropertyLevenshteinMetricAxioms(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a := randString(r, r.Intn(8))
+		b := randString(r, r.Intn(8))
+		c := randString(r, r.Intn(8))
+		dab, dba := Levenshtein(a, b), Levenshtein(b, a)
+		if dab != dba { // symmetry
+			return false
+		}
+		if (dab == 0) != (a == b) { // identity of indiscernibles
+			return false
+		}
+		// triangle inequality
+		if Levenshtein(a, c) > dab+Levenshtein(b, c) {
+			return false
+		}
+		// upper bound: max length; lower bound: length difference
+		la, lb := len([]rune(a)), len([]rune(b))
+		hi, lo := la, la-lb
+		if lb > hi {
+			hi = lb
+		}
+		if lo < 0 {
+			lo = -lo
+		}
+		return dab >= lo && dab <= hi
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyLevenshteinSimilarityRange(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a := randString(r, r.Intn(10))
+		b := randString(r, r.Intn(10))
+		s := LevenshteinSimilarity(a, b)
+		return s >= 0 && s <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTokenize(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []string
+	}{
+		{"KEGG pathway analysis", []string{"kegg", "pathway", "analysis"}},
+		{"Get_Pathway-Genes by Entrez gene id", []string{"get", "pathwaygenes", "by", "entrez", "gene", "id"}},
+		{"  multiple   spaces ", []string{"multiple", "spaces"}},
+		{"(parens) & symbols!", []string{"parens", "symbols"}},
+		{"___", nil},
+		{"", nil},
+		{"BLAST2GO v2.5", []string{"blast2go", "v25"}},
+	}
+	for _, c := range cases {
+		got := Tokenize(c.in)
+		if len(got) == 0 && len(c.want) == 0 {
+			continue
+		}
+		if !reflect.DeepEqual(got, c.want) {
+			t.Errorf("Tokenize(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestFilterStopwords(t *testing.T) {
+	in := []string{"the", "kegg", "pathway", "of", "a", "gene"}
+	want := []string{"kegg", "pathway", "gene"}
+	if got := FilterStopwords(in); !reflect.DeepEqual(got, want) {
+		t.Errorf("FilterStopwords = %v, want %v", got, want)
+	}
+	if !IsStopword("the") || IsStopword("kegg") {
+		t.Error("IsStopword misclassifies")
+	}
+}
+
+func TestTokenSet(t *testing.T) {
+	set := TokenSet("The pathway, the PATHWAY and a Gene")
+	want := map[string]bool{"pathway": true, "gene": true}
+	if !reflect.DeepEqual(set, want) {
+		t.Errorf("TokenSet = %v, want %v", set, want)
+	}
+}
+
+func TestSetJaccard(t *testing.T) {
+	a := map[string]bool{"x": true, "y": true}
+	b := map[string]bool{"y": true, "z": true}
+	if got := SetJaccard(a, b); got != 1.0/3.0 {
+		t.Errorf("Jaccard = %v, want 1/3", got)
+	}
+	if got := SetJaccard(a, a); got != 1 {
+		t.Errorf("self Jaccard = %v, want 1", got)
+	}
+	if got := SetJaccard(nil, nil); got != 0 {
+		t.Errorf("empty Jaccard = %v, want 0 (no evidence)", got)
+	}
+	if got := SetJaccard(a, nil); got != 0 {
+		t.Errorf("half-empty Jaccard = %v, want 0", got)
+	}
+}
+
+func TestPropertySetJaccardSymmetricBounded(t *testing.T) {
+	f := func(xs, ys []uint8) bool {
+		a, b := map[string]bool{}, map[string]bool{}
+		for _, x := range xs {
+			a[string(rune('a'+x%16))] = true
+		}
+		for _, y := range ys {
+			b[string(rune('a'+y%16))] = true
+		}
+		j1, j2 := SetJaccard(a, b), SetJaccard(b, a)
+		if j1 != j2 {
+			return false
+		}
+		return j1 >= 0 && j1 <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkLevenshteinShortLabels(b *testing.B) {
+	x, y := "getKEGGPathwayByGene", "get_pathway_by_entrez_gene_id"
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Levenshtein(x, y)
+	}
+}
+
+func BenchmarkTokenSet(b *testing.B) {
+	text := "This workflow retrieves the KEGG pathways for a list of Entrez gene identifiers and renders them as annotated diagrams"
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		TokenSet(text)
+	}
+}

@@ -1,0 +1,63 @@
+package wfio
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// Fuzz targets: the parsers must never panic and must only return workflows
+// that validate. Successful parses must survive a write/re-parse round trip.
+
+func FuzzParseT2Flow(f *testing.F) {
+	f.Add(sampleT2)
+	f.Add(`<workflow id="x"><processors><processor name="a" type="wsdl"/></processors></workflow>`)
+	f.Add(`<workflow id="y"></workflow>`)
+	f.Add(``)
+	f.Add(`<workflow`)
+	f.Fuzz(func(t *testing.T, doc string) {
+		wf, err := ParseT2Flow(strings.NewReader(doc))
+		if err != nil {
+			return
+		}
+		if verr := wf.Validate(); verr != nil {
+			t.Fatalf("parser returned invalid workflow: %v", verr)
+		}
+		var buf bytes.Buffer
+		if werr := WriteT2Flow(&buf, wf); werr != nil {
+			t.Fatalf("write of parsed workflow failed: %v", werr)
+		}
+		wf2, rerr := ParseT2Flow(&buf)
+		if rerr != nil {
+			t.Fatalf("round trip re-parse failed: %v\n%s", rerr, buf.String())
+		}
+		if wf2.Size() != wf.Size() || wf2.EdgeCount() != wf.EdgeCount() {
+			t.Fatalf("round trip changed shape: %dx%d -> %dx%d",
+				wf.Size(), wf.EdgeCount(), wf2.Size(), wf2.EdgeCount())
+		}
+	})
+}
+
+func FuzzParseGalaxy(f *testing.F) {
+	f.Add(sampleGA)
+	f.Add(`{"uuid":"u","steps":{}}`)
+	f.Add(`{"name":"n","steps":{"0":{"id":0,"type":"tool"}}}`)
+	f.Add(``)
+	f.Add(`{`)
+	f.Fuzz(func(t *testing.T, doc string) {
+		wf, err := ParseGalaxy(strings.NewReader(doc))
+		if err != nil {
+			return
+		}
+		if verr := wf.Validate(); verr != nil {
+			t.Fatalf("parser returned invalid workflow: %v", verr)
+		}
+		var buf bytes.Buffer
+		if werr := WriteGalaxy(&buf, wf); werr != nil {
+			t.Fatalf("write of parsed workflow failed: %v", werr)
+		}
+		if _, rerr := ParseGalaxy(&buf); rerr != nil {
+			t.Fatalf("round trip re-parse failed: %v\n%s", rerr, buf.String())
+		}
+	})
+}

@@ -1,0 +1,222 @@
+package wfio
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/workflow"
+)
+
+// gaFile mirrors the Galaxy .ga workflow format: a JSON object with a name,
+// an annotation, optional tags, and a "steps" map from step index to step.
+type gaFile struct {
+	Class      string            `json:"a_galaxy_workflow,omitempty"`
+	Name       string            `json:"name"`
+	Annotation string            `json:"annotation,omitempty"`
+	Tags       []string          `json:"tags,omitempty"`
+	UUID       string            `json:"uuid,omitempty"`
+	Steps      map[string]gaStep `json:"steps"`
+}
+
+type gaStep struct {
+	ID               int                     `json:"id"`
+	Name             string                  `json:"name"`
+	Label            string                  `json:"label,omitempty"`
+	Type             string                  `json:"type"` // "tool" or "data_input"
+	ToolID           string                  `json:"tool_id,omitempty"`
+	ToolVersion      string                  `json:"tool_version,omitempty"`
+	Annotation       string                  `json:"annotation,omitempty"`
+	ToolState        map[string]string       `json:"tool_state,omitempty"`
+	InputConnections map[string]gaConnection `json:"input_connections,omitempty"`
+}
+
+// gaConnection is the source of one step input: either a single connection
+// object or a list of them (Galaxy emits both).
+type gaConnection struct {
+	Sources []gaSource
+}
+
+type gaSource struct {
+	ID int `json:"id"`
+}
+
+// UnmarshalJSON accepts both `{"id":0}` and `[{"id":0},{"id":1}]`.
+func (c *gaConnection) UnmarshalJSON(data []byte) error {
+	trimmed := strings.TrimSpace(string(data))
+	if strings.HasPrefix(trimmed, "[") {
+		return json.Unmarshal(data, &c.Sources)
+	}
+	var one gaSource
+	if err := json.Unmarshal(data, &one); err != nil {
+		return err
+	}
+	c.Sources = []gaSource{one}
+	return nil
+}
+
+// MarshalJSON emits a single object for one source and a list otherwise.
+func (c gaConnection) MarshalJSON() ([]byte, error) {
+	if len(c.Sources) == 1 {
+		return json.Marshal(c.Sources[0])
+	}
+	return json.Marshal(c.Sources)
+}
+
+// ParseGalaxy reads a Galaxy .ga workflow. Data-input steps (workflow input
+// ports) are dropped, matching the paper's corpus preparation; tool steps
+// become modules of type "tool" with the tool id as service name.
+func ParseGalaxy(r io.Reader) (*workflow.Workflow, error) {
+	var doc gaFile
+	if err := json.NewDecoder(r).Decode(&doc); err != nil {
+		return nil, fmt.Errorf("wfio: galaxy decode: %w", err)
+	}
+	id := doc.UUID
+	if id == "" {
+		id = doc.Name
+	}
+	if id == "" {
+		return nil, fmt.Errorf("wfio: galaxy workflow without uuid or name")
+	}
+	wf := workflow.New(id)
+	wf.Annotations = workflow.Annotations{
+		Title:       doc.Name,
+		Description: doc.Annotation,
+		Tags:        doc.Tags,
+	}
+
+	// Steps in id order for deterministic module indexing.
+	type numbered struct {
+		key  string
+		step gaStep
+	}
+	steps := make([]numbered, 0, len(doc.Steps))
+	for k, s := range doc.Steps {
+		steps = append(steps, numbered{k, s})
+	}
+	sort.Slice(steps, func(i, j int) bool { return steps[i].step.ID < steps[j].step.ID })
+
+	moduleOf := map[int]int{} // step id -> module index (-1 for dropped inputs)
+	for _, ns := range steps {
+		s := ns.step
+		if s.Type == "data_input" || s.Type == "data_collection_input" {
+			moduleOf[s.ID] = -1
+			continue
+		}
+		label := s.Label
+		if label == "" {
+			label = s.Name
+		}
+		if label == "" {
+			label = fmt.Sprintf("step_%d", s.ID)
+		}
+		m := &workflow.Module{
+			ID:          "step" + strconv.Itoa(s.ID),
+			Label:       label,
+			Type:        workflow.TypeTool,
+			Description: s.Annotation,
+			ServiceName: s.ToolID,
+		}
+		if s.ToolVersion != "" || len(s.ToolState) > 0 {
+			m.Params = map[string]string{}
+			if s.ToolVersion != "" {
+				m.Params["version"] = s.ToolVersion
+			}
+			for k, v := range s.ToolState {
+				m.Params[k] = v
+			}
+		}
+		moduleOf[s.ID] = wf.AddModule(m)
+	}
+	// Edges from input connections, skipping dropped input steps.
+	for _, ns := range steps {
+		s := ns.step
+		ti, ok := moduleOf[s.ID]
+		if !ok || ti < 0 {
+			continue
+		}
+		for _, conn := range s.InputConnections {
+			for _, src := range conn.Sources {
+				fi, ok := moduleOf[src.ID]
+				if !ok {
+					return nil, fmt.Errorf("wfio: galaxy step %d references unknown step %d", s.ID, src.ID)
+				}
+				if fi < 0 {
+					continue // connection from a dropped input port
+				}
+				if err := wf.AddEdge(fi, ti); err != nil {
+					return nil, fmt.Errorf("wfio: galaxy workflow %s: %w", id, err)
+				}
+			}
+		}
+	}
+	if err := wf.Validate(); err != nil {
+		return nil, fmt.Errorf("wfio: galaxy workflow %s invalid: %w", id, err)
+	}
+	return wf, nil
+}
+
+// WriteGalaxy serialises a workflow into the Galaxy .ga format. Non-tool
+// module types are mapped to tool steps with their type recorded in the
+// tool state.
+func WriteGalaxy(w io.Writer, wf *workflow.Workflow) error {
+	doc := gaFile{
+		Class:      "true",
+		Name:       wf.Annotations.Title,
+		Annotation: wf.Annotations.Description,
+		Tags:       wf.Annotations.Tags,
+		UUID:       wf.ID,
+		Steps:      map[string]gaStep{},
+	}
+	for i, m := range wf.Modules {
+		step := gaStep{
+			ID:         i,
+			Name:       m.Label,
+			Label:      m.Label,
+			Type:       "tool",
+			ToolID:     m.ServiceName,
+			Annotation: m.Description,
+		}
+		if m.Type != workflow.TypeTool && m.Type != "" {
+			if step.ToolState == nil {
+				step.ToolState = map[string]string{}
+			}
+			step.ToolState["original_type"] = m.Type
+		}
+		for k, v := range m.Params {
+			if k == "version" {
+				step.ToolVersion = v
+				continue
+			}
+			if step.ToolState == nil {
+				step.ToolState = map[string]string{}
+			}
+			step.ToolState[k] = v
+		}
+		doc.Steps[strconv.Itoa(i)] = step
+	}
+	// Input connections: group inbound edges per target.
+	inbound := map[int][]int{}
+	for _, e := range wf.Edges {
+		inbound[e.To] = append(inbound[e.To], e.From)
+	}
+	for to, froms := range inbound {
+		key := strconv.Itoa(to)
+		step := doc.Steps[key]
+		step.InputConnections = map[string]gaConnection{}
+		sort.Ints(froms)
+		for n, from := range froms {
+			step.InputConnections["input"+strconv.Itoa(n)] = gaConnection{Sources: []gaSource{{ID: from}}}
+		}
+		doc.Steps[key] = step
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		return fmt.Errorf("wfio: galaxy encode: %w", err)
+	}
+	return nil
+}

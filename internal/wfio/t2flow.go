@@ -1,0 +1,201 @@
+// Package wfio imports and exports scientific workflows in external formats:
+// a Taverna-style XML dialect (the myExperiment download the paper ingests,
+// Section 4.1) and the Galaxy .ga JSON format (the paper's second corpus).
+// Both import paths perform the paper's corpus preparation: workflow
+// input/output ports are not represented, and nested subworkflows can be
+// inlined via workflow.Inline.
+package wfio
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+
+	"repro/internal/workflow"
+)
+
+// t2Workflow is the XML envelope of the Taverna-style dialect.
+type t2Workflow struct {
+	XMLName     xml.Name      `xml:"workflow"`
+	ID          string        `xml:"id,attr"`
+	Name        string        `xml:"name"`
+	Description string        `xml:"description"`
+	Author      string        `xml:"author"`
+	Tags        []string      `xml:"tags>tag"`
+	Processors  []t2Processor `xml:"processors>processor"`
+	Datalinks   []t2Datalink  `xml:"datalinks>datalink"`
+}
+
+type t2Processor struct {
+	Name        string     `xml:"name,attr"`
+	Type        string     `xml:"type,attr"`
+	Description string     `xml:"description"`
+	Script      string     `xml:"script"`
+	Service     *t2Service `xml:"service"`
+	Params      []t2Param  `xml:"parameters>parameter"`
+	Dataflow    *t2Subflow `xml:"dataflow"`
+}
+
+type t2Service struct {
+	URI       string `xml:"uri,attr"`
+	Operation string `xml:"operation,attr"`
+	Authority string `xml:"authority,attr"`
+}
+
+type t2Param struct {
+	Name  string `xml:"name,attr"`
+	Value string `xml:",chardata"`
+}
+
+type t2Subflow struct {
+	Ref string `xml:"ref,attr"`
+}
+
+type t2Datalink struct {
+	From string `xml:"from,attr"`
+	To   string `xml:"to,attr"`
+}
+
+// ParseT2Flow reads one Taverna-style XML workflow. Processor names must be
+// unique; datalinks must reference existing processors.
+func ParseT2Flow(r io.Reader) (*workflow.Workflow, error) {
+	var doc t2Workflow
+	if err := xml.NewDecoder(r).Decode(&doc); err != nil {
+		return nil, fmt.Errorf("wfio: t2flow decode: %w", err)
+	}
+	if doc.ID == "" {
+		return nil, fmt.Errorf("wfio: t2flow workflow without id attribute")
+	}
+	wf := workflow.New(doc.ID)
+	wf.Annotations = workflow.Annotations{
+		Title:       doc.Name,
+		Description: doc.Description,
+		Author:      doc.Author,
+		Tags:        doc.Tags,
+	}
+	index := map[string]int{}
+	for _, p := range doc.Processors {
+		if p.Name == "" {
+			return nil, fmt.Errorf("wfio: t2flow processor without name in workflow %s", doc.ID)
+		}
+		if _, dup := index[p.Name]; dup {
+			return nil, fmt.Errorf("wfio: t2flow duplicate processor %q in workflow %s", p.Name, doc.ID)
+		}
+		m := &workflow.Module{
+			ID:          p.Name,
+			Label:       p.Name,
+			Type:        p.Type,
+			Description: p.Description,
+			Script:      p.Script,
+		}
+		if p.Type == "" {
+			m.Type = workflow.TypeUnknown
+		}
+		if p.Service != nil {
+			m.ServiceURI = p.Service.URI
+			m.ServiceName = p.Service.Operation
+			m.Authority = p.Service.Authority
+		}
+		if len(p.Params) > 0 {
+			m.Params = map[string]string{}
+			for _, par := range p.Params {
+				m.Params[par.Name] = par.Value
+			}
+		}
+		if p.Dataflow != nil {
+			m.Type = workflow.TypeDataflow
+			if m.Params == nil {
+				m.Params = map[string]string{}
+			}
+			m.Params["dataflow"] = p.Dataflow.Ref
+		}
+		index[p.Name] = wf.AddModule(m)
+	}
+	for _, l := range doc.Datalinks {
+		fi, ok := index[l.From]
+		if !ok {
+			return nil, fmt.Errorf("wfio: t2flow datalink from unknown processor %q in workflow %s", l.From, doc.ID)
+		}
+		ti, ok := index[l.To]
+		if !ok {
+			return nil, fmt.Errorf("wfio: t2flow datalink to unknown processor %q in workflow %s", l.To, doc.ID)
+		}
+		if err := wf.AddEdge(fi, ti); err != nil {
+			return nil, fmt.Errorf("wfio: t2flow workflow %s: %w", doc.ID, err)
+		}
+	}
+	if err := wf.Validate(); err != nil {
+		return nil, fmt.Errorf("wfio: t2flow workflow %s invalid: %w", doc.ID, err)
+	}
+	return wf, nil
+}
+
+// WriteT2Flow serialises a workflow into the Taverna-style XML dialect.
+// Module IDs become processor names; if a module has no ID its label is
+// used, deduplicated with a numeric suffix.
+func WriteT2Flow(w io.Writer, wf *workflow.Workflow) error {
+	doc := t2Workflow{
+		ID:          wf.ID,
+		Name:        wf.Annotations.Title,
+		Description: wf.Annotations.Description,
+		Author:      wf.Annotations.Author,
+		Tags:        wf.Annotations.Tags,
+	}
+	names := make([]string, len(wf.Modules))
+	used := map[string]bool{}
+	for i, m := range wf.Modules {
+		name := m.ID
+		if name == "" {
+			name = m.Label
+		}
+		if name == "" {
+			name = fmt.Sprintf("processor%d", i)
+		}
+		base := name
+		for n := 2; used[name]; n++ {
+			name = fmt.Sprintf("%s_%d", base, n)
+		}
+		used[name] = true
+		names[i] = name
+
+		p := t2Processor{
+			Name:        name,
+			Type:        m.Type,
+			Description: m.Description,
+			Script:      m.Script,
+		}
+		if m.ServiceURI != "" || m.ServiceName != "" || m.Authority != "" {
+			p.Service = &t2Service{URI: m.ServiceURI, Operation: m.ServiceName, Authority: m.Authority}
+		}
+		for _, k := range sortedKeys(m.Params) {
+			if m.Type == workflow.TypeDataflow && k == "dataflow" {
+				p.Dataflow = &t2Subflow{Ref: m.Params[k]}
+				continue
+			}
+			p.Params = append(p.Params, t2Param{Name: k, Value: m.Params[k]})
+		}
+		doc.Processors = append(doc.Processors, p)
+	}
+	for _, e := range wf.Edges {
+		doc.Datalinks = append(doc.Datalinks, t2Datalink{From: names[e.From], To: names[e.To]})
+	}
+	enc := xml.NewEncoder(w)
+	enc.Indent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		return fmt.Errorf("wfio: t2flow encode: %w", err)
+	}
+	return enc.Flush()
+}
+
+func sortedKeys(m map[string]string) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+		}
+	}
+	return keys
+}

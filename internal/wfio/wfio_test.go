@@ -1,0 +1,302 @@
+package wfio
+
+import (
+	"bytes"
+	"math/rand"
+	"strconv"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/workflow"
+)
+
+func itoa(i int) string { return strconv.Itoa(i) }
+
+const sampleT2 = `<workflow id="1189">
+  <name>KEGG pathway analysis</name>
+  <description>Retrieves KEGG pathways for genes</description>
+  <author>someone</author>
+  <tags><tag>kegg</tag><tag>pathway</tag></tags>
+  <processors>
+    <processor name="get_pathways" type="wsdl">
+      <service uri="http://soap.genome.jp/KEGG.wsdl" operation="get_pathways_by_genes" authority="kegg"/>
+    </processor>
+    <processor name="split_string" type="localworker"/>
+    <processor name="render" type="beanshell">
+      <script>img = render(p);</script>
+      <parameters><parameter name="dpi">300</parameter></parameters>
+    </processor>
+    <processor name="nested" type="dataflow">
+      <dataflow ref="child-1"/>
+    </processor>
+  </processors>
+  <datalinks>
+    <datalink from="get_pathways" to="split_string"/>
+    <datalink from="split_string" to="render"/>
+    <datalink from="render" to="nested"/>
+  </datalinks>
+</workflow>`
+
+func TestParseT2Flow(t *testing.T) {
+	wf, err := ParseT2Flow(strings.NewReader(sampleT2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wf.ID != "1189" || wf.Annotations.Title != "KEGG pathway analysis" {
+		t.Errorf("header wrong: %s %q", wf.ID, wf.Annotations.Title)
+	}
+	if len(wf.Annotations.Tags) != 2 {
+		t.Errorf("tags = %v", wf.Annotations.Tags)
+	}
+	if wf.Size() != 4 || wf.EdgeCount() != 3 {
+		t.Fatalf("size = %d edges = %d", wf.Size(), wf.EdgeCount())
+	}
+	get := wf.Modules[0]
+	if get.ServiceURI != "http://soap.genome.jp/KEGG.wsdl" || get.Authority != "kegg" {
+		t.Errorf("service attrs lost: %+v", get)
+	}
+	render := wf.Modules[2]
+	if render.Script == "" || render.Params["dpi"] != "300" {
+		t.Errorf("script/params lost: %+v", render)
+	}
+	nested := wf.Modules[3]
+	if nested.Type != workflow.TypeDataflow || nested.Params["dataflow"] != "child-1" {
+		t.Errorf("dataflow ref lost: %+v", nested)
+	}
+}
+
+func TestParseT2FlowErrors(t *testing.T) {
+	cases := map[string]string{
+		"garbage":       "not xml at all",
+		"no id":         `<workflow><processors/></workflow>`,
+		"dup processor": `<workflow id="x"><processors><processor name="a"/><processor name="a"/></processors></workflow>`,
+		"unknown from":  `<workflow id="x"><processors><processor name="a"/></processors><datalinks><datalink from="zz" to="a"/></datalinks></workflow>`,
+		"unknown to":    `<workflow id="x"><processors><processor name="a"/></processors><datalinks><datalink from="a" to="zz"/></datalinks></workflow>`,
+		"unnamed":       `<workflow id="x"><processors><processor/></processors></workflow>`,
+		"cycle": `<workflow id="x"><processors><processor name="a"/><processor name="b"/></processors>
+			<datalinks><datalink from="a" to="b"/><datalink from="b" to="a"/></datalinks></workflow>`,
+	}
+	for name, doc := range cases {
+		if _, err := ParseT2Flow(strings.NewReader(doc)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestT2FlowRoundTrip(t *testing.T) {
+	wf, err := ParseT2Flow(strings.NewReader(sampleT2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteT2Flow(&buf, wf); err != nil {
+		t.Fatal(err)
+	}
+	wf2, err := ParseT2Flow(&buf)
+	if err != nil {
+		t.Fatalf("re-parse: %v\n%s", err, buf.String())
+	}
+	assertEquivalent(t, wf, wf2)
+}
+
+const sampleGA = `{
+  "a_galaxy_workflow": "true",
+  "name": "BWA mapping",
+  "annotation": "Map reads with bwa and filter",
+  "tags": ["mapping", "bwa"],
+  "uuid": "ga-42",
+  "steps": {
+    "0": {"id": 0, "name": "Input dataset", "type": "data_input"},
+    "1": {"id": 1, "name": "BWA-MEM", "type": "tool", "tool_id": "bwa_mem", "tool_version": "0.7.17",
+          "input_connections": {"fastq": {"id": 0}}},
+    "2": {"id": 2, "name": "Filter", "label": "filter_mapped", "type": "tool", "tool_id": "samtools_view",
+          "tool_state": {"flag": "-F 4"},
+          "input_connections": {"input": {"id": 1}}},
+    "3": {"id": 3, "name": "MultiQC", "type": "tool", "tool_id": "multiqc",
+          "input_connections": {"reports": [{"id": 1}, {"id": 2}]}}
+  }
+}`
+
+func TestParseGalaxy(t *testing.T) {
+	wf, err := ParseGalaxy(strings.NewReader(sampleGA))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wf.ID != "ga-42" || wf.Annotations.Title != "BWA mapping" {
+		t.Errorf("header wrong: %s %q", wf.ID, wf.Annotations.Title)
+	}
+	// Input step dropped: 3 tool modules remain.
+	if wf.Size() != 3 {
+		t.Fatalf("size = %d, want 3 (input dropped)", wf.Size())
+	}
+	// Edges: 1->2, 1->3, 2->3 (input connection from dropped step skipped).
+	if wf.EdgeCount() != 3 {
+		t.Fatalf("edges = %v", wf.Edges)
+	}
+	bwa := wf.Modules[0]
+	if bwa.ServiceName != "bwa_mem" || bwa.Params["version"] != "0.7.17" {
+		t.Errorf("tool attrs lost: %+v", bwa)
+	}
+	filter := wf.Modules[1]
+	if filter.Label != "filter_mapped" || filter.Params["flag"] != "-F 4" {
+		t.Errorf("label/state lost: %+v", filter)
+	}
+	for _, m := range wf.Modules {
+		if m.Type != workflow.TypeTool {
+			t.Errorf("module type = %q, want tool", m.Type)
+		}
+	}
+}
+
+func TestParseGalaxyErrors(t *testing.T) {
+	cases := map[string]string{
+		"garbage":      `{{{`,
+		"no id":        `{"steps":{}}`,
+		"unknown step": `{"uuid":"x","steps":{"1":{"id":1,"type":"tool","input_connections":{"i":{"id":99}}}}}`,
+	}
+	for name, doc := range cases {
+		if _, err := ParseGalaxy(strings.NewReader(doc)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestGalaxyRoundTrip(t *testing.T) {
+	wf, err := ParseGalaxy(strings.NewReader(sampleGA))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteGalaxy(&buf, wf); err != nil {
+		t.Fatal(err)
+	}
+	wf2, err := ParseGalaxy(&buf)
+	if err != nil {
+		t.Fatalf("re-parse: %v\n%s", err, buf.String())
+	}
+	assertEquivalent(t, wf, wf2)
+}
+
+// assertEquivalent checks structural and annotation equality up to module
+// order (which both round trips preserve).
+func assertEquivalent(t *testing.T, a, b *workflow.Workflow) {
+	t.Helper()
+	if a.Size() != b.Size() || a.EdgeCount() != b.EdgeCount() {
+		t.Fatalf("shape differs: %dx%d vs %dx%d", a.Size(), a.EdgeCount(), b.Size(), b.EdgeCount())
+	}
+	if a.Annotations.Title != b.Annotations.Title || a.Annotations.Description != b.Annotations.Description {
+		t.Error("annotations differ")
+	}
+	if len(a.Annotations.Tags) != len(b.Annotations.Tags) {
+		t.Error("tags differ")
+	}
+	for i := range a.Modules {
+		ma, mb := a.Modules[i], b.Modules[i]
+		if ma.Label != mb.Label || ma.ServiceName != mb.ServiceName || ma.Script != mb.Script {
+			t.Errorf("module %d differs: %+v vs %+v", i, ma, mb)
+		}
+	}
+	for _, e := range a.Edges {
+		if !b.HasEdge(e.From, e.To) {
+			t.Errorf("edge %v lost", e)
+		}
+	}
+}
+
+// randomWorkflow builds a random valid workflow for round-trip property
+// tests.
+func randomWorkflow(r *rand.Rand) *workflow.Workflow {
+	wf := workflow.New("wf-" + itoa(r.Intn(1000)))
+	wf.Annotations.Title = "T" + itoa(r.Intn(100))
+	n := r.Intn(6) + 1
+	types := []string{workflow.TypeWSDL, workflow.TypeBeanshell, workflow.TypeLocalWorker, workflow.TypeTool}
+	for i := 0; i < n; i++ {
+		wf.AddModule(&workflow.Module{
+			ID:          "m" + itoa(i),
+			Label:       "mod" + itoa(r.Intn(8)),
+			Type:        types[r.Intn(len(types))],
+			ServiceName: "svc" + itoa(r.Intn(4)),
+		})
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if r.Intn(3) == 0 {
+				_ = wf.AddEdge(i, j)
+			}
+		}
+	}
+	return wf
+}
+
+func TestPropertyT2FlowRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		wf := randomWorkflow(r)
+		var buf bytes.Buffer
+		if err := WriteT2Flow(&buf, wf); err != nil {
+			return false
+		}
+		wf2, err := ParseT2Flow(&buf)
+		if err != nil {
+			return false
+		}
+		return wf2.Size() == wf.Size() && wf2.EdgeCount() == wf.EdgeCount()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyGalaxyRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		wf := randomWorkflow(r)
+		var buf bytes.Buffer
+		if err := WriteGalaxy(&buf, wf); err != nil {
+			return false
+		}
+		wf2, err := ParseGalaxy(&buf)
+		if err != nil {
+			return false
+		}
+		return wf2.Size() == wf.Size() && wf2.EdgeCount() == wf.EdgeCount()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestT2FlowInlineIntegration(t *testing.T) {
+	// Parse a parent referencing a child dataflow, then inline it via a
+	// resolver backed by parsed workflows — the paper's subworkflow
+	// preparation pipeline.
+	child := `<workflow id="child-1">
+	  <name>child</name>
+	  <processors>
+	    <processor name="inner" type="wsdl"><service uri="http://x" operation="op" authority="a"/></processor>
+	  </processors>
+	</workflow>`
+	cw, err := ParseT2Flow(strings.NewReader(child))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pw, err := ParseT2Flow(strings.NewReader(sampleT2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	flat := pw.Inline(func(m *workflow.Module) *workflow.Workflow {
+		if m.Params["dataflow"] == "child-1" {
+			return cw
+		}
+		return nil
+	}, 0)
+	if flat.Size() != 4 { // nested replaced by 1 inner module
+		t.Fatalf("inlined size = %d, want 4", flat.Size())
+	}
+	for _, m := range flat.Modules {
+		if m.Type == workflow.TypeDataflow {
+			t.Error("dataflow survived inlining")
+		}
+	}
+}

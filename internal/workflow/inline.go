@@ -1,0 +1,118 @@
+package workflow
+
+// Subworkflow inlining. myExperiment Taverna workflows may nest dataflows:
+// a module of type "dataflow" stands for an embedded child workflow. The
+// paper's corpus preparation (Section 4.1) inlines subworkflows during
+// import; Inline reproduces that transformation.
+
+// SubworkflowResolver maps a dataflow module to the child workflow it embeds.
+// The module's Params["dataflow"] value conventionally holds the child's ID.
+type SubworkflowResolver func(m *Module) *Workflow
+
+// Inline returns a copy of w in which every module of TypeDataflow that the
+// resolver can resolve is replaced by the child workflow's modules:
+//
+//   - predecessors of the dataflow module are connected to the child's
+//     source modules,
+//   - the child's sink modules are connected to the dataflow module's
+//     successors,
+//   - the child's internal edges are preserved.
+//
+// Unresolvable dataflow modules are kept as ordinary modules. Nested
+// subworkflows are expanded recursively up to maxDepth levels (guarding
+// against recursive definitions); maxDepth <= 0 means a default of 8.
+func (w *Workflow) Inline(resolve SubworkflowResolver, maxDepth int) *Workflow {
+	if maxDepth <= 0 {
+		maxDepth = 8
+	}
+	cur := w
+	for depth := 0; depth < maxDepth; depth++ {
+		next, expanded := cur.inlineOnce(resolve)
+		if !expanded {
+			return next
+		}
+		cur = next
+	}
+	return cur
+}
+
+func (w *Workflow) inlineOnce(resolve SubworkflowResolver) (*Workflow, bool) {
+	hasDataflow := false
+	for _, m := range w.Modules {
+		if m.Type == TypeDataflow && resolve != nil && resolve(m) != nil {
+			hasDataflow = true
+			break
+		}
+	}
+	if !hasDataflow {
+		return w.Clone(), false
+	}
+
+	out := New(w.ID)
+	out.Annotations = w.Clone().Annotations
+
+	// For each original module index, record either its index in out, or the
+	// child graph's source/sink indexes in out if it was expanded.
+	type expansion struct {
+		plain   int   // index in out when not expanded, else -1
+		sources []int // indexes in out of the child's sources
+		sinks   []int // indexes in out of the child's sinks
+	}
+	exp := make([]expansion, len(w.Modules))
+
+	for i, m := range w.Modules {
+		child := (*Workflow)(nil)
+		if m.Type == TypeDataflow && resolve != nil {
+			child = resolve(m)
+		}
+		if child == nil {
+			exp[i] = expansion{plain: out.AddModule(m.Clone())}
+			continue
+		}
+		remap := make([]int, len(child.Modules))
+		for j, cm := range child.Modules {
+			nm := cm.Clone()
+			// Qualify nested module IDs so Validate's uniqueness holds.
+			if nm.ID != "" {
+				nm.ID = m.ID + "/" + nm.ID
+			}
+			remap[j] = out.AddModule(nm)
+		}
+		for _, e := range child.Edges {
+			_ = out.AddEdge(remap[e.From], remap[e.To])
+		}
+		e := expansion{plain: -1}
+		for _, s := range child.Sources() {
+			e.sources = append(e.sources, remap[s])
+		}
+		for _, s := range child.Sinks() {
+			e.sinks = append(e.sinks, remap[s])
+		}
+		if len(child.Modules) == 0 {
+			// Empty child: treat as removed; edges through it are dropped.
+			e.sources, e.sinks = nil, nil
+		}
+		exp[i] = e
+	}
+
+	outsOf := func(i int) []int {
+		if exp[i].plain >= 0 {
+			return []int{exp[i].plain}
+		}
+		return exp[i].sinks
+	}
+	insOf := func(i int) []int {
+		if exp[i].plain >= 0 {
+			return []int{exp[i].plain}
+		}
+		return exp[i].sources
+	}
+	for _, e := range w.Edges {
+		for _, u := range outsOf(e.From) {
+			for _, v := range insOf(e.To) {
+				_ = out.AddEdge(u, v)
+			}
+		}
+	}
+	return out, true
+}

@@ -1,0 +1,249 @@
+package workflow
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Edge is a datalink from one module to another, identified by their indexes
+// in the owning workflow's Modules slice. Data flows From -> To.
+type Edge struct {
+	From int `json:"from"`
+	To   int `json:"to"`
+}
+
+// Annotations is the repository metadata recorded alongside a workflow when
+// it is uploaded: a title, a free-form description, keyword tags and the
+// uploading author. Annotation-based similarity measures (Bag of Words,
+// Bag of Tags) operate exclusively on this data.
+type Annotations struct {
+	Title       string   `json:"title"`
+	Description string   `json:"description,omitempty"`
+	Tags        []string `json:"tags,omitempty"`
+	Author      string   `json:"author,omitempty"`
+}
+
+// Workflow is a scientific workflow: a DAG of modules joined by datalinks,
+// together with its repository annotations.
+//
+// Modules are stored in a slice; edges refer to modules by index. The zero
+// value is an empty workflow ready for use via AddModule/AddEdge.
+type Workflow struct {
+	// ID uniquely identifies the workflow within a repository.
+	ID string `json:"id"`
+	// Annotations holds the author-provided repository metadata.
+	Annotations Annotations `json:"annotations"`
+	// Modules are the data-processing steps, in insertion order.
+	Modules []*Module `json:"modules"`
+	// Edges are the datalinks between modules, by module index.
+	Edges []Edge `json:"edges"`
+
+	// adjacency caches, built lazily and invalidated by mutation.
+	succ [][]int
+	pred [][]int
+}
+
+// New returns an empty workflow with the given repository ID.
+func New(id string) *Workflow {
+	return &Workflow{ID: id}
+}
+
+// ErrCycle is returned by Validate and TopoSort when the datalink graph
+// contains a directed cycle and therefore is not a DAG.
+var ErrCycle = errors.New("workflow: datalink graph contains a cycle")
+
+// AddModule appends m and returns its index.
+func (w *Workflow) AddModule(m *Module) int {
+	w.Modules = append(w.Modules, m)
+	w.invalidate()
+	return len(w.Modules) - 1
+}
+
+// AddEdge adds a datalink from module index from to module index to.
+// It returns an error if either endpoint is out of range or the edge is a
+// self-loop. Duplicate edges are ignored.
+func (w *Workflow) AddEdge(from, to int) error {
+	if from < 0 || from >= len(w.Modules) {
+		return fmt.Errorf("workflow %s: edge source %d out of range [0,%d)", w.ID, from, len(w.Modules))
+	}
+	if to < 0 || to >= len(w.Modules) {
+		return fmt.Errorf("workflow %s: edge target %d out of range [0,%d)", w.ID, to, len(w.Modules))
+	}
+	if from == to {
+		return fmt.Errorf("workflow %s: self-loop on module %d", w.ID, from)
+	}
+	for _, e := range w.Edges {
+		if e.From == from && e.To == to {
+			return nil
+		}
+	}
+	w.Edges = append(w.Edges, Edge{From: from, To: to})
+	w.invalidate()
+	return nil
+}
+
+func (w *Workflow) invalidate() {
+	w.succ = nil
+	w.pred = nil
+}
+
+// Size returns the number of modules, |V|.
+func (w *Workflow) Size() int { return len(w.Modules) }
+
+// EdgeCount returns the number of datalinks, |E|.
+func (w *Workflow) EdgeCount() int { return len(w.Edges) }
+
+// Successors returns the indexes of modules directly downstream of i.
+// The returned slice is shared cache state and must not be modified.
+func (w *Workflow) Successors(i int) []int {
+	w.buildAdjacency()
+	return w.succ[i]
+}
+
+// Predecessors returns the indexes of modules directly upstream of i.
+// The returned slice is shared cache state and must not be modified.
+func (w *Workflow) Predecessors(i int) []int {
+	w.buildAdjacency()
+	return w.pred[i]
+}
+
+func (w *Workflow) buildAdjacency() {
+	if w.succ != nil {
+		return
+	}
+	n := len(w.Modules)
+	w.succ = make([][]int, n)
+	w.pred = make([][]int, n)
+	for _, e := range w.Edges {
+		w.succ[e.From] = append(w.succ[e.From], e.To)
+		w.pred[e.To] = append(w.pred[e.To], e.From)
+	}
+}
+
+// Sources returns the indexes of modules without inbound datalinks.
+func (w *Workflow) Sources() []int {
+	w.buildAdjacency()
+	var src []int
+	for i := range w.Modules {
+		if len(w.pred[i]) == 0 {
+			src = append(src, i)
+		}
+	}
+	return src
+}
+
+// Sinks returns the indexes of modules without outbound datalinks.
+func (w *Workflow) Sinks() []int {
+	w.buildAdjacency()
+	var snk []int
+	for i := range w.Modules {
+		if len(w.succ[i]) == 0 {
+			snk = append(snk, i)
+		}
+	}
+	return snk
+}
+
+// TopoSort returns the module indexes in a topological order of the datalink
+// graph, or ErrCycle if the graph is not acyclic.
+func (w *Workflow) TopoSort() ([]int, error) {
+	w.buildAdjacency()
+	n := len(w.Modules)
+	indeg := make([]int, n)
+	for _, e := range w.Edges {
+		indeg[e.To]++
+	}
+	queue := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		if indeg[i] == 0 {
+			queue = append(queue, i)
+		}
+	}
+	order := make([]int, 0, n)
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		order = append(order, v)
+		for _, s := range w.succ[v] {
+			indeg[s]--
+			if indeg[s] == 0 {
+				queue = append(queue, s)
+			}
+		}
+	}
+	if len(order) != n {
+		return nil, ErrCycle
+	}
+	return order, nil
+}
+
+// Validate checks structural integrity: edge endpoints in range, no
+// self-loops, no duplicate edges, acyclicity, and module IDs unique.
+func (w *Workflow) Validate() error {
+	n := len(w.Modules)
+	seen := make(map[Edge]bool, len(w.Edges))
+	for _, e := range w.Edges {
+		if e.From < 0 || e.From >= n || e.To < 0 || e.To >= n {
+			return fmt.Errorf("workflow %s: edge %v out of range", w.ID, e)
+		}
+		if e.From == e.To {
+			return fmt.Errorf("workflow %s: self-loop %v", w.ID, e)
+		}
+		if seen[e] {
+			return fmt.Errorf("workflow %s: duplicate edge %v", w.ID, e)
+		}
+		seen[e] = true
+	}
+	ids := make(map[string]bool, n)
+	for _, m := range w.Modules {
+		if m == nil {
+			return fmt.Errorf("workflow %s: nil module", w.ID)
+		}
+		if m.ID != "" {
+			if ids[m.ID] {
+				return fmt.Errorf("workflow %s: duplicate module id %q", w.ID, m.ID)
+			}
+			ids[m.ID] = true
+		}
+	}
+	if _, err := w.TopoSort(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Clone returns a deep copy of the workflow.
+func (w *Workflow) Clone() *Workflow {
+	c := &Workflow{
+		ID: w.ID,
+		Annotations: Annotations{
+			Title:       w.Annotations.Title,
+			Description: w.Annotations.Description,
+			Author:      w.Annotations.Author,
+		},
+	}
+	if w.Annotations.Tags != nil {
+		c.Annotations.Tags = append([]string(nil), w.Annotations.Tags...)
+	}
+	c.Modules = make([]*Module, len(w.Modules))
+	for i, m := range w.Modules {
+		c.Modules[i] = m.Clone()
+	}
+	c.Edges = append([]Edge(nil), w.Edges...)
+	return c
+}
+
+// HasEdge reports whether a datalink from -> to exists.
+func (w *Workflow) HasEdge(from, to int) bool {
+	for _, e := range w.Edges {
+		if e.From == from && e.To == to {
+			return true
+		}
+	}
+	return false
+}
+
+// String implements fmt.Stringer.
+func (w *Workflow) String() string {
+	return fmt.Sprintf("workflow %s (%d modules, %d edges)", w.ID, len(w.Modules), len(w.Edges))
+}
