@@ -16,7 +16,7 @@ import (
 	"strings"
 	"time"
 
-	"repro/internal/experiments"
+	"repro/pkg/experiments"
 )
 
 func main() {

@@ -6,11 +6,9 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
-	"repro/internal/cluster"
-	"repro/internal/corpus"
-	"repro/internal/wfio"
-	"repro/internal/workflow"
+	"repro/pkg/wfsim"
 )
 
 // cmdImport converts external workflow files (Taverna-style XML, Galaxy .ga
@@ -26,18 +24,18 @@ func cmdImport(args []string) error {
 		return fmt.Errorf("import: no input files given")
 	}
 
-	var wfs []*workflow.Workflow
+	var wfs []*wfsim.Workflow
 	for _, path := range fs.Args() {
 		f, err := os.Open(path)
 		if err != nil {
 			return err
 		}
-		var wf *workflow.Workflow
+		var wf *wfsim.Workflow
 		switch *format {
 		case "t2flow":
-			wf, err = wfio.ParseT2Flow(f)
+			wf, err = wfsim.ParseT2Flow(f)
 		case "galaxy":
-			wf, err = wfio.ParseGalaxy(f)
+			wf, err = wfsim.ParseGalaxy(f)
 		default:
 			f.Close()
 			return fmt.Errorf("import: unknown format %q", *format)
@@ -50,11 +48,11 @@ func cmdImport(args []string) error {
 	}
 
 	if *inline {
-		byID := map[string]*workflow.Workflow{}
+		byID := map[string]*wfsim.Workflow{}
 		for _, wf := range wfs {
 			byID[wf.ID] = wf
 		}
-		resolve := func(m *workflow.Module) *workflow.Workflow {
+		resolve := func(m *wfsim.Module) *wfsim.Workflow {
 			return byID[m.Params["dataflow"]]
 		}
 		for i, wf := range wfs {
@@ -62,7 +60,7 @@ func cmdImport(args []string) error {
 		}
 	}
 
-	repo, err := corpus.NewRepository(wfs...)
+	repo, err := wfsim.NewRepository(wfs...)
 	if err != nil {
 		return err
 	}
@@ -83,11 +81,11 @@ func cmdExport(args []string) error {
 	ids := fs.String("ids", "", "comma-separated workflow IDs (default: all)")
 	fs.Parse(args)
 
-	repo, err := corpus.LoadFile(*corpusPath)
+	repo, err := wfsim.LoadRepository(*corpusPath)
 	if err != nil {
 		return err
 	}
-	var selected []*workflow.Workflow
+	var selected []*wfsim.Workflow
 	if *ids == "" {
 		selected = repo.Workflows()
 	} else {
@@ -111,9 +109,9 @@ func cmdExport(args []string) error {
 		}
 		switch *format {
 		case "t2flow":
-			err = wfio.WriteT2Flow(f, wf)
+			err = wfsim.WriteT2Flow(f, wf)
 		case "galaxy":
-			err = wfio.WriteGalaxy(f, wf)
+			err = wfsim.WriteGalaxy(f, wf)
 		default:
 			f.Close()
 			return fmt.Errorf("export: unknown format %q", *format)
@@ -134,44 +132,50 @@ func cmdExport(args []string) error {
 func cmdCluster(args []string) error {
 	fs := flag.NewFlagSet("cluster", flag.ExitOnError)
 	corpusPath := fs.String("corpus", "corpus.json", "corpus file")
-	measureName := fs.String("measure", "MS_ip_te_pll", "measure name")
+	measureName := fs.String("measure", "", "measure name (default MS_ip_te_pll)")
 	minSim := fs.Float64("minsim", 0.5, "minimum average linkage similarity")
 	method := fs.String("method", "agglomerative", "clustering method: agglomerative or components")
 	limit := fs.Int("limit", 10, "max clusters to print")
+	timeout := fs.Duration("timeout", 0, "whole-clustering deadline (0 = none)")
 	fs.Parse(args)
 
-	repo, err := corpus.LoadFile(*corpusPath)
+	eng, err := newEngine(*corpusPath)
 	if err != nil {
 		return err
 	}
-	m, err := parseMeasure(*measureName)
-	if err != nil {
-		return err
-	}
-	mat := cluster.BuildMatrix(repo, m, 0)
-	var c cluster.Clustering
+	var single bool
 	switch *method {
 	case "agglomerative":
-		c = cluster.Agglomerative(mat, *minSim)
 	case "components":
-		c = cluster.Components(mat, *minSim)
+		single = true
 	default:
 		return fmt.Errorf("cluster: unknown method %q", *method)
 	}
-	fmt.Printf("%d clusters over %d workflows (%s, minsim %.2f, %d pairs skipped)\n",
-		c.K, repo.Size(), m.Name(), *minSim, mat.Skipped)
-	for k, members := range c.Members() {
+	ctx, cancel := contextFor(*timeout)
+	defer cancel()
+	t0 := time.Now()
+	res, err := eng.Cluster(ctx, wfsim.ClusterOptions{
+		Measure:       *measureName,
+		MinSimilarity: minSim,
+		SingleLinkage: single,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%d clusters over %d workflows (%s, minsim %.2f, %d pairs skipped, %v)\n",
+		len(res.Clusters), eng.Repository().Size(), res.Measure, *minSim, res.Skipped, time.Since(t0).Round(time.Millisecond))
+	for k, members := range res.Clusters {
 		if k >= *limit {
-			fmt.Printf("... and %d more clusters\n", c.K-*limit)
+			fmt.Printf("... and %d more clusters\n", len(res.Clusters)-*limit)
 			break
 		}
 		fmt.Printf("cluster %d (%d workflows):", k, len(members))
-		for i, pos := range members {
+		for i, id := range members {
 			if i >= 6 {
 				fmt.Printf(" +%d more", len(members)-6)
 				break
 			}
-			fmt.Printf(" %s", mat.IDs[pos])
+			fmt.Printf(" %s", id)
 		}
 		fmt.Println()
 	}

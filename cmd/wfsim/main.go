@@ -1,30 +1,30 @@
 // Command wfsim is the user-facing CLI of the workflow similarity library:
 // it generates corpora, compares workflow pairs under any measure
 // configuration, runs top-k similarity search, and ranks candidate lists.
+// It is built entirely on the public Engine facade of repro/pkg/wfsim.
 //
 // Usage:
 //
-//	wfsim gen    -profile taverna|galaxy -seed N -out corpus.json
+//	wfsim gen     -profile taverna|galaxy -seed N -out corpus.json
 //	wfsim compare -corpus corpus.json -a ID -b ID [-measure NAME]
-//	wfsim search -corpus corpus.json -query ID [-measure NAME] [-k 10]
-//	wfsim dupes  -corpus corpus.json [-measure NAME] [-threshold 0.95]
+//	wfsim search  -corpus corpus.json -query ID [-measure NAME] [-k 10]
+//	wfsim dupes   -corpus corpus.json [-measure NAME] [-threshold 0.95]
+//	wfsim measures
 //
 // Measure names follow the paper's notation: BW, BT, or
 // {MS|PS|GE}_{np|ip}_{ta|tm|te}_{pw0|pw3|pll|plm|gw1|gll},
-// e.g. MS_ip_te_pll (the paper's best structural configuration).
+// e.g. MS_ip_te_pll (the paper's best structural configuration), plus
+// shorthand like MS_plm and ensembles like "ensemble(BW,MS_ip_te_pll)".
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"time"
 
-	"repro/internal/corpus"
-	"repro/internal/gen"
-	"repro/internal/measures"
-	"repro/internal/repoknow"
-	"repro/internal/search"
+	"repro/pkg/wfsim"
 )
 
 func main() {
@@ -50,6 +50,8 @@ func main() {
 		err = cmdCluster(os.Args[2:])
 	case "rank":
 		err = cmdRank(os.Args[2:])
+	case "measures":
+		err = cmdMeasures(os.Args[2:])
 	default:
 		usage()
 		os.Exit(2)
@@ -61,15 +63,34 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: wfsim <gen|compare|search|dupes|import|export|cluster> [flags]
-  gen     -profile taverna|galaxy -seed N -out corpus.json
-  compare -corpus corpus.json -a ID -b ID [-measure MS_ip_te_pll]
-  search  -corpus corpus.json -query ID [-measure MS_ip_te_pll] [-k 10]
-  dupes   -corpus corpus.json [-measure MS_np_ta_pll] [-threshold 0.95]
-  import  -format t2flow|galaxy -out corpus.json file...
-  export  -corpus corpus.json -format t2flow|galaxy -dir DIR [-ids 1,2]
-  cluster -corpus corpus.json [-measure MS_ip_te_pll] [-minsim 0.5]
-  rank    -corpus corpus.json -query ID -candidates 1,2,3 [-measures BW,MS_ip_te_pll]`)
+	fmt.Fprintln(os.Stderr, `usage: wfsim <gen|compare|search|dupes|import|export|cluster|rank|measures> [flags]
+  gen      -profile taverna|galaxy -seed N -out corpus.json
+  compare  -corpus corpus.json -a ID -b ID [-measure MS_ip_te_pll]
+  search   -corpus corpus.json -query ID [-measure MS_ip_te_pll] [-k 10] [-timeout 30s] [-index]
+  dupes    -corpus corpus.json [-measure MS_np_ta_pll] [-threshold 0.95]
+  import   -format t2flow|galaxy -out corpus.json file...
+  export   -corpus corpus.json -format t2flow|galaxy -dir DIR [-ids 1,2]
+  cluster  -corpus corpus.json [-measure MS_ip_te_pll] [-minsim 0.5]
+  rank     -corpus corpus.json -query ID -candidates 1,2,3 [-measures BW,MS_ip_te_pll]
+  measures`)
+}
+
+// newEngine loads a corpus and builds an Engine with the CLI's interactive
+// defaults.
+func newEngine(corpusPath string, opts ...wfsim.Option) (*wfsim.Engine, error) {
+	repo, err := wfsim.LoadRepository(corpusPath)
+	if err != nil {
+		return nil, err
+	}
+	return wfsim.New(repo, opts...)
+}
+
+// contextFor returns a context honoring an optional -timeout flag value.
+func contextFor(timeout time.Duration) (context.Context, context.CancelFunc) {
+	if timeout > 0 {
+		return context.WithTimeout(context.Background(), timeout)
+	}
+	return context.WithCancel(context.Background())
 }
 
 func cmdGen(args []string) error {
@@ -80,12 +101,12 @@ func cmdGen(args []string) error {
 	n := fs.Int("n", 0, "override workflow count (0 = profile default)")
 	fs.Parse(args)
 
-	var p gen.Profile
+	var p wfsim.Profile
 	switch *profile {
 	case "taverna":
-		p = gen.Taverna()
+		p = wfsim.TavernaProfile()
 	case "galaxy":
-		p = gen.Galaxy()
+		p = wfsim.GalaxyProfile()
 	default:
 		return fmt.Errorf("unknown profile %q", *profile)
 	}
@@ -95,7 +116,7 @@ func cmdGen(args []string) error {
 			p.Clusters = *n
 		}
 	}
-	c, err := gen.Generate(p, *seed)
+	c, err := wfsim.GenerateCorpus(p, *seed)
 	if err != nil {
 		return err
 	}
@@ -106,16 +127,6 @@ func cmdGen(args []string) error {
 	return nil
 }
 
-// parseMeasure resolves a measure name in the paper's notation, wiring in a
-// shared importance projector and a generous interactive GED budget.
-func parseMeasure(name string) (measures.Measure, error) {
-	return measures.Parse(name, measures.ParseOptions{
-		Project:      repoknow.NewProjector(repoknow.TypeScorer{}, 0.5).Project,
-		GEDDeadline:  5 * time.Second,
-		GEDBeamWidth: 64,
-	})
-}
-
 func cmdCompare(args []string) error {
 	fs := flag.NewFlagSet("compare", flag.ExitOnError)
 	corpusPath := fs.String("corpus", "corpus.json", "corpus file")
@@ -124,30 +135,29 @@ func cmdCompare(args []string) error {
 	measureName := fs.String("measure", "", "measure name (default: a representative set)")
 	fs.Parse(args)
 
-	repo, err := corpus.LoadFile(*corpusPath)
+	eng, err := newEngine(*corpusPath)
 	if err != nil {
 		return err
 	}
-	wa, wb := repo.Get(*a), repo.Get(*b)
+	wa, wb := eng.Workflow(*a), eng.Workflow(*b)
 	if wa == nil || wb == nil {
 		return fmt.Errorf("workflow %q or %q not found", *a, *b)
 	}
-	names := []string{"BW", "BT", "MS_np_ta_pll", "MS_ip_te_pll", "PS_ip_te_pll", "GE_ip_te_pll"}
+	var names []string
 	if *measureName != "" {
 		names = []string{*measureName}
 	}
+	scores, err := eng.Compare(context.Background(), wa, wb, names...)
+	if err != nil {
+		return err
+	}
 	fmt.Printf("%s (%d modules) vs %s (%d modules)\n", wa.ID, wa.Size(), wb.ID, wb.Size())
-	for _, n := range names {
-		m, err := parseMeasure(n)
-		if err != nil {
-			return err
-		}
-		s, err := m.Compare(wa, wb)
-		if err != nil {
-			fmt.Printf("  %-16s error: %v\n", m.Name(), err)
+	for _, s := range scores {
+		if s.Err != nil {
+			fmt.Printf("  %-16s error: %v\n", s.Measure, s.Err)
 			continue
 		}
-		fmt.Printf("  %-16s %.4f\n", m.Name(), s)
+		fmt.Printf("  %-16s %.4f\n", s.Measure, s.Similarity)
 	}
 	return nil
 }
@@ -156,28 +166,32 @@ func cmdSearch(args []string) error {
 	fs := flag.NewFlagSet("search", flag.ExitOnError)
 	corpusPath := fs.String("corpus", "corpus.json", "corpus file")
 	query := fs.String("query", "", "query workflow ID")
-	measureName := fs.String("measure", "MS_ip_te_pll", "measure name")
+	measureName := fs.String("measure", "", "measure name (default MS_ip_te_pll)")
 	k := fs.Int("k", 10, "number of results")
+	timeout := fs.Duration("timeout", 0, "whole-search deadline (0 = none)")
+	useIndex := fs.Bool("index", false, "filter-and-refine via the inverted label index")
 	fs.Parse(args)
 
-	repo, err := corpus.LoadFile(*corpusPath)
+	var opts []wfsim.Option
+	if *useIndex {
+		opts = append(opts, wfsim.WithIndex(1))
+	}
+	eng, err := newEngine(*corpusPath, opts...)
 	if err != nil {
 		return err
 	}
-	q := repo.Get(*query)
-	if q == nil {
-		return fmt.Errorf("query workflow %q not found", *query)
-	}
-	m, err := parseMeasure(*measureName)
+	ctx, cancel := contextFor(*timeout)
+	defer cancel()
+	results, stats, err := eng.SearchID(ctx, *query, wfsim.SearchOptions{Measure: *measureName, K: *k})
 	if err != nil {
 		return err
 	}
-	t0 := time.Now()
-	results, skipped := search.TopK(q, repo, m, search.Options{K: *k})
-	fmt.Printf("top-%d for %q (%s) over %d workflows in %v (%d pairs skipped)\n",
-		*k, q.ID, q.Annotations.Title, repo.Size(), time.Since(t0).Round(time.Millisecond), skipped)
+	q := eng.Workflow(*query)
+	fmt.Printf("top-%d for %q (%s) by %s: scored %d, pruned %d, skipped %d in %v\n",
+		*k, q.ID, q.Annotations.Title, stats.Measure,
+		stats.Scored, stats.Pruned, stats.Skipped, stats.Elapsed.Round(time.Millisecond))
 	for i, r := range results {
-		wf := repo.Get(r.ID)
+		wf := eng.Workflow(r.ID)
 		fmt.Printf("%2d. %-8s %.4f  %s\n", i+1, r.ID, r.Similarity, wf.Annotations.Title)
 	}
 	return nil
@@ -189,20 +203,21 @@ func cmdDupes(args []string) error {
 	measureName := fs.String("measure", "MS_np_ta_pll", "measure name")
 	threshold := fs.Float64("threshold", 0.95, "duplicate similarity threshold")
 	limit := fs.Int("limit", 25, "max pairs to print")
+	timeout := fs.Duration("timeout", 0, "whole-scan deadline (0 = none)")
 	fs.Parse(args)
 
-	repo, err := corpus.LoadFile(*corpusPath)
+	eng, err := newEngine(*corpusPath)
 	if err != nil {
 		return err
 	}
-	m, err := parseMeasure(*measureName)
+	ctx, cancel := contextFor(*timeout)
+	defer cancel()
+	pairs, stats, err := eng.Duplicates(ctx, *threshold, wfsim.DuplicateOptions{Measure: *measureName})
 	if err != nil {
 		return err
 	}
-	t0 := time.Now()
-	pairs := search.Duplicates(repo, m, *threshold, 0)
-	fmt.Printf("%d near-duplicate pairs (>= %.2f under %s) among %d workflows in %v\n",
-		len(pairs), *threshold, m.Name(), repo.Size(), time.Since(t0).Round(time.Millisecond))
+	fmt.Printf("%d near-duplicate pairs (>= %.2f under %s) among %d workflows in %v (%d pairs skipped)\n",
+		len(pairs), *threshold, stats.Measure, eng.Repository().Size(), stats.Elapsed.Round(time.Millisecond), stats.Skipped)
 	for i, p := range pairs {
 		if i >= *limit {
 			fmt.Printf("... and %d more\n", len(pairs)-*limit)
@@ -210,5 +225,20 @@ func cmdDupes(args []string) error {
 		}
 		fmt.Printf("  %-8s %-8s %.4f\n", p.A, p.B, p.Similarity)
 	}
+	return nil
+}
+
+// cmdMeasures lists the measure notation the registry resolves.
+func cmdMeasures(args []string) error {
+	fs := flag.NewFlagSet("measures", flag.ExitOnError)
+	fs.Parse(args)
+	reg := wfsim.NewRegistry()
+	fmt.Println("annotation and structural measures (paper notation):")
+	for _, name := range reg.Builtin() {
+		fmt.Printf("  %s\n", name)
+	}
+	fmt.Println(`suffixes: _greedy (greedy module mapping), _nonorm (no normalization)
+shorthand: missing np/ip defaults to np, missing ta/tm/te to ta (MS_plm = MS_np_ta_plm)
+ensembles: ENS(BW+MS_ip_te_pll) or ensemble(BW, MS_ip_te_pll), arbitrarily nested`)
 	return nil
 }

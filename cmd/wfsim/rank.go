@@ -5,9 +5,7 @@ import (
 	"fmt"
 	"strings"
 
-	"repro/internal/corpus"
-	"repro/internal/measures"
-	"repro/internal/rank"
+	"repro/pkg/wfsim"
 )
 
 // cmdRank ranks a set of candidate workflows against a query workflow under
@@ -22,11 +20,11 @@ func cmdRank(args []string) error {
 	measureNames := fs.String("measures", "BW,MS_ip_te_pll", "comma-separated measure names")
 	fs.Parse(args)
 
-	repo, err := corpus.LoadFile(*corpusPath)
+	eng, err := newEngine(*corpusPath)
 	if err != nil {
 		return err
 	}
-	q := repo.Get(*query)
+	q := eng.Workflow(*query)
 	if q == nil {
 		return fmt.Errorf("rank: query workflow %q not found", *query)
 	}
@@ -36,7 +34,7 @@ func cmdRank(args []string) error {
 		if id == "" {
 			continue
 		}
-		if repo.Get(id) == nil {
+		if eng.Workflow(id) == nil {
 			return fmt.Errorf("rank: candidate %q not found", id)
 		}
 		candidates = append(candidates, id)
@@ -45,36 +43,40 @@ func cmdRank(args []string) error {
 		return fmt.Errorf("rank: need at least two candidates")
 	}
 
-	var ms []measures.Measure
+	var names []string
 	for _, name := range strings.Split(*measureNames, ",") {
-		m, err := parseMeasure(strings.TrimSpace(name))
+		if name = strings.TrimSpace(name); name != "" {
+			names = append(names, name)
+		}
+	}
+
+	var rankings []wfsim.Ranking
+	var canonical []string
+	for _, name := range names {
+		m, err := eng.ParseMeasure(name)
 		if err != nil {
 			return err
 		}
-		ms = append(ms, m)
-	}
-
-	var rankings []rank.Ranking
-	for _, m := range ms {
 		scores := map[string]float64{}
 		for _, id := range candidates {
-			s, err := m.Compare(q, repo.Get(id))
+			s, err := m.Compare(q, eng.Workflow(id))
 			if err != nil {
 				fmt.Printf("%-20s skipping %s: %v\n", m.Name(), id, err)
 				continue
 			}
 			scores[id] = s
 		}
-		r := rank.FromScores(scores, 1e-9)
+		r := wfsim.RankingFromScores(scores, 1e-9)
 		rankings = append(rankings, r)
+		canonical = append(canonical, m.Name())
 		fmt.Printf("%-20s %s\n", m.Name(), r)
 	}
 	if len(rankings) > 1 {
-		consensus := rank.BioConsert(rankings)
+		consensus := wfsim.ConsensusRanking(rankings)
 		fmt.Printf("%-20s %s\n", "consensus", consensus)
-		for i, m := range ms {
+		for i, label := range canonical {
 			fmt.Printf("  correctness(%s vs consensus) = %.3f\n",
-				m.Name(), rank.Correctness(consensus, rankings[i]))
+				label, wfsim.RankingCorrectness(consensus, rankings[i]))
 		}
 	}
 	return nil

@@ -9,8 +9,12 @@
 // of Tags, ensembles) plus the repository-knowledge refinements (type
 // equivalence preselection, importance projection).
 //
-// See README.md for a tour, DESIGN.md for the system inventory and
-// substitution notes, and EXPERIMENTS.md for the paper-vs-measured record of
-// every figure. The benchmark harness in bench_test.go regenerates each
-// figure; the cmd/wfbench command prints them as text tables.
+// Use the public API in repro/pkg/wfsim: the Engine facade wraps the
+// internal packages behind context-aware Search/Compare/Duplicates/Cluster
+// methods, and its measure registry resolves the paper's notation (e.g.
+// "MS_ip_te_pll", "ensemble(BW, MS_plm)") into configured measures. See
+// README.md for a quickstart.
+//
+// The benchmark harness in bench_test.go regenerates each figure of the
+// paper's evaluation; the cmd/wfbench command prints them as text tables.
 package repro

@@ -2,86 +2,85 @@
 // clusters using a similarity measure — the repository-management use case
 // of the paper's introduction ("grouping of workflows into functional
 // clusters"). Cluster quality is evaluated against the generator's latent
-// ground truth with the Rand index and purity, and the run also demonstrates
-// the inverted-index search acceleration on the same corpus.
+// ground truth with purity, and the run also demonstrates the Engine's
+// inverted-index search acceleration on the same corpus.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
 
-	"repro/internal/cluster"
-	"repro/internal/gen"
-	"repro/internal/index"
-	"repro/internal/measures"
-	"repro/internal/module"
-	"repro/internal/repoknow"
+	"repro/pkg/wfsim"
 )
 
 func main() {
-	profile := gen.Taverna()
+	profile := wfsim.TavernaProfile()
 	profile.Workflows = 180
 	profile.Clusters = 12
-	c, err := gen.Generate(profile, 77)
+	c, err := wfsim.GenerateCorpus(profile, 77)
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	proj := repoknow.NewProjector(repoknow.TypeScorer{}, 0.5)
-	m := measures.NewStructural(measures.Config{
-		Topology:  measures.ModuleSets,
-		Scheme:    module.PLL(),
-		Preselect: module.TypeEquivalence,
-		Project:   proj.Project,
-		Normalize: true,
-	})
+	eng, err := wfsim.New(c.Repo, wfsim.WithIndex(1))
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx := context.Background()
 
 	t0 := time.Now()
-	mat := cluster.BuildMatrix(c.Repo, m, 0)
-	fmt.Printf("similarity matrix for %d workflows in %v\n", c.Repo.Size(), time.Since(t0).Round(time.Millisecond))
-
-	found := cluster.Agglomerative(mat, 0.45)
-	fmt.Printf("agglomerative clustering found %d clusters (latent: %d)\n", found.K, profile.Clusters)
-
-	// Ground-truth reference clustering.
-	ref := cluster.Clustering{Assign: make([]int, len(mat.IDs))}
-	remap := map[int]int{}
-	for i, id := range mat.IDs {
-		cid := c.Truth.Meta[id].Cluster
-		if _, ok := remap[cid]; !ok {
-			remap[cid] = len(remap)
-		}
-		ref.Assign[i] = remap[cid]
-	}
-	ref.K = len(remap)
-
-	ri, err := cluster.RandIndex(found, ref)
+	minSim := 0.45
+	res, err := eng.Cluster(ctx, wfsim.ClusterOptions{Measure: "MS_ip_te_pll", MinSimilarity: &minSim})
 	if err != nil {
 		log.Fatal(err)
 	}
-	purity, err := cluster.Purity(found, ref)
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("agreement with latent clusters: rand index %.3f, purity %.3f\n\n", ri, purity)
+	fmt.Printf("clustered %d workflows in %v\n", c.Repo.Size(), time.Since(t0).Round(time.Millisecond))
+	fmt.Printf("agglomerative clustering found %d clusters (latent: %d)\n", len(res.Clusters), profile.Clusters)
 
-	for k, members := range found.Members() {
+	// Agreement with the generator's latent clusters.
+	ref := map[string]int{}
+	for id, meta := range c.Truth.Meta {
+		ref[id] = meta.Cluster
+	}
+	fmt.Printf("agreement with latent clusters: rand index %.3f, purity %.3f\n\n",
+		res.RandIndex(ref), res.Purity(ref))
+
+	for k, members := range res.Clusters {
 		if k >= 5 {
-			fmt.Printf("... and %d more clusters\n", found.K-5)
+			fmt.Printf("... and %d more clusters\n", len(res.Clusters)-5)
 			break
 		}
-		sample := c.Repo.Get(mat.IDs[members[0]])
+		sample := eng.Workflow(members[0])
 		fmt.Printf("cluster %d: %3d workflows, e.g. %q\n", k, len(members), sample.Annotations.Title)
 	}
 
-	// Bonus: the inverted-index accelerated search on the same corpus.
+	// Bonus: the engine was built WithIndex, so search is filter-and-refine
+	// over the inverted label index; compare against an exact scan.
 	fmt.Println("\nfilter-and-refine search (inverted index over canonical module labels):")
-	idx := index.Build(c.Repo)
 	query := c.Repo.Workflows()[0]
 	t1 := time.Now()
-	fast := idx.TopK(query, m, 10, 1)
+	fast, stats, err := eng.Search(ctx, query, wfsim.SearchOptions{Measure: "MS_ip_te_pll", K: 10})
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("query %s: scored %d candidates, pruned %d of %d workflows, %v\n",
-		query.ID, fast.CandidateCount, fast.Pruned, c.Repo.Size(), time.Since(t1).Round(time.Microsecond))
-	fmt.Printf("top-10 recall vs exact scan: %.2f\n", idx.RecallAgainst(query, m, 10, 1))
+		query.ID, stats.Scored, stats.Pruned, c.Repo.Size(), time.Since(t1).Round(time.Microsecond))
+
+	exact, _, err := eng.Search(ctx, query, wfsim.SearchOptions{Measure: "MS_ip_te_pll", K: 10, Exact: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	got := map[string]bool{}
+	for _, r := range fast {
+		got[r.ID] = true
+	}
+	hit := 0
+	for _, r := range exact {
+		if got[r.ID] {
+			hit++
+		}
+	}
+	fmt.Printf("top-10 recall vs exact scan: %.2f\n", float64(hit)/float64(len(exact)))
 }

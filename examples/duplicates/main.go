@@ -8,41 +8,36 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
 
-	"repro/internal/gen"
-	"repro/internal/measures"
-	"repro/internal/module"
-	"repro/internal/repoknow"
-	"repro/internal/search"
+	"repro/pkg/wfsim"
 )
 
 func main() {
-	profile := gen.Taverna()
+	profile := wfsim.TavernaProfile()
 	profile.Workflows = 150
 	profile.Clusters = 10
-	c, err := gen.Generate(profile, 99)
+	c, err := wfsim.GenerateCorpus(profile, 99)
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	proj := repoknow.NewProjector(repoknow.TypeScorer{}, 0.5)
-	m := measures.NewStructural(measures.Config{
-		Topology:  measures.ModuleSets,
-		Scheme:    module.PLL(),
-		Preselect: module.TypeEquivalence,
-		Project:   proj.Project,
-		Normalize: true,
-	})
+	eng, err := wfsim.New(c.Repo)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	const threshold = 0.9
-	t0 := time.Now()
-	pairs := search.Duplicates(c.Repo, m, threshold, 0)
-	fmt.Printf("scanned %d workflow pairs in %v\n",
-		c.Repo.Size()*(c.Repo.Size()-1)/2, time.Since(t0).Round(time.Millisecond))
-	fmt.Printf("%d near-duplicate pairs at threshold %.2f under %s\n\n", len(pairs), threshold, m.Name())
+	pairs, stats, err := eng.Duplicates(context.Background(), threshold,
+		wfsim.DuplicateOptions{Measure: "MS_ip_te_pll"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("scanned %d workflow pairs in %v\n", stats.Scored, stats.Elapsed.Round(time.Millisecond))
+	fmt.Printf("%d near-duplicate pairs at threshold %.2f under %s\n\n", len(pairs), threshold, stats.Measure)
 
 	correct, shown := 0, 0
 	for _, p := range pairs {

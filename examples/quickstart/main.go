@@ -1,7 +1,7 @@
 // Quickstart: build two small scientific workflows by hand and compare them
 // with every class of similarity measure from the paper — annotation-based
 // (Bag of Words, Bag of Tags) and structure-based (Module Sets, Path Sets,
-// Graph Edit Distance) — with and without repository knowledge.
+// Graph Edit Distance) — through the public wfsim Engine.
 //
 // The two workflows mirror the paper's running example (Figure 1): a "KEGG
 // pathway analysis" workflow and a "Get pathway-genes by Entrez gene id"
@@ -9,38 +9,36 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"repro/internal/measures"
-	"repro/internal/module"
-	"repro/internal/repoknow"
-	"repro/internal/workflow"
+	"repro/pkg/wfsim"
 )
 
-func keggPathwayAnalysis() *workflow.Workflow {
-	w := workflow.New("1189")
-	w.Annotations = workflow.Annotations{
+func keggPathwayAnalysis() *wfsim.Workflow {
+	w := wfsim.NewWorkflow("1189")
+	w.Annotations = wfsim.Annotations{
 		Title:       "KEGG pathway analysis",
 		Description: "Retrieves KEGG pathways for a list of genes and renders annotated pathway maps",
 		Tags:        []string{"kegg", "pathway", "gene"},
 	}
-	genes := w.AddModule(&workflow.Module{
-		ID: "m0", Label: "gene_id_list", Type: workflow.TypeStringConst,
+	genes := w.AddModule(&wfsim.Module{
+		ID: "m0", Label: "gene_id_list", Type: wfsim.TypeStringConst,
 	})
-	getPw := w.AddModule(&workflow.Module{
-		ID: "m1", Label: "get_pathways_by_genes", Type: workflow.TypeWSDL,
+	getPw := w.AddModule(&wfsim.Module{
+		ID: "m1", Label: "get_pathways_by_genes", Type: wfsim.TypeWSDL,
 		ServiceURI: "http://soap.genome.jp/KEGG.wsdl", ServiceName: "get_pathways_by_genes", Authority: "kegg",
 	})
-	split := w.AddModule(&workflow.Module{
-		ID: "m2", Label: "split_string", Type: workflow.TypeLocalWorker,
+	split := w.AddModule(&wfsim.Module{
+		ID: "m2", Label: "split_string", Type: wfsim.TypeLocalWorker,
 	})
-	color := w.AddModule(&workflow.Module{
-		ID: "m3", Label: "color_pathway_by_objects", Type: workflow.TypeWSDL,
+	color := w.AddModule(&wfsim.Module{
+		ID: "m3", Label: "color_pathway_by_objects", Type: wfsim.TypeWSDL,
 		ServiceURI: "http://soap.genome.jp/KEGG.wsdl", ServiceName: "color_pathway_by_objects", Authority: "kegg",
 	})
-	render := w.AddModule(&workflow.Module{
-		ID: "m4", Label: "render_pathway_image", Type: workflow.TypeBeanshell, Script: "img = render(pathway);",
+	render := w.AddModule(&wfsim.Module{
+		ID: "m4", Label: "render_pathway_image", Type: wfsim.TypeBeanshell, Script: "img = render(pathway);",
 	})
 	for _, e := range [][2]int{{genes, getPw}, {getPw, split}, {split, color}, {color, render}} {
 		if err := w.AddEdge(e[0], e[1]); err != nil {
@@ -50,30 +48,30 @@ func keggPathwayAnalysis() *workflow.Workflow {
 	return w
 }
 
-func getPathwayGenesByEntrez() *workflow.Workflow {
-	w := workflow.New("2805")
-	w.Annotations = workflow.Annotations{
+func getPathwayGenesByEntrez() *wfsim.Workflow {
+	w := wfsim.NewWorkflow("2805")
+	w.Annotations = wfsim.Annotations{
 		Title:       "Get Pathway-Genes by Entrez gene id",
 		Description: "Gets the KEGG pathways containing a given Entrez gene and lists the genes on them",
 		Tags:        []string{"kegg", "entrez", "pathway"},
 	}
-	entrez := w.AddModule(&workflow.Module{
-		ID: "m0", Label: "entrez_gene_id", Type: workflow.TypeStringConst,
+	entrez := w.AddModule(&wfsim.Module{
+		ID: "m0", Label: "entrez_gene_id", Type: wfsim.TypeStringConst,
 	})
-	convert := w.AddModule(&workflow.Module{
-		ID: "m1", Label: "convertEntrezToKeggId", Type: workflow.TypeRShell, Script: "ids = map(entrez2kegg, input);",
+	convert := w.AddModule(&wfsim.Module{
+		ID: "m1", Label: "convertEntrezToKeggId", Type: wfsim.TypeRShell, Script: "ids = map(entrez2kegg, input);",
 	})
-	getPw := w.AddModule(&workflow.Module{
+	getPw := w.AddModule(&wfsim.Module{
 		// Same service as workflow 1189, labeled differently by its author.
-		ID: "m2", Label: "getPathwaysByGenes", Type: workflow.TypeArbitraryWSDL,
+		ID: "m2", Label: "getPathwaysByGenes", Type: wfsim.TypeArbitraryWSDL,
 		ServiceURI: "http://soap.genome.jp/KEGG.wsdl", ServiceName: "get_pathways_by_genes", Authority: "kegg",
 	})
-	getGenes := w.AddModule(&workflow.Module{
-		ID: "m3", Label: "get_genes_by_pathway", Type: workflow.TypeWSDL,
+	getGenes := w.AddModule(&wfsim.Module{
+		ID: "m3", Label: "get_genes_by_pathway", Type: wfsim.TypeWSDL,
 		ServiceURI: "http://soap.genome.jp/KEGG.wsdl", ServiceName: "get_genes_by_pathway", Authority: "kegg",
 	})
-	merge := w.AddModule(&workflow.Module{
-		ID: "m4", Label: "merge_string_list_2", Type: workflow.TypeLocalWorker,
+	merge := w.AddModule(&wfsim.Module{
+		ID: "m4", Label: "merge_string_list_2", Type: wfsim.TypeLocalWorker,
 	})
 	for _, e := range [][2]int{{entrez, convert}, {convert, getPw}, {getPw, getGenes}, {getGenes, merge}} {
 		if err := w.AddEdge(e[0], e[1]); err != nil {
@@ -87,39 +85,34 @@ func main() {
 	a, b := keggPathwayAnalysis(), getPathwayGenesByEntrez()
 	fmt.Printf("comparing %q and %q\n\n", a.Annotations.Title, b.Annotations.Title)
 
-	// Importance projection (ip): strips trivial local modules, keeps the
-	// functional core connected.
-	proj := repoknow.NewProjector(repoknow.TypeScorer{}, 0.5)
-
-	ms := []measures.Measure{
-		measures.BagOfWords{},
-		measures.BagOfTags{},
-		measures.NewStructural(measures.Config{
-			Topology: measures.ModuleSets, Scheme: module.PW0(), Normalize: true,
-		}),
-		measures.NewStructural(measures.Config{
-			Topology: measures.ModuleSets, Scheme: module.PLL(), Normalize: true,
-			Preselect: module.TypeEquivalence, Project: proj.Project,
-		}),
-		measures.NewStructural(measures.Config{
-			Topology: measures.PathSets, Scheme: module.PLL(), Normalize: true,
-			Preselect: module.TypeEquivalence, Project: proj.Project,
-		}),
-		measures.NewStructural(measures.Config{
-			Topology: measures.GraphEdit, Scheme: module.PLL(), Normalize: true,
-			Preselect: module.TypeEquivalence, Project: proj.Project,
-		}),
+	repo, err := wfsim.NewRepository(a, b)
+	if err != nil {
+		log.Fatal(err)
 	}
-	for _, m := range ms {
-		s, err := m.Compare(a, b)
-		if err != nil {
-			log.Fatalf("%s: %v", m.Name(), err)
+	eng, err := wfsim.New(repo)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The default comparison set spans annotation measures (BW, BT) and the
+	// paper's strongest structural configurations, with and without
+	// repository knowledge (importance projection, type equivalence).
+	scores, err := eng.Compare(context.Background(), a, b)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, s := range scores {
+		if s.Err != nil {
+			fmt.Printf("  %-16s error: %v\n", s.Measure, s.Err)
+			continue
 		}
-		fmt.Printf("  %-16s %.4f\n", m.Name(), s)
+		fmt.Printf("  %-16s %.4f\n", s.Measure, s.Similarity)
 	}
 
+	// Importance projection (ip) strips trivial local modules and keeps the
+	// functional core connected.
 	fmt.Println("\nimportance projection of", a.ID, "keeps:")
-	for _, m := range proj.Project(a).Modules {
+	for _, m := range eng.Project(a).Modules {
 		fmt.Printf("  %s (%s)\n", m.Label, m.Type)
 	}
 }

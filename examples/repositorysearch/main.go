@@ -2,52 +2,51 @@
 // workflow, and retrieve its top-10 most similar workflows with the paper's
 // best structural configuration (MS_ip_te_pll), comparing the hit lists of a
 // structural and an annotation measure — the similarity-search use case the
-// paper's evaluation centres on.
+// paper's evaluation centres on, driven through the public wfsim Engine.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
 
-	"repro/internal/gen"
-	"repro/internal/measures"
-	"repro/internal/module"
-	"repro/internal/repoknow"
-	"repro/internal/search"
+	"repro/pkg/wfsim"
 )
 
 func main() {
-	profile := gen.Taverna()
+	profile := wfsim.TavernaProfile()
 	profile.Workflows = 400 // keep the example snappy; use 1483 for paper scale
 	profile.Clusters = 24
 
 	t0 := time.Now()
-	c, err := gen.Generate(profile, 7)
+	c, err := wfsim.GenerateCorpus(profile, 7)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("generated %d workflows in %v\n", c.Repo.Size(), time.Since(t0).Round(time.Millisecond))
 
+	eng, err := wfsim.New(c.Repo)
+	if err != nil {
+		log.Fatal(err)
+	}
 	query := c.Repo.Workflows()[2]
 	fmt.Printf("query: %s %q (%d modules)\n\n", query.ID, query.Annotations.Title, query.Size())
 
-	proj := repoknow.NewProjector(repoknow.TypeScorer{}, 0.5)
-	structural := measures.NewStructural(measures.Config{
-		Topology:  measures.ModuleSets,
-		Scheme:    module.PLL(),
-		Preselect: module.TypeEquivalence,
-		Project:   proj.Project,
-		Normalize: true,
-	})
-	annotational := measures.BagOfWords{}
+	// A whole-call deadline bounds the search (and tightens the per-pair GED
+	// budget for GE measures) — the paper's timeout semantics as an API knob.
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
 
-	for _, m := range []measures.Measure{structural, annotational} {
-		t1 := time.Now()
-		results, skipped := search.TopK(query, c.Repo, m, search.Options{K: 10})
-		fmt.Printf("top-10 by %s (%v, %d skipped):\n", m.Name(), time.Since(t1).Round(time.Millisecond), skipped)
+	for _, measure := range []string{"MS_ip_te_pll", "BW"} {
+		results, stats, err := eng.Search(ctx, query, wfsim.SearchOptions{Measure: measure, K: 10})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("top-10 by %s (%v, %d scored, %d skipped):\n",
+			stats.Measure, stats.Elapsed.Round(time.Millisecond), stats.Scored, stats.Skipped)
 		for i, r := range results {
-			wf := c.Repo.Get(r.ID)
+			wf := eng.Workflow(r.ID)
 			marker := " "
 			if c.Truth.Meta[r.ID].Cluster == c.Truth.Meta[query.ID].Cluster {
 				marker = "*" // same latent functional cluster as the query

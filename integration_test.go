@@ -7,6 +7,7 @@ package repro
 
 import (
 	"bytes"
+	"context"
 	"path/filepath"
 	"testing"
 
@@ -65,8 +66,8 @@ func TestEndToEndPersistenceAndSearchParity(t *testing.T) {
 	m1 := tunedMS(repoknow.NewProjector(repoknow.TypeScorer{}, 0.5))
 	m2 := tunedMS(repoknow.NewProjector(repoknow.TypeScorer{}, 0.5))
 	for _, qid := range c.Repo.IDs()[:5] {
-		r1, _ := search.TopK(c.Repo.Get(qid), c.Repo, m1, search.Options{K: 10})
-		r2, _ := search.TopK(reloaded.Get(qid), reloaded, m2, search.Options{K: 10})
+		r1, _, _ := search.TopK(context.Background(), c.Repo.Get(qid), c.Repo, m1, search.Options{K: 10})
+		r2, _, _ := search.TopK(context.Background(), reloaded.Get(qid), reloaded, m2, search.Options{K: 10})
 		if len(r1) != len(r2) {
 			t.Fatalf("query %s: result counts differ", qid)
 		}
@@ -128,8 +129,11 @@ func TestEndToEndIndexedSearchAgreesOnTopHit(t *testing.T) {
 	total := 0
 	for _, qid := range c.Repo.IDs()[:10] {
 		q := c.Repo.Get(qid)
-		exact, _ := search.TopK(q, c.Repo, m, search.Options{K: 1})
-		fast := idx.TopK(q, m, 1, 1)
+		exact, _, _ := search.TopK(context.Background(), q, c.Repo, m, search.Options{K: 1})
+		fast, err := idx.TopK(context.Background(), q, m, 1, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
 		if len(exact) == 0 || len(fast.Results) == 0 {
 			continue
 		}
@@ -180,7 +184,10 @@ func TestEndToEndEvaluationPipeline(t *testing.T) {
 func TestEndToEndClusteringMatchesSearch(t *testing.T) {
 	c := integrationCorpus(t)
 	m := tunedMS(repoknow.NewProjector(repoknow.TypeScorer{}, 0.5))
-	mat := cluster.BuildMatrix(c.Repo, m, 0)
+	mat, err := cluster.BuildMatrix(context.Background(), c.Repo, m, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
 	clu := cluster.Agglomerative(mat, 0.45)
 
 	posOf := map[string]int{}
@@ -190,7 +197,7 @@ func TestEndToEndClusteringMatchesSearch(t *testing.T) {
 	coherent, total := 0, 0
 	for _, qid := range c.Repo.IDs()[:12] {
 		q := c.Repo.Get(qid)
-		hits, _ := search.TopK(q, c.Repo, m, search.Options{K: 1})
+		hits, _, _ := search.TopK(context.Background(), q, c.Repo, m, search.Options{K: 1})
 		if len(hits) == 0 {
 			continue
 		}

@@ -11,13 +11,14 @@
 package cluster
 
 import (
+	"context"
 	"fmt"
-	"runtime"
 	"sort"
-	"sync"
+	"sync/atomic"
 
 	"repro/internal/corpus"
 	"repro/internal/measures"
+	"repro/internal/search"
 )
 
 // Matrix is a symmetric similarity matrix over a repository's workflows,
@@ -31,11 +32,10 @@ type Matrix struct {
 }
 
 // BuildMatrix computes the pairwise similarity matrix of a repository under
-// m, in parallel. Unscorable pairs get similarity 0 and are counted.
-func BuildMatrix(repo *corpus.Repository, m measures.Measure, par int) *Matrix {
-	if par <= 0 {
-		par = runtime.GOMAXPROCS(0)
-	}
+// m with a row-per-task worker pool. Unscorable pairs get similarity 0 and
+// are counted. A cancelled or expired context aborts the computation with
+// the context's error.
+func BuildMatrix(ctx context.Context, repo *corpus.Repository, m measures.Measure, par int) (*Matrix, error) {
 	wfs := repo.Workflows()
 	n := len(wfs)
 	mat := &Matrix{IDs: make([]string, n), Sim: make([][]float64, n)}
@@ -44,35 +44,29 @@ func BuildMatrix(repo *corpus.Repository, m measures.Measure, par int) *Matrix {
 		mat.Sim[i] = make([]float64, n)
 		mat.Sim[i][i] = 1
 	}
-	type job struct{ i, j int }
-	jobs := make(chan job)
-	var mu sync.Mutex
-	var wg sync.WaitGroup
-	for w := 0; w < par; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for jb := range jobs {
-				s, err := m.Compare(wfs[jb.i], wfs[jb.j])
-				if err != nil {
-					mu.Lock()
-					mat.Skipped++
-					mu.Unlock()
-					continue
-				}
-				mat.Sim[jb.i][jb.j] = s
-				mat.Sim[jb.j][jb.i] = s
-			}
-		}()
-	}
-	for i := 0; i < n; i++ {
+	var skipped atomic.Int64
+	// Row i writes Sim[i][j] and Sim[j][i] for j > i only, so rows never
+	// race: the mirror cell Sim[j][i] belongs to no other row's range.
+	err := search.Batched(ctx, n, par, 1, func(i int) error {
 		for j := i + 1; j < n; j++ {
-			jobs <- job{i, j}
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			s, err := m.Compare(wfs[i], wfs[j])
+			if err != nil {
+				skipped.Add(1)
+				continue
+			}
+			mat.Sim[i][j] = s
+			mat.Sim[j][i] = s
 		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	close(jobs)
-	wg.Wait()
-	return mat
+	mat.Skipped = int(skipped.Load())
+	return mat, nil
 }
 
 // Clustering assigns each workflow (by matrix index) to a cluster.

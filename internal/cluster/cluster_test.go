@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/gen"
@@ -127,7 +128,10 @@ func TestClusteringRecoversGroundTruth(t *testing.T) {
 		Project:   proj.Project,
 		Normalize: true,
 	})
-	mat := BuildMatrix(c.Repo, m, 0)
+	mat, err := BuildMatrix(context.Background(), c.Repo, m, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if mat.Skipped != 0 {
 		t.Errorf("skipped %d pairs", mat.Skipped)
 	}
@@ -175,7 +179,7 @@ func BenchmarkBuildMatrix60(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		BuildMatrix(c.Repo, m, 0)
+		BuildMatrix(context.Background(), c.Repo, m, 0)
 	}
 }
 
@@ -196,5 +200,23 @@ func BenchmarkAgglomerative60(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		Agglomerative(m, 0.5)
+	}
+}
+
+func TestBuildMatrixCancelledContext(t *testing.T) {
+	p := gen.Taverna()
+	p.Workflows = 30
+	p.Clusters = 3
+	c, err := gen.Generate(p, 23)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := measures.NewStructural(measures.Config{
+		Topology: measures.ModuleSets, Scheme: module.PLL(), Normalize: true,
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := BuildMatrix(ctx, c.Repo, m, 0); err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
 	}
 }

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -57,7 +58,10 @@ func RunRetrieval(s *Setup, id, title string, ms []measures.Measure) RetrievalRe
 		qwf := s.Taverna.Repo.Get(q)
 		var lists [][]search.Result
 		for _, m := range ms {
-			results, skipped := search.TopK(qwf, s.Taverna.Repo, m, search.Options{K: 10})
+			results, skipped, err := search.TopK(context.Background(), qwf, s.Taverna.Repo, m, search.Options{K: 10})
+			if err != nil {
+				panic(err) // only context errors are possible; Background never fires
+			}
 			perMeasure[m.Name()][q] = results
 			res.Skipped[m.Name()] += skipped
 			lists = append(lists, results)

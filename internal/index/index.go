@@ -13,7 +13,9 @@
 package index
 
 import (
+	"context"
 	"sort"
+	"sync/atomic"
 
 	"repro/internal/corpus"
 	"repro/internal/measures"
@@ -27,6 +29,9 @@ type Index struct {
 	repo    *corpus.Repository
 	posting map[string][]int // canonical label -> workflow positions
 	labels  [][]string       // workflow position -> its canonical labels
+
+	// Parallelism bounds the workers of the refine stage (0 = GOMAXPROCS).
+	Parallelism int
 }
 
 // Build scans the repository once and indexes every workflow under the
@@ -101,9 +106,10 @@ type SearchResult struct {
 }
 
 // TopK runs filter-and-refine top-k search: candidates sharing at least
-// minShared canonical labels with the query are scored with m; the k best
-// are returned. The query itself is excluded.
-func (idx *Index) TopK(query *workflow.Workflow, m measures.Measure, k, minShared int) SearchResult {
+// minShared canonical labels with the query are scored with m in parallel;
+// the k best are returned. The query itself is excluded. A cancelled or
+// expired context aborts the refine stage with the context's error.
+func (idx *Index) TopK(ctx context.Context, query *workflow.Workflow, m measures.Measure, k, minShared int) (SearchResult, error) {
 	if k <= 0 {
 		k = 10
 	}
@@ -112,43 +118,66 @@ func (idx *Index) TopK(query *workflow.Workflow, m measures.Measure, k, minShare
 	var out SearchResult
 	out.CandidateCount = len(cands)
 	out.Pruned = idx.repo.Size() - len(cands)
-	results := make([]search.Result, 0, len(cands))
-	for _, pos := range cands {
-		wf := wfs[pos]
+
+	type scored struct {
+		res  search.Result
+		ok   bool
+		self bool
+	}
+	buf := make([]scored, len(cands))
+	var skipped atomic.Int64
+	err := search.Batched(ctx, len(cands), idx.Parallelism, 0, func(i int) error {
+		wf := wfs[cands[i]]
 		if wf.ID == query.ID {
-			out.CandidateCount--
-			continue
+			buf[i] = scored{self: true}
+			return nil
 		}
 		s, err := m.Compare(query, wf)
 		if err != nil {
-			out.Skipped++
+			skipped.Add(1)
+			return nil
+		}
+		buf[i] = scored{res: search.Result{ID: wf.ID, Similarity: s}, ok: true}
+		return nil
+	})
+	if err != nil {
+		return SearchResult{}, err
+	}
+	out.Skipped = int(skipped.Load())
+	results := make([]search.Result, 0, len(cands))
+	for _, s := range buf {
+		if s.self {
+			out.CandidateCount--
 			continue
 		}
-		results = append(results, search.Result{ID: wf.ID, Similarity: s})
-	}
-	sort.Slice(results, func(i, j int) bool {
-		if results[i].Similarity != results[j].Similarity {
-			return results[i].Similarity > results[j].Similarity
+		if s.ok {
+			results = append(results, s.res)
 		}
-		return results[i].ID < results[j].ID
-	})
+	}
+	search.SortResults(results)
 	if len(results) > k {
 		results = results[:k]
 	}
 	out.Results = results
-	return out
+	return out, nil
 }
 
 // RecallAgainst measures the top-k recall of the accelerated search against
 // an exact scan with the same measure: the fraction of the exact top-k found
 // in the accelerated top-k. It quantifies the filter's (heuristic) loss for
 // edit-distance schemes.
-func (idx *Index) RecallAgainst(query *workflow.Workflow, m measures.Measure, k, minShared int) float64 {
-	exact, _ := search.TopK(query, idx.repo, m, search.Options{K: k})
-	if len(exact) == 0 {
-		return 1
+func (idx *Index) RecallAgainst(ctx context.Context, query *workflow.Workflow, m measures.Measure, k, minShared int) (float64, error) {
+	exact, _, err := search.TopK(ctx, query, idx.repo, m, search.Options{K: k, Parallelism: idx.Parallelism})
+	if err != nil {
+		return 0, err
 	}
-	fast := idx.TopK(query, m, k, minShared)
+	if len(exact) == 0 {
+		return 1, nil
+	}
+	fast, err := idx.TopK(ctx, query, m, k, minShared)
+	if err != nil {
+		return 0, err
+	}
 	got := map[string]bool{}
 	for _, r := range fast.Results {
 		got[r.ID] = true
@@ -159,5 +188,5 @@ func (idx *Index) RecallAgainst(query *workflow.Workflow, m measures.Measure, k,
 			hit++
 		}
 	}
-	return float64(hit) / float64(len(exact))
+	return float64(hit) / float64(len(exact)), nil
 }

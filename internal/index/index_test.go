@@ -1,6 +1,7 @@
 package index
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/corpus"
@@ -72,7 +73,10 @@ func TestTopKExcludesQueryAndSorts(t *testing.T) {
 	c := testCorpus(t)
 	idx := Build(c.Repo)
 	query := c.Repo.Workflows()[0]
-	res := idx.TopK(query, pllMS(), 10, 1)
+	res, err := idx.TopK(context.Background(), query, pllMS(), 10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(res.Results) != 10 {
 		t.Fatalf("results = %d", len(res.Results))
 	}
@@ -99,8 +103,11 @@ func TestLosslessForStrictLabelMatching(t *testing.T) {
 	idx := Build(c.Repo)
 	m := plmMS()
 	for _, query := range c.Repo.Workflows()[:10] {
-		exact, _ := search.TopK(query, c.Repo, m, search.Options{K: 5})
-		fast := idx.TopK(query, m, 5, 1)
+		exact, _, _ := search.TopK(context.Background(), query, c.Repo, m, search.Options{K: 5})
+		fast, err := idx.TopK(context.Background(), query, m, 5, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
 		for i, er := range exact {
 			if er.Similarity <= 0 {
 				break // zero-score tail may differ arbitrarily
@@ -123,7 +130,11 @@ func TestRecallHighForEditDistance(t *testing.T) {
 	var total float64
 	queries := c.Repo.Workflows()[:8]
 	for _, q := range queries {
-		total += idx.RecallAgainst(q, m, 10, 1)
+		r, err := idx.RecallAgainst(context.Background(), q, m, 10, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += r
 	}
 	mean := total / float64(len(queries))
 	if mean < 0.9 {
@@ -144,7 +155,10 @@ func TestPruningActuallyHappens(t *testing.T) {
 		t.Fatal(err)
 	}
 	idx := Build(repo)
-	res := idx.TopK(w1, pllMS(), 10, 1)
+	res, err := idx.TopK(context.Background(), w1, pllMS(), 10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if res.Pruned < 1 {
 		t.Errorf("expected pruning, got %d", res.Pruned)
 	}
@@ -166,13 +180,23 @@ func BenchmarkIndexedVsExactSearch(b *testing.B) {
 	b.Run("indexed", func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
-			idx.TopK(query, m, 10, 1)
+			idx.TopK(context.Background(), query, m, 10, 1)
 		}
 	})
 	b.Run("exact", func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
-			search.TopK(query, c.Repo, m, search.Options{K: 10, Parallelism: 1})
+			search.TopK(context.Background(), query, c.Repo, m, search.Options{K: 10, Parallelism: 1})
 		}
 	})
+}
+
+func TestTopKCancelledContext(t *testing.T) {
+	c := testCorpus(t)
+	idx := Build(c.Repo)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := idx.TopK(ctx, c.Repo.Workflows()[0], pllMS(), 10, 1); err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
 }

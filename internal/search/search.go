@@ -3,12 +3,19 @@
 // configurable similarity measure, in parallel, and returning the top-k
 // results — the retrieval operation evaluated in Section 5.2 of Starlinger
 // et al. (PVLDB 2014).
+//
+// All scans are context-aware: a cancelled or expired context stops the
+// worker pool promptly and the scan returns the context's error. The paper's
+// GED-timeout semantics ("disregard pairs that exceed the budget") map onto
+// per-pair measure errors; whole-scan deadlines map onto context deadlines.
 package search
 
 import (
+	"context"
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/corpus"
 	"repro/internal/measures"
@@ -25,8 +32,12 @@ type Result struct {
 type Options struct {
 	// K is the number of results to return (default 10, the paper's top-10).
 	K int
-	// Parallelism bounds the scoring goroutines (default GOMAXPROCS).
+	// Parallelism bounds the scoring workers (default GOMAXPROCS).
 	Parallelism int
+	// BatchSize is the number of workflows a worker claims per scheduling
+	// step (0 = automatic). Larger batches amortize scheduling overhead on
+	// cheap measures; batch size 1 load-balances expensive ones.
+	BatchSize int
 	// IncludeQuery keeps the query workflow itself in the results
 	// (off by default: a workflow trivially matches itself).
 	IncludeQuery bool
@@ -36,18 +47,89 @@ type Options struct {
 	MinSimilarity *float64
 }
 
+// Batched distributes the index range [0,n) over a pool of par workers in
+// contiguous batches claimed from a shared atomic cursor (dynamic
+// scheduling). fn is invoked once per index; the context is checked between
+// invocations and the pool drains early when it is cancelled or when fn
+// returns an error (multi-item tasks report mid-task cancellation that
+// way). Batched returns nil iff fn ran to completion for every index — a
+// context that expires only after the last invocation does not fail an
+// already-complete scan; otherwise it returns the first error observed.
+func Batched(ctx context.Context, n, par, batch int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if par <= 0 {
+		par = runtime.GOMAXPROCS(0)
+	}
+	if par > n {
+		par = n
+	}
+	if batch <= 0 {
+		// Aim for several claims per worker so stragglers rebalance.
+		batch = n / (par * 8)
+		if batch < 1 {
+			batch = 1
+		}
+		if batch > 64 {
+			batch = 64
+		}
+	}
+	var cursor atomic.Int64
+	var stop atomic.Bool
+	var mu sync.Mutex
+	var firstErr error
+	fail := func(err error) {
+		stop.Store(true)
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < par; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !stop.Load() {
+				start := int(cursor.Add(int64(batch))) - batch
+				if start >= n {
+					return
+				}
+				end := start + batch
+				if end > n {
+					end = n
+				}
+				for i := start; i < end; i++ {
+					if err := ctx.Err(); err != nil {
+						fail(err)
+						return
+					}
+					if err := fn(i); err != nil {
+						fail(err)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	mu.Lock()
+	defer mu.Unlock()
+	return firstErr
+}
+
 // TopK scores query against every workflow in repo using m and returns the
 // k best results, ties broken by ID for determinism. Pairs for which the
 // measure errors (e.g. GED timeouts) are skipped, mirroring the paper's
 // treatment of incomputable pairs; the number of skipped pairs is returned.
-func TopK(query *workflow.Workflow, repo *corpus.Repository, m measures.Measure, opts Options) ([]Result, int) {
+// A cancelled or expired context aborts the scan: TopK then returns nil
+// results and the context's error.
+func TopK(ctx context.Context, query *workflow.Workflow, repo *corpus.Repository, m measures.Measure, opts Options) ([]Result, int, error) {
 	k := opts.K
 	if k <= 0 {
 		k = 10
-	}
-	par := opts.Parallelism
-	if par <= 0 {
-		par = runtime.GOMAXPROCS(0)
 	}
 	wfs := repo.Workflows()
 
@@ -57,26 +139,22 @@ func TopK(query *workflow.Workflow, repo *corpus.Repository, m measures.Measure,
 		skip bool
 	}
 	out := make([]scored, len(wfs))
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, par)
-	for i, wf := range wfs {
+	err := Batched(ctx, len(wfs), opts.Parallelism, opts.BatchSize, func(i int) error {
+		wf := wfs[i]
 		if !opts.IncludeQuery && wf.ID == query.ID {
-			continue
+			return nil
 		}
-		wg.Add(1)
-		sem <- struct{}{}
-		go func(i int, wf *workflow.Workflow) {
-			defer wg.Done()
-			defer func() { <-sem }()
-			s, err := m.Compare(query, wf)
-			if err != nil {
-				out[i] = scored{skip: true}
-				return
-			}
-			out[i] = scored{res: Result{ID: wf.ID, Similarity: s}, ok: true}
-		}(i, wf)
+		s, err := m.Compare(query, wf)
+		if err != nil {
+			out[i] = scored{skip: true}
+			return nil
+		}
+		out[i] = scored{res: Result{ID: wf.ID, Similarity: s}, ok: true}
+		return nil
+	})
+	if err != nil {
+		return nil, 0, err
 	}
-	wg.Wait()
 
 	results := make([]Result, 0, len(wfs))
 	skipped := 0
@@ -91,16 +169,21 @@ func TopK(query *workflow.Workflow, repo *corpus.Repository, m measures.Measure,
 			results = append(results, s.res)
 		}
 	}
+	SortResults(results)
+	if len(results) > k {
+		results = results[:k]
+	}
+	return results, skipped, nil
+}
+
+// SortResults orders results by descending similarity, ties broken by ID.
+func SortResults(results []Result) {
 	sort.Slice(results, func(i, j int) bool {
 		if results[i].Similarity != results[j].Similarity {
 			return results[i].Similarity > results[j].Similarity
 		}
 		return results[i].ID < results[j].ID
 	})
-	if len(results) > k {
-		results = results[:k]
-	}
-	return results, skipped
 }
 
 // IDs extracts the result IDs in rank order.
@@ -132,34 +215,41 @@ func PoolResults(lists ...[]Result) []string {
 
 // Duplicates finds near-duplicate workflow pairs in a repository: pairs
 // scoring at or above threshold under m. It scans the upper triangle of the
-// pair matrix in parallel. Errors are skipped.
-func Duplicates(repo *corpus.Repository, m measures.Measure, threshold float64, par int) []Pair {
-	if par <= 0 {
-		par = runtime.GOMAXPROCS(0)
-	}
+// pair matrix with a row-per-task worker pool (batch size 1, so the uneven
+// row lengths load-balance). Pairs the measure fails on are skipped and
+// counted. A cancelled context aborts the scan with the context's error.
+func Duplicates(ctx context.Context, repo *corpus.Repository, m measures.Measure, threshold float64, par int) ([]Pair, int, error) {
 	wfs := repo.Workflows()
 	var mu sync.Mutex
 	var out []Pair
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, par)
-	for i := 0; i < len(wfs); i++ {
+	var skipped atomic.Int64
+	err := Batched(ctx, len(wfs), par, 1, func(i int) error {
+		a := wfs[i]
+		var row []Pair
 		for j := i + 1; j < len(wfs); j++ {
-			wg.Add(1)
-			sem <- struct{}{}
-			go func(a, b *workflow.Workflow) {
-				defer wg.Done()
-				defer func() { <-sem }()
-				s, err := m.Compare(a, b)
-				if err != nil || s < threshold {
-					return
-				}
-				mu.Lock()
-				out = append(out, Pair{A: a.ID, B: b.ID, Similarity: s})
-				mu.Unlock()
-			}(wfs[i], wfs[j])
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			s, err := m.Compare(a, wfs[j])
+			if err != nil {
+				skipped.Add(1)
+				continue
+			}
+			if s < threshold {
+				continue
+			}
+			row = append(row, Pair{A: a.ID, B: wfs[j].ID, Similarity: s})
 		}
+		if len(row) > 0 {
+			mu.Lock()
+			out = append(out, row...)
+			mu.Unlock()
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, 0, err
 	}
-	wg.Wait()
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Similarity != out[j].Similarity {
 			return out[i].Similarity > out[j].Similarity
@@ -169,7 +259,7 @@ func Duplicates(repo *corpus.Repository, m measures.Measure, threshold float64, 
 		}
 		return out[i].B < out[j].B
 	})
-	return out
+	return out, int(skipped.Load()), nil
 }
 
 // Pair is a scored workflow pair.

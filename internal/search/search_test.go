@@ -1,6 +1,7 @@
 package search
 
 import (
+	"context"
 	"errors"
 	"testing"
 
@@ -34,7 +35,10 @@ func msMeasure() measures.Measure {
 func TestTopKBasic(t *testing.T) {
 	c := testCorpus(t)
 	query := c.Repo.Workflows()[0]
-	results, skipped := TopK(query, c.Repo, msMeasure(), Options{K: 10})
+	results, skipped, err := TopK(context.Background(), query, c.Repo, msMeasure(), Options{K: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if skipped != 0 {
 		t.Errorf("skipped = %d", skipped)
 	}
@@ -56,7 +60,7 @@ func TestTopKBasic(t *testing.T) {
 func TestTopKIncludeQuery(t *testing.T) {
 	c := testCorpus(t)
 	query := c.Repo.Workflows()[0]
-	results, _ := TopK(query, c.Repo, msMeasure(), Options{K: 5, IncludeQuery: true})
+	results, _, _ := TopK(context.Background(), query, c.Repo, msMeasure(), Options{K: 5, IncludeQuery: true})
 	if results[0].ID != query.ID || results[0].Similarity != 1 {
 		t.Errorf("top result = %+v, want the query itself at similarity 1", results[0])
 	}
@@ -66,7 +70,7 @@ func TestTopKFindsClusterSiblings(t *testing.T) {
 	c := testCorpus(t)
 	query := c.Repo.Workflows()[0]
 	meta := c.Truth.Meta[query.ID]
-	results, _ := TopK(query, c.Repo, msMeasure(), Options{K: 10})
+	results, _, _ := TopK(context.Background(), query, c.Repo, msMeasure(), Options{K: 10})
 	same := 0
 	for _, r := range results {
 		if c.Truth.Meta[r.ID].Cluster == meta.Cluster {
@@ -81,8 +85,8 @@ func TestTopKFindsClusterSiblings(t *testing.T) {
 func TestTopKDeterministic(t *testing.T) {
 	c := testCorpus(t)
 	query := c.Repo.Workflows()[3]
-	r1, _ := TopK(query, c.Repo, msMeasure(), Options{K: 10})
-	r2, _ := TopK(query, c.Repo, msMeasure(), Options{K: 10, Parallelism: 1})
+	r1, _, _ := TopK(context.Background(), query, c.Repo, msMeasure(), Options{K: 10})
+	r2, _, _ := TopK(context.Background(), query, c.Repo, msMeasure(), Options{K: 10, Parallelism: 1})
 	if len(r1) != len(r2) {
 		t.Fatal("lengths differ")
 	}
@@ -97,7 +101,7 @@ func TestTopKMinSimilarity(t *testing.T) {
 	c := testCorpus(t)
 	query := c.Repo.Workflows()[0]
 	zero := 0.99
-	results, _ := TopK(query, c.Repo, msMeasure(), Options{K: 100, MinSimilarity: &zero})
+	results, _, _ := TopK(context.Background(), query, c.Repo, msMeasure(), Options{K: 100, MinSimilarity: &zero})
 	for _, r := range results {
 		if r.Similarity <= zero {
 			t.Errorf("result %v below threshold", r)
@@ -119,7 +123,7 @@ func TestTopKSkipsErrors(t *testing.T) {
 	c := testCorpus(t)
 	query := c.Repo.Workflows()[0]
 	failID := c.Repo.Workflows()[1].ID
-	results, skipped := TopK(query, c.Repo, failingMeasure{failID: failID}, Options{K: 1000})
+	results, skipped, _ := TopK(context.Background(), query, c.Repo, failingMeasure{failID: failID}, Options{K: 1000})
 	if skipped != 1 {
 		t.Errorf("skipped = %d, want 1", skipped)
 	}
@@ -160,7 +164,13 @@ func TestDuplicates(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	dups := Duplicates(repo, msMeasure(), 0.95, 2)
+	dups, skipped, err := Duplicates(context.Background(), repo, msMeasure(), 0.95, 2)
+	if skipped != 0 {
+		t.Errorf("skipped = %d", skipped)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(dups) != 1 {
 		t.Fatalf("duplicates = %v, want exactly (1,2)", dups)
 	}
@@ -182,6 +192,68 @@ func BenchmarkTopK100Workflows(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		TopK(query, c.Repo, m, Options{K: 10})
+		TopK(context.Background(), query, c.Repo, m, Options{K: 10})
+	}
+}
+
+func TestTopKCancelledContext(t *testing.T) {
+	c := testCorpus(t)
+	query := c.Repo.Workflows()[0]
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	results, _, err := TopK(ctx, query, c.Repo, msMeasure(), Options{K: 10})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if results != nil {
+		t.Errorf("results = %v, want nil on cancellation", results)
+	}
+}
+
+func TestDuplicatesCancelledContext(t *testing.T) {
+	c := testCorpus(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := Duplicates(ctx, c.Repo, msMeasure(), 0.9, 2); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestBatchedCoversAllIndexes(t *testing.T) {
+	const n = 1000
+	seen := make([]int32, n)
+	err := Batched(context.Background(), n, 4, 7, func(i int) error {
+		seen[i]++
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range seen {
+		if c != 1 {
+			t.Fatalf("index %d visited %d times", i, c)
+		}
+	}
+}
+
+// A context that expires only after the final item was processed must not
+// fail the scan: Batched returns nil iff fn ran for every index.
+func TestBatchedCompletedScanSurvivesLateCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	const n = 3
+	ran := 0
+	err := Batched(ctx, n, 1, 1, func(i int) error {
+		ran++
+		if i == n-1 {
+			cancel() // expires as the last item completes
+		}
+		return nil
+	})
+	if ran != n {
+		t.Fatalf("fn ran %d times, want %d", ran, n)
+	}
+	if err != nil {
+		t.Fatalf("err = %v, want nil for a completed scan", err)
 	}
 }

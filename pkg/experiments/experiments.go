@@ -1,0 +1,45 @@
+// Package experiments is the public facade over the paper-reproduction
+// experiment harness: corpus + rating-study setup and one generator per
+// table/figure of the evaluation section of Starlinger et al. (PVLDB 2014).
+// Command wfbench is its only intended consumer; library users want
+// repro/pkg/wfsim instead.
+package experiments
+
+import (
+	internal "repro/internal/experiments"
+)
+
+type (
+	// Scale sizes the synthetic corpora and rating studies (Quick or Full).
+	Scale = internal.Scale
+	// Setup bundles the generated corpora, simulated rater panel and rating
+	// studies every figure draws on.
+	Setup = internal.Setup
+)
+
+// Quick is the fast CI-sized experiment scale.
+func Quick() Scale { return internal.Quick() }
+
+// Full is the paper-sized experiment scale.
+func Full() Scale { return internal.Full() }
+
+// NewSetup generates corpora and rating studies deterministically from the
+// scale and seed.
+func NewSetup(scale Scale, seed int64) (*Setup, error) { return internal.NewSetup(scale, seed) }
+
+// One generator per figure/table. Each result implements fmt.Stringer
+// (text table) and, where applicable, WriteCSV(io.Writer) error.
+var (
+	Fig4           = internal.Fig4
+	Fig5           = internal.Fig5
+	Fig6           = internal.Fig6
+	Fig7           = internal.Fig7
+	Fig8           = internal.Fig8
+	Fig9           = internal.Fig9
+	Fig10          = internal.Fig10
+	Fig11          = internal.Fig11
+	Fig12          = internal.Fig12
+	RuntimeStats   = internal.RuntimeStats
+	AutoProjection = internal.AutoProjection
+	TunedEnsemble  = internal.TunedEnsemble
+)

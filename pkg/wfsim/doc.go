@@ -1,0 +1,31 @@
+// Package wfsim is the public API of the workflow-similarity library — a
+// stable facade over the internal reproduction of Starlinger, Brancotte,
+// Cohen-Boulakia and Leser, "Similarity Search for Scientific Workflows"
+// (PVLDB 7(12), 2014).
+//
+// The entry point is Engine, built from a Repository of workflows with
+// functional options:
+//
+//	repo, _ := wfsim.LoadRepository("corpus.json")
+//	eng, _ := wfsim.New(repo,
+//		wfsim.WithIndex(1),              // filter-and-refine acceleration
+//		wfsim.WithConcurrency(8),        // worker-pool width
+//		wfsim.WithGEDBudget(5*time.Second, 64),
+//	)
+//	results, stats, err := eng.SearchID(ctx, "1189", wfsim.SearchOptions{
+//		Measure: "MS_ip_te_pll", K: 10,
+//	})
+//
+// Every method takes a context: cancellation drains the internal worker
+// pools promptly, and a context deadline bounds the whole call — including
+// the per-pair graph-edit-distance budget, the API form of the paper's
+// GED-timeout semantics.
+//
+// Measures are named in the paper's notation and resolved through a
+// Registry: "BW", "BT", "{MS|PS|GE}_{np|ip}_{ta|tm|te}_{scheme}" with
+// optional "_greedy"/"_nonorm" suffixes, shorthand forms such as "MS_plm"
+// (missing tokens default to np and ta), and ensembles written either
+// "ENS(BW+MS_ip_te_pll)" or "ensemble(BW, MS_ip_te_pll)". Custom Measure
+// implementations can be registered under new names and combined into
+// ensembles like any built-in.
+package wfsim

@@ -1,0 +1,461 @@
+package wfsim
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/corpus"
+	"repro/internal/index"
+	"repro/internal/repoknow"
+	"repro/internal/search"
+)
+
+// Engine is the similarity-search facade over one workflow repository. It
+// owns a measure Registry, an optional filter-and-refine inverted index, and
+// a worker pool configuration, and exposes the paper's operations — top-k
+// search, pairwise comparison, duplicate detection, clustering — as
+// context-aware methods.
+//
+// An Engine is safe for concurrent use once built.
+type Engine struct {
+	repo           *corpus.Repository
+	reg            *Registry
+	idx            *index.Index
+	minShared      int
+	concurrency    int
+	defaultMeasure string
+}
+
+// Option configures an Engine under construction.
+type Option func(*Engine) error
+
+// WithIndex enables filter-and-refine search acceleration: an inverted index
+// over canonicalized module labels generates candidates sharing at least
+// minShared labels with the query, and only candidates are scored exactly.
+// Lossless for strict label-matching schemes (plm), a high-recall heuristic
+// for edit-distance schemes; Stats.Pruned reports what was not scored.
+func WithIndex(minShared int) Option {
+	return func(e *Engine) error {
+		if minShared < 1 {
+			minShared = 1
+		}
+		e.minShared = minShared
+		return nil
+	}
+}
+
+// WithConcurrency bounds the scoring worker pools (default GOMAXPROCS).
+func WithConcurrency(n int) Option {
+	return func(e *Engine) error {
+		e.concurrency = n
+		return nil
+	}
+}
+
+// WithRepositoryKnowledge derives the importance projection from the
+// repository itself instead of the paper's manual type-based selection:
+// module labels are scored by inverse document frequency across the
+// repository, and "ip" measures drop modules scoring below threshold
+// (<= 0 means DefaultProjectionThreshold). This is the automatic importance
+// derivation the paper names as future work (Section 6).
+func WithRepositoryKnowledge(threshold float64) Option {
+	return func(e *Engine) error {
+		if threshold <= 0 {
+			threshold = DefaultProjectionThreshold
+		}
+		usage := repoknow.CollectUsage(e.repo.Workflows())
+		proj := repoknow.NewProjector(repoknow.NewFrequencyScorer(usage), threshold)
+		e.reg.SetProjector(proj.Project)
+		return nil
+	}
+}
+
+// WithGEDBudget sets the per-pair graph-edit-distance deadline and beam
+// width used by GE measures (defaults: DefaultGEDDeadline,
+// DefaultGEDBeamWidth). A context deadline nearer than the configured
+// deadline tightens it further per call.
+func WithGEDBudget(deadline time.Duration, beamWidth int) Option {
+	return func(e *Engine) error {
+		if deadline < 0 || beamWidth < 0 {
+			return fmt.Errorf("negative GED budget")
+		}
+		e.reg.SetGEDBudget(deadline, beamWidth)
+		return nil
+	}
+}
+
+// WithDefaultMeasure sets the measure used when an options struct leaves
+// Measure empty (default: DefaultMeasure, the paper's best configuration).
+func WithDefaultMeasure(name string) Option {
+	return func(e *Engine) error {
+		e.defaultMeasure = name
+		return nil
+	}
+}
+
+// WithMeasure registers a custom measure in the engine's registry; it can
+// then be named in any options struct and inside ensemble notation.
+func WithMeasure(name string, m Measure) Option {
+	return func(e *Engine) error {
+		return e.reg.Register(name, m)
+	}
+}
+
+// New builds an Engine over repo. Options are applied in order; the default
+// measure is validated against the registry before the engine is returned.
+func New(repo *Repository, opts ...Option) (*Engine, error) {
+	if repo == nil {
+		return nil, fmt.Errorf("nil repository")
+	}
+	e := &Engine{
+		repo:           repo,
+		reg:            NewRegistry(),
+		defaultMeasure: DefaultMeasure,
+	}
+	for _, opt := range opts {
+		if err := opt(e); err != nil {
+			return nil, err
+		}
+	}
+	if _, err := e.reg.Parse(e.defaultMeasure); err != nil {
+		return nil, fmt.Errorf("invalid default measure: %w", err)
+	}
+	if e.minShared > 0 {
+		e.idx = index.Build(repo)
+		e.idx.Parallelism = e.concurrency
+	}
+	return e, nil
+}
+
+// Repository returns the engine's underlying repository.
+func (e *Engine) Repository() *Repository { return e.repo }
+
+// Registry returns the engine's measure registry, for registering custom
+// measures or listing the built-in notation after construction.
+func (e *Engine) Registry() *Registry { return e.reg }
+
+// Workflow returns the repository workflow with the given ID, or nil.
+func (e *Engine) Workflow(id string) *Workflow { return e.repo.Get(id) }
+
+// ParseMeasure resolves a measure name in the paper's notation (see
+// Registry) with the engine's projector and GED budget.
+func (e *Engine) ParseMeasure(name string) (Measure, error) {
+	if name == "" {
+		name = e.defaultMeasure
+	}
+	return e.reg.Parse(name)
+}
+
+// Project applies the engine's importance projection (the "ip" preprocessing
+// of structural measures) to a workflow.
+func (e *Engine) Project(wf *Workflow) *Workflow {
+	e.reg.mu.RLock()
+	project := e.reg.project
+	e.reg.mu.RUnlock()
+	if project == nil {
+		return wf
+	}
+	return project(wf)
+}
+
+// measureFor resolves name (or the default) with the registry's GED budget,
+// clamping the deadline to the context's remaining time — a call deadline
+// becomes the paper's per-pair GED timeout.
+func (e *Engine) measureFor(ctx context.Context, name string) (Measure, error) {
+	if name == "" {
+		name = e.defaultMeasure
+	}
+	deadline, beam := e.reg.GEDBudget()
+	if t, ok := ctx.Deadline(); ok {
+		if remaining := time.Until(t); deadline == 0 || remaining < deadline {
+			deadline = remaining
+		}
+		if deadline <= 0 {
+			deadline = time.Nanosecond // expired; pair scoring fails fast
+		}
+	}
+	return e.reg.parseWithBudget(name, deadline, beam)
+}
+
+// SearchOptions configures Engine.Search.
+type SearchOptions struct {
+	// Measure is a name in the paper's notation ("" = engine default).
+	Measure string
+	// K is the number of results (default 10, the paper's top-10).
+	K int
+	// MinSimilarity drops results scoring at or below the threshold.
+	MinSimilarity *float64
+	// Exact forces a full scan even when the engine has an index.
+	Exact bool
+	// IncludeQuery keeps the query workflow in the results. Index-backed
+	// search always excludes it; IncludeQuery falls back to a full scan.
+	IncludeQuery bool
+}
+
+// Stats describes how a search was answered.
+type Stats struct {
+	// Measure is the canonical name of the measure used.
+	Measure string
+	// Scored is the number of repository workflows scored exactly.
+	Scored int
+	// Skipped counts pairs the measure failed on (e.g. GED timeouts),
+	// disregarded as in the paper.
+	Skipped int
+	// Pruned is the number of workflows the index filtered out unscored
+	// (0 for exact scans).
+	Pruned int
+	// Elapsed is the wall-clock duration of the call.
+	Elapsed time.Duration
+}
+
+// Search returns the top-k most similar repository workflows to query,
+// fanning the scoring out across the engine's worker pool. It honors ctx:
+// cancellation aborts the scan with ctx.Err(), and a deadline additionally
+// tightens the per-pair GED budget. When the engine has an index (WithIndex)
+// the search is filter-and-refine unless opts.Exact is set.
+func (e *Engine) Search(ctx context.Context, query *Workflow, opts SearchOptions) ([]Result, Stats, error) {
+	if query == nil {
+		return nil, Stats{}, fmt.Errorf("nil query workflow")
+	}
+	m, err := e.measureFor(ctx, opts.Measure)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	stats := Stats{Measure: m.Name()}
+	t0 := time.Now()
+	k := opts.K
+	if k <= 0 {
+		k = 10
+	}
+
+	if e.idx != nil && !opts.Exact && !opts.IncludeQuery && opts.MinSimilarity == nil {
+		res, err := e.idx.TopK(ctx, query, m, k, e.minShared)
+		if err != nil {
+			return nil, Stats{}, err
+		}
+		stats.Scored = res.CandidateCount - res.Skipped
+		stats.Skipped = res.Skipped
+		stats.Pruned = res.Pruned
+		stats.Elapsed = time.Since(t0)
+		return res.Results, stats, nil
+	}
+
+	results, skipped, err := search.TopK(ctx, query, e.repo, m, search.Options{
+		K:             k,
+		Parallelism:   e.concurrency,
+		IncludeQuery:  opts.IncludeQuery,
+		MinSimilarity: opts.MinSimilarity,
+	})
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	stats.Skipped = skipped
+	stats.Scored = e.repo.Size() - skipped
+	if !opts.IncludeQuery && e.repo.Get(query.ID) != nil {
+		stats.Scored--
+	}
+	stats.Elapsed = time.Since(t0)
+	return results, stats, nil
+}
+
+// SearchID is Search with the query named by repository ID.
+func (e *Engine) SearchID(ctx context.Context, queryID string, opts SearchOptions) ([]Result, Stats, error) {
+	query := e.repo.Get(queryID)
+	if query == nil {
+		return nil, Stats{}, fmt.Errorf("query workflow %q not found", queryID)
+	}
+	return e.Search(ctx, query, opts)
+}
+
+// Score is one measure's verdict on a workflow pair.
+type Score struct {
+	// Measure is the canonical measure name.
+	Measure string
+	// Similarity is the score; meaningful only when Err is nil.
+	Similarity float64
+	// Err is the per-measure failure (e.g. a GED timeout), nil on success.
+	Err error
+}
+
+// CompareMeasures is the representative measure set Compare uses when no
+// names are given: both annotation measures and the paper's strongest
+// structural configurations.
+func CompareMeasures() []string {
+	return []string{"BW", "BT", "MS_np_ta_pll", "MS_ip_te_pll", "PS_ip_te_pll", "GE_ip_te_pll"}
+}
+
+// Compare scores the pair (a, b) under each named measure (default:
+// CompareMeasures). Unknown measure names fail the whole call; per-pair
+// scoring failures are reported in the corresponding Score.Err so one GED
+// timeout does not hide the other measures.
+func (e *Engine) Compare(ctx context.Context, a, b *Workflow, measureNames ...string) ([]Score, error) {
+	if a == nil || b == nil {
+		return nil, fmt.Errorf("nil workflow in Compare")
+	}
+	if len(measureNames) == 0 {
+		measureNames = CompareMeasures()
+	}
+	out := make([]Score, 0, len(measureNames))
+	for _, name := range measureNames {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		m, err := e.measureFor(ctx, name)
+		if err != nil {
+			return nil, err
+		}
+		s, err := m.Compare(a, b)
+		out = append(out, Score{Measure: m.Name(), Similarity: s, Err: err})
+	}
+	return out, nil
+}
+
+// CompareIDs is Compare with the pair named by repository IDs.
+func (e *Engine) CompareIDs(ctx context.Context, aID, bID string, measureNames ...string) ([]Score, error) {
+	a, b := e.repo.Get(aID), e.repo.Get(bID)
+	if a == nil || b == nil {
+		return nil, fmt.Errorf("workflow %q or %q not found", aID, bID)
+	}
+	return e.Compare(ctx, a, b, measureNames...)
+}
+
+// DuplicateOptions configures Engine.Duplicates.
+type DuplicateOptions struct {
+	// Measure is a name in the paper's notation ("" = engine default).
+	Measure string
+}
+
+// Duplicates scans the repository's pair matrix for near-duplicate workflow
+// pairs scoring at or above threshold — the functional-equivalence detection
+// use case of the paper's introduction. The scan parallelizes across the
+// engine's worker pool and honors ctx cancellation. Stats reports the
+// canonical measure name, the number of pairs scored and skipped, and the
+// wall-clock duration.
+func (e *Engine) Duplicates(ctx context.Context, threshold float64, opts DuplicateOptions) ([]Pair, Stats, error) {
+	m, err := e.measureFor(ctx, opts.Measure)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	t0 := time.Now()
+	pairs, skipped, err := search.Duplicates(ctx, e.repo, m, threshold, e.concurrency)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	n := e.repo.Size()
+	return pairs, Stats{
+		Measure: m.Name(),
+		Scored:  n*(n-1)/2 - skipped,
+		Skipped: skipped,
+		Elapsed: time.Since(t0),
+	}, nil
+}
+
+// ClusterOptions configures Engine.Cluster.
+type ClusterOptions struct {
+	// Measure is a name in the paper's notation ("" = engine default).
+	Measure string
+	// MinSimilarity is the linkage cut-off; nil means 0.5. A pointer so an
+	// explicit cut-off of 0 stays distinguishable from "use the default".
+	MinSimilarity *float64
+	// SingleLinkage switches from average-linkage agglomerative clustering
+	// to threshold-graph connected components.
+	SingleLinkage bool
+}
+
+// ClusterResult is a clustering of the repository into functional groups.
+type ClusterResult struct {
+	// Measure is the canonical name of the measure used.
+	Measure string
+	// Clusters holds the member workflow IDs per cluster, in deterministic
+	// order (clusters ordered by first member, members in repository order).
+	Clusters [][]string
+	// Skipped counts pairs the measure could not score (similarity 0).
+	Skipped int
+}
+
+// Purity evaluates the clustering against a reference assignment of
+// workflow IDs to labels (e.g. a generator's GroundTruth clusters): the
+// weighted fraction of each found cluster occupied by its dominant
+// reference label. IDs missing from ref share the zero label.
+func (r *ClusterResult) Purity(ref map[string]int) float64 {
+	found, reference := r.assignments(ref)
+	p, err := cluster.Purity(found, reference)
+	if err != nil {
+		return 0 // unreachable: both assignments are built over r's IDs
+	}
+	return p
+}
+
+// RandIndex evaluates the clustering against a reference assignment: the
+// fraction of workflow pairs on which the two clusterings agree
+// (same-cluster vs different-cluster).
+func (r *ClusterResult) RandIndex(ref map[string]int) float64 {
+	found, reference := r.assignments(ref)
+	ri, err := cluster.RandIndex(found, reference)
+	if err != nil {
+		return 0 // unreachable: both assignments are built over r's IDs
+	}
+	return ri
+}
+
+// assignments converts the result and a reference labeling into the
+// internal clustering representation over the same index space.
+func (r *ClusterResult) assignments(ref map[string]int) (found, reference cluster.Clustering) {
+	var n int
+	for _, members := range r.Clusters {
+		n += len(members)
+	}
+	found = cluster.Clustering{Assign: make([]int, n), K: len(r.Clusters)}
+	reference = cluster.Clustering{Assign: make([]int, n)}
+	remap := map[int]int{}
+	pos := 0
+	for k, members := range r.Clusters {
+		for _, id := range members {
+			found.Assign[pos] = k
+			label := ref[id]
+			if _, ok := remap[label]; !ok {
+				remap[label] = len(remap)
+			}
+			reference.Assign[pos] = remap[label]
+			pos++
+		}
+	}
+	reference.K = len(remap)
+	return found, reference
+}
+
+// Cluster groups the repository into functional clusters under a similarity
+// measure — "grouping of workflows into functional clusters" from the
+// paper's introduction. The underlying pair matrix is computed in parallel
+// and honors ctx cancellation.
+func (e *Engine) Cluster(ctx context.Context, opts ClusterOptions) (*ClusterResult, error) {
+	m, err := e.measureFor(ctx, opts.Measure)
+	if err != nil {
+		return nil, err
+	}
+	minSim := 0.5
+	if opts.MinSimilarity != nil {
+		minSim = *opts.MinSimilarity
+	}
+	mat, err := cluster.BuildMatrix(ctx, e.repo, m, e.concurrency)
+	if err != nil {
+		return nil, err
+	}
+	var c cluster.Clustering
+	if opts.SingleLinkage {
+		c = cluster.Components(mat, minSim)
+	} else {
+		c = cluster.Agglomerative(mat, minSim)
+	}
+	out := &ClusterResult{Measure: m.Name(), Clusters: make([][]string, c.K), Skipped: mat.Skipped}
+	for k, members := range c.Members() {
+		ids := make([]string, len(members))
+		for i, pos := range members {
+			ids[i] = mat.IDs[pos]
+		}
+		out.Clusters[k] = ids
+	}
+	return out, nil
+}

@@ -1,0 +1,172 @@
+package wfsim
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestRegistryRoundTripsEveryFamily parses every canonical scalar name the
+// notation can express — MS/PS/GE x np/ip x ta/tm/te x all six schemes, plus
+// BW and BT — and checks Measure.Name() round-trips it.
+func TestRegistryRoundTripsEveryFamily(t *testing.T) {
+	reg := NewRegistry()
+	names := reg.Builtin()
+	if len(names) != 2+3*2*3*6 {
+		t.Fatalf("Builtin() = %d names, want %d", len(names), 2+3*2*3*6)
+	}
+	for _, name := range names {
+		m, err := reg.Parse(name)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", name, err)
+			continue
+		}
+		if m.Name() != name {
+			t.Errorf("Parse(%q).Name() = %q", name, m.Name())
+		}
+	}
+}
+
+func TestRegistryRoundTripsSuffixes(t *testing.T) {
+	reg := NewRegistry()
+	for _, name := range []string{
+		"MS_np_ta_pw0_greedy", "GE_np_ta_pw0_nonorm", "PS_ip_te_pll_greedy_nonorm",
+	} {
+		m, err := reg.Parse(name)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", name, err)
+		}
+		if m.Name() != name {
+			t.Errorf("Parse(%q).Name() = %q", name, m.Name())
+		}
+	}
+}
+
+// TestRegistryShorthand checks missing/reordered tokens canonicalize: the
+// notation parser classifies tokens by value, defaults preprocessing to np
+// and preselection to ta, and renders the canonical order.
+func TestRegistryShorthand(t *testing.T) {
+	reg := NewRegistry()
+	cases := map[string]string{
+		"MS_plm":               "MS_np_ta_plm",
+		"MS_pll":               "MS_np_ta_pll",
+		"GE_ip_pll":            "GE_ip_ta_pll",
+		"MS_te_pll":            "MS_np_te_pll",
+		"MS_te_ip_pll":         "MS_ip_te_pll",
+		"ms_ip_te_pll":         "MS_ip_te_pll",
+		"PS_nonorm_pll":        "PS_np_ta_pll_nonorm",
+		"bw":                   "BW",
+		"bt":                   "BT",
+		"MS_PLL":               "MS_np_ta_pll",
+		"ENS(MS_plm+bw)":       "ENS(MS_np_ta_plm+BW)",
+		"ensemble(MS_plm,BW)":  "ENS(MS_np_ta_plm+BW)",
+		"ensemble(MS_plm, BW)": "ENS(MS_np_ta_plm+BW)",
+	}
+	for in, want := range cases {
+		got, err := reg.Canonical(in)
+		if err != nil {
+			t.Errorf("Canonical(%q): %v", in, err)
+			continue
+		}
+		if got != want {
+			t.Errorf("Canonical(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestRegistryNestedEnsemble(t *testing.T) {
+	reg := NewRegistry()
+	got, err := reg.Canonical("ensemble(BT, ensemble(BW, MS_plm), GE_ip_te_pll)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "ENS(BT+ENS(BW+MS_np_ta_plm)+GE_ip_te_pll)"
+	if got != want {
+		t.Errorf("nested ensemble = %q, want %q", got, want)
+	}
+	// The canonical form itself parses back.
+	if _, err := reg.Parse(got); err != nil {
+		t.Errorf("canonical form %q does not re-parse: %v", got, err)
+	}
+}
+
+func TestRegistryErrors(t *testing.T) {
+	reg := NewRegistry()
+	bad := []string{
+		"", "   ", "XX", "MS", "MS_np", "MS_np_ta", "MS_np_ta_nope",
+		"ZZ_np_ta_pll", "MS_xx_ta_pll", "MS_np_xx_pll",
+		"MS_np_ta_pll_bogus",
+		"MS_np_ip_pll",      // duplicate preprocessing
+		"MS_ta_te_pll",      // duplicate preselection
+		"MS_pll_plm",        // duplicate scheme
+		"ENS(BW)",           // single member
+		"ensemble(BW)",      // single member, alternate spelling
+		"ENS(BW+",           // unterminated
+		"ensemble(BW,,BT)",  // empty member
+		"ENS(BW+(BT)",       // unbalanced parens
+		"ensemble(BW+BT))",  // unbalanced parens
+		"ensemble(BW,nope)", // unknown member
+	}
+	for _, name := range bad {
+		if _, err := reg.Parse(name); err == nil {
+			t.Errorf("Parse(%q) should fail", name)
+		}
+	}
+}
+
+type constantMeasure struct {
+	name string
+	v    float64
+}
+
+func (m constantMeasure) Name() string { return m.name }
+func (m constantMeasure) Compare(a, b *Workflow) (float64, error) {
+	return m.v, nil
+}
+
+func TestRegistryCustomMeasures(t *testing.T) {
+	reg := NewRegistry()
+	if err := reg.Register("half", constantMeasure{name: "half", v: 0.5}); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Register("half", constantMeasure{name: "half", v: 0.5}); err == nil {
+		t.Error("duplicate registration accepted")
+	}
+	if err := reg.Register("bad name", constantMeasure{name: "x"}); err == nil {
+		t.Error("name with notation characters accepted")
+	}
+	// Built-in notation must not be shadowable ("MS" alone is fine: it
+	// never resolves without a scheme, so there is nothing to shadow).
+	for _, name := range []string{"BW", "bt"} {
+		if err := reg.Register(name, constantMeasure{name: name}); err == nil {
+			t.Errorf("Register(%q) shadows built-in notation", name)
+		}
+	}
+	m, err := reg.Parse("half")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Name() != "half" {
+		t.Errorf("Name = %q", m.Name())
+	}
+	// Custom measures compose into ensembles with built-ins.
+	ens, err := reg.Parse("ensemble(half, BW)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ens.Name() != "ENS(half+BW)" {
+		t.Errorf("ensemble name = %q", ens.Name())
+	}
+	if got := reg.Registered(); len(got) != 1 || got[0] != "half" {
+		t.Errorf("Registered = %v", got)
+	}
+}
+
+func TestRegistryBuiltinAllParse(t *testing.T) {
+	reg := NewRegistry()
+	for _, scheme := range []string{"pw0", "pw3", "pll", "plm", "gw1", "gll"} {
+		name := fmt.Sprintf("GE_ip_te_%s", scheme)
+		if _, err := reg.Parse(name); err != nil {
+			t.Errorf("Parse(%q): %v", name, err)
+		}
+	}
+}
