@@ -10,17 +10,23 @@ package repro
 // `go test -bench=.` both regenerates the numbers and times the pipeline.
 
 import (
+	"context"
+	"fmt"
 	"sync"
 	"testing"
 
+	"repro/internal/corpus"
 	"repro/internal/eval"
 	"repro/internal/experiments"
 	"repro/internal/ged"
+	"repro/internal/gen"
+	"repro/internal/index"
 	"repro/internal/matching"
 	"repro/internal/measures"
 	"repro/internal/module"
 	"repro/internal/rank"
 	"repro/internal/workflow"
+	"repro/pkg/wfsim"
 )
 
 var (
@@ -333,6 +339,136 @@ func BenchmarkAblationPathCap(b *testing.B) {
 			}
 		})
 	}
+}
+
+// --- Mutable-repository benches (PR 2: incremental index + score cache) ---
+
+var (
+	benchMutOnce sync.Once
+	benchMutRepo *corpus.Repository
+)
+
+// benchRepo1k is a 1000-workflow corpus for the incremental-maintenance
+// benchmarks (the acceptance criterion's scale).
+func benchRepo1k(b *testing.B) *corpus.Repository {
+	b.Helper()
+	benchMutOnce.Do(func() {
+		p := gen.Taverna()
+		p.Workflows = 1000
+		p.Clusters = 40
+		c, err := gen.Generate(p, 17)
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchMutRepo = c.Repo
+	})
+	if benchMutRepo == nil {
+		b.Fatal("corpus generation failed earlier")
+	}
+	return benchMutRepo
+}
+
+// BenchmarkFullRebuild measures a from-scratch index.Build over a
+// 1k-workflow corpus — the cost the old build-once Engine paid on every
+// repository change.
+func BenchmarkFullRebuild(b *testing.B) {
+	repo := benchRepo1k(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		index.Build(repo)
+	}
+}
+
+// BenchmarkIncrementalInsert measures one incremental Insert into an index
+// already holding the 1k corpus — the cost Engine.Apply pays per added
+// workflow. The acceptance criterion wants this ≫ faster than a full Build.
+func BenchmarkIncrementalInsert(b *testing.B) {
+	repo := benchRepo1k(b)
+	idx := index.Build(repo)
+	template := repo.Workflows()[0]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		wf := *template
+		wf.ID = fmt.Sprintf("bench-insert-%d", i)
+		if err := idx.Insert(&wf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkIncrementalInsertDelete measures a steady-state churn op
+// (insert + delete of the same workflow), including amortized compactions.
+func BenchmarkIncrementalInsertDelete(b *testing.B) {
+	repo := benchRepo1k(b)
+	idx := index.Build(repo)
+	template := repo.Workflows()[0]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		wf := *template
+		wf.ID = fmt.Sprintf("bench-churn-%d", i)
+		if err := idx.Insert(&wf); err != nil {
+			b.Fatal(err)
+		}
+		if !idx.Delete(wf.ID) {
+			b.Fatal("delete failed")
+		}
+	}
+}
+
+// benchDupesEngine builds a 150-workflow engine for the duplicate-scan
+// cache benches.
+func benchDupesEngine(b *testing.B, opts ...wfsim.Option) *wfsim.Engine {
+	b.Helper()
+	p := wfsim.TavernaProfile()
+	p.Workflows = 150
+	p.Clusters = 10
+	c, err := wfsim.GenerateCorpus(p, 23)
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng, err := wfsim.New(c.Repo, opts...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return eng
+}
+
+// BenchmarkDuplicatesCold measures the full pair-matrix duplicate scan with
+// no score cache — every iteration re-runs every pairwise evaluation.
+func BenchmarkDuplicatesCold(b *testing.B) {
+	eng := benchDupesEngine(b)
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := eng.Duplicates(ctx, 0.95, wfsim.DuplicateOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDuplicatesWarm measures the same scan with a warmed score cache:
+// the acceptance criterion's zero-pairwise-evaluation repeat run.
+func BenchmarkDuplicatesWarm(b *testing.B) {
+	eng := benchDupesEngine(b, wfsim.WithScoreCache(1<<17))
+	ctx := context.Background()
+	if _, _, err := eng.Duplicates(ctx, 0.95, wfsim.DuplicateOptions{}); err != nil {
+		b.Fatal(err) // warm-up
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var stats wfsim.Stats
+	for i := 0; i < b.N; i++ {
+		var err error
+		if _, stats, err = eng.Duplicates(ctx, 0.95, wfsim.DuplicateOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(stats.CacheHits), "cache-hits/op")
+	b.ReportMetric(float64(stats.CacheMisses), "cache-misses/op")
 }
 
 // BenchmarkBioConsertConsensus measures consensus aggregation at the study's

@@ -42,6 +42,10 @@ func main() {
 		err = cmdSearch(os.Args[2:])
 	case "dupes":
 		err = cmdDupes(os.Args[2:])
+	case "add":
+		err = cmdAdd(os.Args[2:])
+	case "rm":
+		err = cmdRm(os.Args[2:])
 	case "import":
 		err = cmdImport(os.Args[2:])
 	case "export":
@@ -63,11 +67,14 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: wfsim <gen|compare|search|dupes|import|export|cluster|rank|measures> [flags]
+	fmt.Fprintln(os.Stderr, `usage: wfsim <gen|compare|search|dupes|add|rm|import|export|cluster|rank|measures> [flags]
   gen      -profile taverna|galaxy -seed N -out corpus.json
   compare  -corpus corpus.json -a ID -b ID [-measure MS_ip_te_pll]
-  search   -corpus corpus.json -query ID [-measure MS_ip_te_pll] [-k 10] [-timeout 30s] [-index]
-  dupes    -corpus corpus.json [-measure MS_np_ta_pll] [-threshold 0.95]
+  search   -corpus corpus.json -query ID [-measure MS_ip_te_pll] [-k 10] [-timeout 30s]
+           [-index] [-min-shared 1] [-cache 0] [-repeat 1]
+  dupes    -corpus corpus.json [-measure MS_np_ta_pll] [-threshold 0.95] [-cache 0] [-repeat 1]
+  add      -corpus corpus.json [-format t2flow|galaxy] [-out corpus.json] file...
+  rm       -corpus corpus.json -ids 1,2 [-out corpus.json]
   import   -format t2flow|galaxy -out corpus.json file...
   export   -corpus corpus.json -format t2flow|galaxy -dir DIR [-ids 1,2]
   cluster  -corpus corpus.json [-measure MS_ip_te_pll] [-minsim 0.5]
@@ -170,11 +177,17 @@ func cmdSearch(args []string) error {
 	k := fs.Int("k", 10, "number of results")
 	timeout := fs.Duration("timeout", 0, "whole-search deadline (0 = none)")
 	useIndex := fs.Bool("index", false, "filter-and-refine via the inverted label index")
+	minShared := fs.Int("min-shared", 1, "index filter knob: min shared canonical labels (implies -index when > 1)")
+	cacheSize := fs.Int("cache", 0, "pairwise score cache capacity (0 = no cache)")
+	repeat := fs.Int("repeat", 1, "run the search N times (shows cache warm-up)")
 	fs.Parse(args)
 
 	var opts []wfsim.Option
-	if *useIndex {
-		opts = append(opts, wfsim.WithIndex(1))
+	if *useIndex || *minShared > 1 {
+		opts = append(opts, wfsim.WithIndex(*minShared))
+	}
+	if *cacheSize > 0 {
+		opts = append(opts, wfsim.WithScoreCache(*cacheSize))
 	}
 	eng, err := newEngine(*corpusPath, opts...)
 	if err != nil {
@@ -182,14 +195,23 @@ func cmdSearch(args []string) error {
 	}
 	ctx, cancel := contextFor(*timeout)
 	defer cancel()
-	results, stats, err := eng.SearchID(ctx, *query, wfsim.SearchOptions{Measure: *measureName, K: *k})
-	if err != nil {
-		return err
+	var results []wfsim.Result
+	var stats wfsim.Stats
+	for i := 0; i < *repeat || i == 0; i++ {
+		results, stats, err = eng.SearchID(ctx, *query, wfsim.SearchOptions{Measure: *measureName, K: *k})
+		if err != nil {
+			return err
+		}
 	}
 	q := eng.Workflow(*query)
-	fmt.Printf("top-%d for %q (%s) by %s: scored %d, pruned %d, skipped %d in %v\n",
+	fmt.Printf("top-%d for %q (%s) by %s: scored %d, pruned %d, skipped %d in %v (gen %d)\n",
 		*k, q.ID, q.Annotations.Title, stats.Measure,
-		stats.Scored, stats.Pruned, stats.Skipped, stats.Elapsed.Round(time.Millisecond))
+		stats.Scored, stats.Pruned, stats.Skipped, stats.Elapsed.Round(time.Millisecond), stats.Generation)
+	if *cacheSize > 0 {
+		fmt.Printf("score cache: %d hits, %d misses this call; %d hits, %d misses, %d entries total\n",
+			stats.CacheHits, stats.CacheMisses,
+			eng.CacheStats().Hits, eng.CacheStats().Misses, eng.CacheStats().Entries)
+	}
 	for i, r := range results {
 		wf := eng.Workflow(r.ID)
 		fmt.Printf("%2d. %-8s %.4f  %s\n", i+1, r.ID, r.Similarity, wf.Annotations.Title)
@@ -204,20 +226,33 @@ func cmdDupes(args []string) error {
 	threshold := fs.Float64("threshold", 0.95, "duplicate similarity threshold")
 	limit := fs.Int("limit", 25, "max pairs to print")
 	timeout := fs.Duration("timeout", 0, "whole-scan deadline (0 = none)")
+	cacheSize := fs.Int("cache", 0, "pairwise score cache capacity (0 = no cache)")
+	repeat := fs.Int("repeat", 1, "run the scan N times (shows cache warm-up)")
 	fs.Parse(args)
 
-	eng, err := newEngine(*corpusPath)
+	var opts []wfsim.Option
+	if *cacheSize > 0 {
+		opts = append(opts, wfsim.WithScoreCache(*cacheSize))
+	}
+	eng, err := newEngine(*corpusPath, opts...)
 	if err != nil {
 		return err
 	}
 	ctx, cancel := contextFor(*timeout)
 	defer cancel()
-	pairs, stats, err := eng.Duplicates(ctx, *threshold, wfsim.DuplicateOptions{Measure: *measureName})
-	if err != nil {
-		return err
+	var pairs []wfsim.Pair
+	var stats wfsim.Stats
+	for i := 0; i < *repeat || i == 0; i++ {
+		pairs, stats, err = eng.Duplicates(ctx, *threshold, wfsim.DuplicateOptions{Measure: *measureName})
+		if err != nil {
+			return err
+		}
 	}
 	fmt.Printf("%d near-duplicate pairs (>= %.2f under %s) among %d workflows in %v (%d pairs skipped)\n",
 		len(pairs), *threshold, stats.Measure, eng.Repository().Size(), stats.Elapsed.Round(time.Millisecond), stats.Skipped)
+	if *cacheSize > 0 {
+		fmt.Printf("score cache: %d hits, %d misses on the last scan\n", stats.CacheHits, stats.CacheMisses)
+	}
 	for i, p := range pairs {
 		if i >= *limit {
 			fmt.Printf("... and %d more\n", len(pairs)-*limit)

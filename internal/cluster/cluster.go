@@ -16,7 +16,6 @@ import (
 	"sort"
 	"sync/atomic"
 
-	"repro/internal/corpus"
 	"repro/internal/measures"
 	"repro/internal/search"
 )
@@ -35,7 +34,7 @@ type Matrix struct {
 // m with a row-per-task worker pool. Unscorable pairs get similarity 0 and
 // are counted. A cancelled or expired context aborts the computation with
 // the context's error.
-func BuildMatrix(ctx context.Context, repo *corpus.Repository, m measures.Measure, par int) (*Matrix, error) {
+func BuildMatrix(ctx context.Context, repo search.Corpus, m measures.Measure, par int) (*Matrix, error) {
 	wfs := repo.Workflows()
 	n := len(wfs)
 	mat := &Matrix{IDs: make([]string, n), Sim: make([][]float64, n)}

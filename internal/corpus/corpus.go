@@ -1,8 +1,17 @@
-// Package corpus manages collections of scientific workflows: an in-memory
-// repository with ID lookup, and JSON (de)serialisation so generated corpora
-// and their ground truth can be stored, shared and reloaded — the paper's
-// equivalent artefacts are the myExperiment dump transformed into a custom
-// graph format and the published gold-standard ratings.
+// Package corpus manages collections of scientific workflows: a mutable,
+// snapshot-versioned in-memory repository with ID lookup, and JSON
+// (de)serialisation so generated corpora and their ground truth can be
+// stored, shared and reloaded — the paper's equivalent artefacts are the
+// myExperiment dump transformed into a custom graph format and the published
+// gold-standard ratings.
+//
+// The repository is copy-on-write: writers mutate private state under a
+// lock, and readers pin an immutable Snapshot that is rebuilt lazily after
+// the next write. An in-flight scan over a pinned Snapshot is therefore
+// never torn by a concurrent Add/Remove/ApplyBatch, and a whole mutation
+// batch becomes visible atomically under a single new generation number —
+// the continuous-ingest-with-versioned-snapshots design of large living
+// catalogs, scaled down to one process.
 package corpus
 
 import (
@@ -11,70 +20,297 @@ import (
 	"io"
 	"os"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/workflow"
 )
 
-// Repository is a collection of workflows with unique IDs.
-type Repository struct {
+// Snapshot is an immutable, generation-stamped view of a repository. All
+// read methods are safe for concurrent use and unaffected by later writes
+// to the Repository the snapshot was taken from.
+type Snapshot struct {
 	workflows []*workflow.Workflow
 	byID      map[string]*workflow.Workflow
-}
-
-// NewRepository builds a repository from the given workflows.
-// Duplicate or empty IDs are rejected.
-func NewRepository(wfs ...*workflow.Workflow) (*Repository, error) {
-	r := &Repository{byID: make(map[string]*workflow.Workflow, len(wfs))}
-	for _, wf := range wfs {
-		if err := r.Add(wf); err != nil {
-			return nil, err
-		}
-	}
-	return r, nil
-}
-
-// Add inserts a workflow; its ID must be non-empty and unique.
-func (r *Repository) Add(wf *workflow.Workflow) error {
-	if wf == nil {
-		return fmt.Errorf("corpus: nil workflow")
-	}
-	if wf.ID == "" {
-		return fmt.Errorf("corpus: workflow without ID")
-	}
-	if _, dup := r.byID[wf.ID]; dup {
-		return fmt.Errorf("corpus: duplicate workflow ID %q", wf.ID)
-	}
-	if r.byID == nil {
-		r.byID = map[string]*workflow.Workflow{}
-	}
-	r.workflows = append(r.workflows, wf)
-	r.byID[wf.ID] = wf
-	return nil
+	gen       uint64
 }
 
 // Get returns the workflow with the given ID, or nil.
-func (r *Repository) Get(id string) *workflow.Workflow { return r.byID[id] }
+func (s *Snapshot) Get(id string) *workflow.Workflow { return s.byID[id] }
 
-// Size returns the number of workflows.
-func (r *Repository) Size() int { return len(r.workflows) }
+// Size returns the number of workflows in the snapshot.
+func (s *Snapshot) Size() int { return len(s.workflows) }
 
-// Workflows returns the workflows in insertion order. The slice is shared;
-// callers must not modify it.
-func (r *Repository) Workflows() []*workflow.Workflow { return r.workflows }
+// Workflows returns the workflows in insertion order. The slice is shared
+// with other readers of the same snapshot; callers must not modify it.
+func (s *Snapshot) Workflows() []*workflow.Workflow { return s.workflows }
 
-// IDs returns all workflow IDs, sorted.
-func (r *Repository) IDs() []string {
-	ids := make([]string, 0, len(r.workflows))
-	for _, wf := range r.workflows {
+// Generation returns the repository generation this snapshot captures.
+// Generations start at 0 for an empty repository and increase by exactly one
+// per successful mutation call (a whole ApplyBatch counts once).
+func (s *Snapshot) Generation() uint64 { return s.gen }
+
+// IDs returns all workflow IDs in the snapshot, sorted.
+func (s *Snapshot) IDs() []string {
+	ids := make([]string, 0, len(s.workflows))
+	for _, wf := range s.workflows {
 		ids = append(ids, wf.ID)
 	}
 	sort.Strings(ids)
 	return ids
 }
 
+// Repository is a mutable collection of workflows with unique IDs.
+// Reads delegate to the current Snapshot, so they are safe concurrently
+// with writes; writes (Add, Remove, Replace, ApplyBatch) are serialised by
+// an internal lock and each bumps the generation counter.
+type Repository struct {
+	mu        sync.Mutex
+	workflows []*workflow.Workflow
+	byID      map[string]*workflow.Workflow
+	gen       atomic.Uint64
+	snap      atomic.Pointer[Snapshot]
+}
+
+// NewRepository builds a repository from the given workflows.
+// Duplicate or empty IDs are rejected.
+func NewRepository(wfs ...*workflow.Workflow) (*Repository, error) {
+	r := &Repository{byID: make(map[string]*workflow.Workflow, len(wfs))}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, wf := range wfs {
+		if err := r.addLocked(wf); err != nil {
+			return nil, err
+		}
+	}
+	return r, nil
+}
+
+// addLocked is the single insertion path shared by NewRepository, Add and
+// ApplyBatch; it validates the workflow and mutates the private state.
+func (r *Repository) addLocked(wf *workflow.Workflow) error {
+	if err := r.checkAddable(wf, r.byID); err != nil {
+		return fmt.Errorf("corpus: %w", err)
+	}
+	r.workflows = append(r.workflows, wf)
+	r.byID[wf.ID] = wf
+	return nil
+}
+
+// checkAddable validates an insertion against a membership map (the live
+// index, or a staged overlay during batch validation). Errors carry no
+// package prefix; callers add their own context.
+func (r *Repository) checkAddable(wf *workflow.Workflow, member map[string]*workflow.Workflow) error {
+	switch {
+	case wf == nil:
+		return fmt.Errorf("nil workflow (repository size %d)", len(r.workflows))
+	case wf.ID == "":
+		return fmt.Errorf("workflow without ID (repository size %d)", len(r.workflows))
+	}
+	if _, dup := member[wf.ID]; dup {
+		return fmt.Errorf("duplicate workflow ID %q (repository size %d)", wf.ID, len(r.workflows))
+	}
+	return nil
+}
+
+// invalidateLocked bumps the generation and drops the cached snapshot after
+// a successful mutation.
+func (r *Repository) invalidateLocked() uint64 {
+	gen := r.gen.Add(1)
+	r.snap.Store(nil)
+	return gen
+}
+
+// Add inserts a workflow; its ID must be non-empty and unique.
+func (r *Repository) Add(wf *workflow.Workflow) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.byID == nil {
+		r.byID = map[string]*workflow.Workflow{}
+	}
+	if err := r.addLocked(wf); err != nil {
+		return err
+	}
+	r.invalidateLocked()
+	return nil
+}
+
+// Remove deletes the workflow with the given ID.
+func (r *Repository) Remove(id string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if err := r.removeLocked(id); err != nil {
+		return err
+	}
+	r.invalidateLocked()
+	return nil
+}
+
+func (r *Repository) removeLocked(id string) error {
+	if _, ok := r.byID[id]; !ok {
+		return fmt.Errorf("corpus: workflow %q not found (repository size %d)", id, len(r.workflows))
+	}
+	for i, wf := range r.workflows {
+		if wf.ID == id {
+			// The mutable slice is never shared with snapshots (Snapshot
+			// copies it), so shifting in place is safe.
+			r.workflows = append(r.workflows[:i], r.workflows[i+1:]...)
+			break
+		}
+	}
+	delete(r.byID, id)
+	return nil
+}
+
+// Replace swaps the workflow with wf.ID for wf, keeping its position.
+func (r *Repository) Replace(wf *workflow.Workflow) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if err := r.replaceLocked(wf); err != nil {
+		return err
+	}
+	r.invalidateLocked()
+	return nil
+}
+
+func (r *Repository) replaceLocked(wf *workflow.Workflow) error {
+	if wf == nil {
+		return fmt.Errorf("corpus: nil workflow (repository size %d)", len(r.workflows))
+	}
+	if _, ok := r.byID[wf.ID]; !ok {
+		return fmt.Errorf("corpus: workflow %q not found (repository size %d)", wf.ID, len(r.workflows))
+	}
+	for i, old := range r.workflows {
+		if old.ID == wf.ID {
+			r.workflows[i] = wf
+			break
+		}
+	}
+	r.byID[wf.ID] = wf
+	return nil
+}
+
+// OpKind discriminates batch mutation operations.
+type OpKind int
+
+const (
+	// OpAdd inserts Op.Workflow (ID must be new).
+	OpAdd OpKind = iota + 1
+	// OpRemove deletes the workflow with Op.ID.
+	OpRemove
+	// OpReplace swaps the workflow with Op.Workflow.ID for Op.Workflow.
+	OpReplace
+)
+
+// Op is one mutation in an ApplyBatch transaction. Workflow is set for
+// OpAdd/OpReplace; ID is set for OpRemove (and mirrors Workflow.ID
+// otherwise).
+type Op struct {
+	Kind     OpKind
+	ID       string
+	Workflow *workflow.Workflow
+}
+
+// ApplyBatch applies a transactional mutation batch: every op is validated
+// against the repository state with all preceding ops of the batch staged,
+// and either the whole batch commits under a single new generation or the
+// repository is left untouched. The new generation is returned on success.
+func (r *Repository) ApplyBatch(ops []Op) (uint64, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.byID == nil {
+		r.byID = map[string]*workflow.Workflow{}
+	}
+	if len(ops) == 0 {
+		return r.gen.Load(), nil
+	}
+	// Validation pass over a staged overlay; nothing is mutated yet.
+	staged := make(map[string]*workflow.Workflow, len(r.byID)+len(ops))
+	for id, wf := range r.byID {
+		staged[id] = wf
+	}
+	for i, op := range ops {
+		switch op.Kind {
+		case OpAdd:
+			if err := r.checkAddable(op.Workflow, staged); err != nil {
+				return 0, fmt.Errorf("corpus: batch op %d: %w", i, err)
+			}
+			staged[op.Workflow.ID] = op.Workflow
+		case OpRemove:
+			if _, ok := staged[op.ID]; !ok {
+				return 0, fmt.Errorf("corpus: batch op %d: workflow %q not found (repository size %d)", i, op.ID, len(r.workflows))
+			}
+			delete(staged, op.ID)
+		case OpReplace:
+			if op.Workflow == nil {
+				return 0, fmt.Errorf("corpus: batch op %d: nil workflow (repository size %d)", i, len(r.workflows))
+			}
+			if _, ok := staged[op.Workflow.ID]; !ok {
+				return 0, fmt.Errorf("corpus: batch op %d: workflow %q not found (repository size %d)", i, op.Workflow.ID, len(r.workflows))
+			}
+			staged[op.Workflow.ID] = op.Workflow
+		default:
+			return 0, fmt.Errorf("corpus: batch op %d: invalid op kind %d", i, op.Kind)
+		}
+	}
+	// Commit pass: every op was validated against its staged state, so the
+	// mirrored mutations cannot fail.
+	for _, op := range ops {
+		switch op.Kind {
+		case OpAdd:
+			_ = r.addLocked(op.Workflow)
+		case OpRemove:
+			_ = r.removeLocked(op.ID)
+		case OpReplace:
+			_ = r.replaceLocked(op.Workflow)
+		}
+	}
+	return r.invalidateLocked(), nil
+}
+
+// Snapshot pins the current immutable view of the repository. The snapshot
+// is cached until the next write, so repeated calls between writes are a
+// single atomic load.
+func (r *Repository) Snapshot() *Snapshot {
+	if s := r.snap.Load(); s != nil {
+		return s
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if s := r.snap.Load(); s != nil { // raced with another rebuild
+		return s
+	}
+	s := &Snapshot{
+		workflows: append([]*workflow.Workflow(nil), r.workflows...),
+		byID:      make(map[string]*workflow.Workflow, len(r.workflows)),
+		gen:       r.gen.Load(),
+	}
+	for _, wf := range r.workflows {
+		s.byID[wf.ID] = wf
+	}
+	r.snap.Store(s)
+	return s
+}
+
+// Generation returns the current repository generation.
+func (r *Repository) Generation() uint64 { return r.gen.Load() }
+
+// Get returns the workflow with the given ID, or nil.
+func (r *Repository) Get(id string) *workflow.Workflow { return r.Snapshot().Get(id) }
+
+// Size returns the number of workflows.
+func (r *Repository) Size() int { return r.Snapshot().Size() }
+
+// Workflows returns the workflows in insertion order. The slice belongs to
+// the current snapshot and is shared; callers must not modify it.
+func (r *Repository) Workflows() []*workflow.Workflow { return r.Snapshot().Workflows() }
+
+// IDs returns all workflow IDs, sorted.
+func (r *Repository) IDs() []string { return r.Snapshot().IDs() }
+
 // Validate checks every workflow in the repository.
 func (r *Repository) Validate() error {
-	for _, wf := range r.workflows {
+	for _, wf := range r.Workflows() {
 		if err := wf.Validate(); err != nil {
 			return err
 		}
@@ -94,7 +330,7 @@ const formatID = "wfsim-corpus-v1"
 func (r *Repository) Save(w io.Writer) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	return enc.Encode(fileFormat{Format: formatID, Workflows: r.workflows})
+	return enc.Encode(fileFormat{Format: formatID, Workflows: r.Workflows()})
 }
 
 // Load reads a repository from JSON produced by Save.

@@ -44,6 +44,117 @@ func TestRepositoryAddGet(t *testing.T) {
 	}
 }
 
+func TestSnapshotIsolation(t *testing.T) {
+	r, err := NewRepository(sample("1"), sample("2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := r.Snapshot()
+	if snap.Generation() != 0 {
+		t.Errorf("fresh repository generation = %d", snap.Generation())
+	}
+	if r.Snapshot() != snap {
+		t.Error("snapshot not cached between writes")
+	}
+	if err := r.Add(sample("3")); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Remove("1"); err != nil {
+		t.Fatal(err)
+	}
+	// The pinned snapshot is unaffected by both writes.
+	if snap.Size() != 2 || snap.Get("1") == nil || snap.Get("3") != nil {
+		t.Errorf("pinned snapshot torn by writes: size %d", snap.Size())
+	}
+	now := r.Snapshot()
+	if now.Generation() != 2 {
+		t.Errorf("generation after two writes = %d", now.Generation())
+	}
+	if now.Size() != 2 || now.Get("1") != nil || now.Get("3") == nil {
+		t.Error("current snapshot missing the writes")
+	}
+}
+
+func TestRemoveReplace(t *testing.T) {
+	r, _ := NewRepository(sample("1"), sample("2"))
+	if err := r.Remove("404"); err == nil {
+		t.Error("removing unknown ID accepted")
+	}
+	if err := r.Replace(sample("404")); err == nil {
+		t.Error("replacing unknown ID accepted")
+	}
+	repl := sample("2")
+	repl.Annotations.Title = "replaced"
+	if err := r.Replace(repl); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Get("2").Annotations.Title; got != "replaced" {
+		t.Errorf("Replace not visible: title %q", got)
+	}
+	if r.Size() != 2 {
+		t.Errorf("Replace changed size to %d", r.Size())
+	}
+	if err := r.Remove("1"); err != nil {
+		t.Fatal(err)
+	}
+	if r.Size() != 1 || r.Get("1") != nil {
+		t.Error("Remove not visible")
+	}
+}
+
+func TestApplyBatchTransactional(t *testing.T) {
+	r, _ := NewRepository(sample("1"), sample("2"))
+	before := r.Snapshot()
+
+	// A batch with a bad trailing op must leave the repository untouched.
+	_, err := r.ApplyBatch([]Op{
+		{Kind: OpAdd, Workflow: sample("3")},
+		{Kind: OpRemove, ID: "404"},
+	})
+	if err == nil {
+		t.Fatal("bad batch accepted")
+	}
+	if r.Snapshot() != before {
+		t.Error("failed batch mutated the repository")
+	}
+
+	// Remove-then-re-add of the same ID inside one batch is valid.
+	gen, err := r.ApplyBatch([]Op{
+		{Kind: OpRemove, ID: "1"},
+		{Kind: OpAdd, Workflow: sample("1")},
+		{Kind: OpAdd, Workflow: sample("3")},
+		{Kind: OpReplace, Workflow: sample("2")},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gen != before.Generation()+1 {
+		t.Errorf("batch bumped generation by %d, want 1", gen-before.Generation())
+	}
+	if r.Size() != 3 {
+		t.Errorf("size after batch = %d", r.Size())
+	}
+
+	// Duplicate add within one batch is caught by staged validation.
+	if _, err := r.ApplyBatch([]Op{
+		{Kind: OpAdd, Workflow: sample("9")},
+		{Kind: OpAdd, Workflow: sample("9")},
+	}); err == nil {
+		t.Error("duplicate add within batch accepted")
+	}
+	if _, err := r.ApplyBatch([]Op{{}}); err == nil {
+		t.Error("zero op accepted")
+	}
+}
+
+func TestAddErrorsIncludeSize(t *testing.T) {
+	r, _ := NewRepository(sample("1"), sample("2"))
+	err := r.Add(sample("1"))
+	if err == nil || !strings.Contains(err.Error(), "repository size 2") {
+		t.Errorf("duplicate error lacks repository size: %v", err)
+	}
+}
+
 func TestSaveLoadRoundTrip(t *testing.T) {
 	r, _ := NewRepository(sample("1"), sample("2"))
 	var buf bytes.Buffer

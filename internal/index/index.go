@@ -10,11 +10,23 @@
 // edit-distance schemes (two workflows can have nonzero label edit
 // similarity without sharing a token). Search reports how many repository
 // workflows were pruned so callers can trade recall for speed consciously.
+//
+// The index is incrementally maintainable: Insert and Delete update the
+// postings and per-workflow label lists in O(labels of the workflow) instead
+// of rescanning the corpus, so a mutable repository never pays a full Build
+// on churn. Deletions tombstone their posting positions and a periodic
+// compaction sweeps dead entries once they outnumber a quarter of the index;
+// compaction reuses the stored canonical label lists, so even it never
+// re-canonicalizes a module label. All methods are safe for concurrent use:
+// mutations take a write lock, and searches capture a consistent candidate
+// set under a read lock before scoring outside any lock.
 package index
 
 import (
 	"context"
+	"fmt"
 	"sort"
+	"sync"
 	"sync/atomic"
 
 	"repro/internal/corpus"
@@ -24,46 +36,276 @@ import (
 	"repro/internal/workflow"
 )
 
+// Source is any provider of workflows to index — a corpus.Repository, a
+// pinned corpus.Snapshot, or a test fixture.
+type Source interface {
+	Workflows() []*workflow.Workflow
+}
+
+// entry is one indexed workflow slot. Deleted entries stay in place as
+// tombstones (dead = true) until compaction renumbers the positions.
+type entry struct {
+	wf     *workflow.Workflow
+	labels []string
+	dead   bool
+}
+
 // Index is an inverted index from canonical module labels to workflows.
 type Index struct {
-	repo    *corpus.Repository
-	posting map[string][]int // canonical label -> workflow positions
-	labels  [][]string       // workflow position -> its canonical labels
+	mu          sync.RWMutex
+	posting     map[string][]int // canonical label -> entry positions
+	entries     []entry          // position -> indexed workflow
+	byID        map[string]int   // live workflow ID -> position
+	dead        int              // tombstoned entries awaiting compaction
+	gen         uint64           // repository generation this index reflects
+	compactions int
 
 	// Parallelism bounds the workers of the refine stage (0 = GOMAXPROCS).
 	Parallelism int
 }
 
-// Build scans the repository once and indexes every workflow under the
-// canonical forms of its module labels (see repoknow.CanonicalLabel).
-func Build(repo *corpus.Repository) *Index {
-	idx := &Index{
-		repo:    repo,
+// compactionThreshold: compact once tombstones are at least a quarter of all
+// entries (and more than a handful, so tiny indexes don't churn).
+const compactionMinDead = 32
+
+// New returns an empty index ready for incremental Insert calls.
+func New() *Index {
+	return &Index{
 		posting: map[string][]int{},
-		labels:  make([][]string, repo.Size()),
+		byID:    map[string]int{},
 	}
-	for pos, wf := range repo.Workflows() {
-		seen := map[string]bool{}
-		for _, m := range wf.Modules {
-			key := repoknow.CanonicalLabel(m.Label)
-			if key == "" || seen[key] {
-				continue
-			}
-			seen[key] = true
-			idx.posting[key] = append(idx.posting[key], pos)
-			idx.labels[pos] = append(idx.labels[pos], key)
-		}
+}
+
+// Build scans the source once and indexes every workflow under the
+// canonical forms of its module labels (see repoknow.CanonicalLabel).
+func Build(src Source) *Index {
+	idx := New()
+	idx.mu.Lock()
+	defer idx.mu.Unlock()
+	for _, wf := range src.Workflows() {
+		idx.insertLocked(wf)
 	}
 	return idx
 }
 
-// Vocabulary returns the number of distinct canonical labels indexed.
-func (idx *Index) Vocabulary() int { return len(idx.posting) }
+// canonicalLabels returns the deduplicated canonical labels of a workflow.
+func canonicalLabels(wf *workflow.Workflow) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, m := range wf.Modules {
+		key := repoknow.CanonicalLabel(m.Label)
+		if key == "" || seen[key] {
+			continue
+		}
+		seen[key] = true
+		out = append(out, key)
+	}
+	return out
+}
 
-// Candidates returns the positions of workflows sharing at least minShared
-// canonical labels with the query, sorted by descending overlap count.
-// minShared < 1 is treated as 1.
-func (idx *Index) Candidates(query *workflow.Workflow, minShared int) []int {
+func (idx *Index) insertLocked(wf *workflow.Workflow) {
+	pos := len(idx.entries)
+	labels := canonicalLabels(wf)
+	idx.entries = append(idx.entries, entry{wf: wf, labels: labels})
+	idx.byID[wf.ID] = pos
+	for _, key := range labels {
+		idx.posting[key] = append(idx.posting[key], pos)
+	}
+}
+
+// Insert indexes one workflow in O(its labels). The ID must not already be
+// indexed (Replace handles updates).
+func (idx *Index) Insert(wf *workflow.Workflow) error {
+	idx.mu.Lock()
+	defer idx.mu.Unlock()
+	return idx.insertChecked(wf)
+}
+
+func (idx *Index) insertChecked(wf *workflow.Workflow) error {
+	if wf == nil || wf.ID == "" {
+		return fmt.Errorf("index: workflow without ID")
+	}
+	if _, dup := idx.byID[wf.ID]; dup {
+		return fmt.Errorf("index: workflow %q already indexed", wf.ID)
+	}
+	idx.insertLocked(wf)
+	return nil
+}
+
+// Delete tombstones the workflow with the given ID in O(1); its posting
+// positions are swept by a later compaction. It reports whether the ID was
+// indexed.
+func (idx *Index) Delete(id string) bool {
+	idx.mu.Lock()
+	defer idx.mu.Unlock()
+	ok := idx.deleteLocked(id)
+	idx.maybeCompactLocked()
+	return ok
+}
+
+func (idx *Index) deleteLocked(id string) bool {
+	pos, ok := idx.byID[id]
+	if !ok {
+		return false
+	}
+	idx.entries[pos].dead = true
+	idx.entries[pos].wf = nil
+	delete(idx.byID, id)
+	idx.dead++
+	return true
+}
+
+// Apply maintains the index for a validated corpus mutation batch under one
+// write lock, stamping gen — the repository generation the batch committed —
+// in the same critical section, so concurrent searches observe either none
+// or all of the batch and the generation check can never pass against a
+// half-stamped index. Ops are assumed pre-validated by
+// corpus.Repository.ApplyBatch; an error here means the index has drifted
+// from the repository and the caller should rebuild it (the generation is
+// left unstamped in that case).
+func (idx *Index) Apply(ops []corpus.Op, gen uint64) error {
+	idx.mu.Lock()
+	defer idx.mu.Unlock()
+	// Validation pass against a staged membership overlay, so a drifted
+	// batch is rejected whole and never leaves the index half-applied.
+	staged := map[string]bool{}
+	present := func(id string) bool {
+		if stagedState, ok := staged[id]; ok {
+			return stagedState
+		}
+		_, ok := idx.byID[id]
+		return ok
+	}
+	for _, op := range ops {
+		switch op.Kind {
+		case corpus.OpAdd:
+			if op.Workflow == nil || op.Workflow.ID == "" {
+				return fmt.Errorf("index: workflow without ID")
+			}
+			if present(op.Workflow.ID) {
+				return fmt.Errorf("index: workflow %q already indexed", op.Workflow.ID)
+			}
+			staged[op.Workflow.ID] = true
+		case corpus.OpRemove:
+			if !present(op.ID) {
+				return fmt.Errorf("index: workflow %q not indexed", op.ID)
+			}
+			staged[op.ID] = false
+		case corpus.OpReplace:
+			if op.Workflow == nil || op.Workflow.ID == "" {
+				return fmt.Errorf("index: workflow without ID")
+			}
+			if !present(op.Workflow.ID) {
+				return fmt.Errorf("index: workflow %q not indexed", op.Workflow.ID)
+			}
+		default:
+			return fmt.Errorf("index: invalid op kind %d", op.Kind)
+		}
+	}
+	for _, op := range ops {
+		switch op.Kind {
+		case corpus.OpAdd:
+			idx.insertLocked(op.Workflow)
+		case corpus.OpRemove:
+			idx.deleteLocked(op.ID)
+		case corpus.OpReplace:
+			idx.deleteLocked(op.Workflow.ID)
+			idx.insertLocked(op.Workflow)
+		}
+	}
+	idx.maybeCompactLocked()
+	idx.gen = gen
+	return nil
+}
+
+// maybeCompactLocked sweeps tombstones once they pass the threshold.
+func (idx *Index) maybeCompactLocked() {
+	if idx.dead < compactionMinDead || idx.dead*4 < len(idx.entries) {
+		return
+	}
+	idx.compactLocked()
+}
+
+// compactLocked renumbers live entries and rebuilds the postings from the
+// stored canonical label lists — O(total live labels), no module rescans.
+func (idx *Index) compactLocked() {
+	live := make([]entry, 0, len(idx.entries)-idx.dead)
+	idx.byID = make(map[string]int, len(idx.entries)-idx.dead)
+	idx.posting = make(map[string][]int, len(idx.posting))
+	for _, e := range idx.entries {
+		if e.dead {
+			continue
+		}
+		pos := len(live)
+		live = append(live, e)
+		idx.byID[e.wf.ID] = pos
+		for _, key := range e.labels {
+			idx.posting[key] = append(idx.posting[key], pos)
+		}
+	}
+	idx.entries = live
+	idx.dead = 0
+	idx.compactions++
+}
+
+// SetGeneration records the repository generation the index now reflects.
+func (idx *Index) SetGeneration(gen uint64) {
+	idx.mu.Lock()
+	idx.gen = gen
+	idx.mu.Unlock()
+}
+
+// Generation returns the repository generation the index reflects.
+func (idx *Index) Generation() uint64 {
+	idx.mu.RLock()
+	defer idx.mu.RUnlock()
+	return idx.gen
+}
+
+// Stats describes the index's incremental-maintenance state.
+type Stats struct {
+	// Live is the number of searchable workflows.
+	Live int
+	// Dead is the number of tombstoned entries awaiting compaction.
+	Dead int
+	// Vocabulary is the number of distinct canonical labels indexed.
+	Vocabulary int
+	// Compactions counts tombstone sweeps since construction.
+	Compactions int
+	// Generation is the repository generation the index reflects.
+	Generation uint64
+}
+
+// Stats returns the current maintenance statistics.
+func (idx *Index) Stats() Stats {
+	idx.mu.RLock()
+	defer idx.mu.RUnlock()
+	return Stats{
+		Live:        len(idx.entries) - idx.dead,
+		Dead:        idx.dead,
+		Vocabulary:  len(idx.posting),
+		Compactions: idx.compactions,
+		Generation:  idx.gen,
+	}
+}
+
+// Vocabulary returns the number of distinct canonical labels indexed.
+func (idx *Index) Vocabulary() int {
+	idx.mu.RLock()
+	defer idx.mu.RUnlock()
+	return len(idx.posting)
+}
+
+// Size returns the number of live (searchable) workflows.
+func (idx *Index) Size() int {
+	idx.mu.RLock()
+	defer idx.mu.RUnlock()
+	return len(idx.entries) - idx.dead
+}
+
+// candidatesLocked computes candidate positions under the caller's read
+// lock, skipping tombstones.
+func (idx *Index) candidatesLocked(query *workflow.Workflow, minShared int) []int {
 	if minShared < 1 {
 		minShared = 1
 	}
@@ -76,6 +318,9 @@ func (idx *Index) Candidates(query *workflow.Workflow, minShared int) []int {
 		}
 		seen[key] = true
 		for _, pos := range idx.posting[key] {
+			if idx.entries[pos].dead {
+				continue
+			}
 			counts[pos]++
 		}
 	}
@@ -94,12 +339,32 @@ func (idx *Index) Candidates(query *workflow.Workflow, minShared int) []int {
 	return out
 }
 
+// Candidates returns the positions of live workflows sharing at least
+// minShared canonical labels with the query, sorted by descending overlap
+// count. minShared < 1 is treated as 1. Positions are only stable until the
+// next compaction; prefer TopK for scoring.
+func (idx *Index) Candidates(query *workflow.Workflow, minShared int) []int {
+	idx.mu.RLock()
+	defer idx.mu.RUnlock()
+	return idx.candidatesLocked(query, minShared)
+}
+
+// WorkflowAt returns the live workflow at an index position, or nil.
+func (idx *Index) WorkflowAt(pos int) *workflow.Workflow {
+	idx.mu.RLock()
+	defer idx.mu.RUnlock()
+	if pos < 0 || pos >= len(idx.entries) || idx.entries[pos].dead {
+		return nil
+	}
+	return idx.entries[pos].wf
+}
+
 // SearchResult is an accelerated top-k result with pruning statistics.
 type SearchResult struct {
 	Results []search.Result
 	// CandidateCount is the number of workflows scored exactly.
 	CandidateCount int
-	// Pruned is the number of repository workflows never scored.
+	// Pruned is the number of live indexed workflows never scored.
 	Pruned int
 	// Skipped counts candidates the measure failed on.
 	Skipped int
@@ -107,17 +372,30 @@ type SearchResult struct {
 
 // TopK runs filter-and-refine top-k search: candidates sharing at least
 // minShared canonical labels with the query are scored with m in parallel;
-// the k best are returned. The query itself is excluded. A cancelled or
-// expired context aborts the refine stage with the context's error.
+// the k best are returned. The query itself is excluded. The candidate set
+// is captured atomically under a read lock, so a search racing a mutation
+// batch sees either the whole batch or none of it; scoring itself runs
+// outside any lock. A cancelled or expired context aborts the refine stage
+// with the context's error.
 func (idx *Index) TopK(ctx context.Context, query *workflow.Workflow, m measures.Measure, k, minShared int) (SearchResult, error) {
 	if k <= 0 {
 		k = 10
 	}
-	cands := idx.Candidates(query, minShared)
-	wfs := idx.repo.Workflows()
+
+	// Capture phase: candidate workflows and the live count, atomically.
+	idx.mu.RLock()
+	positions := idx.candidatesLocked(query, minShared)
+	cands := make([]*workflow.Workflow, len(positions))
+	for i, pos := range positions {
+		cands[i] = idx.entries[pos].wf
+	}
+	live := len(idx.entries) - idx.dead
+	par := idx.Parallelism
+	idx.mu.RUnlock()
+
 	var out SearchResult
 	out.CandidateCount = len(cands)
-	out.Pruned = idx.repo.Size() - len(cands)
+	out.Pruned = live - len(cands)
 
 	type scored struct {
 		res  search.Result
@@ -126,8 +404,8 @@ func (idx *Index) TopK(ctx context.Context, query *workflow.Workflow, m measures
 	}
 	buf := make([]scored, len(cands))
 	var skipped atomic.Int64
-	err := search.Batched(ctx, len(cands), idx.Parallelism, 0, func(i int) error {
-		wf := wfs[cands[i]]
+	err := search.Batched(ctx, len(cands), par, 0, func(i int) error {
+		wf := cands[i]
 		if wf.ID == query.ID {
 			buf[i] = scored{self: true}
 			return nil
@@ -162,12 +440,30 @@ func (idx *Index) TopK(ctx context.Context, query *workflow.Workflow, m measures
 	return out, nil
 }
 
+// liveCorpus adapts the index's current live workflows to search.Corpus.
+type liveCorpus struct{ wfs []*workflow.Workflow }
+
+func (c liveCorpus) Workflows() []*workflow.Workflow { return c.wfs }
+
+// Live returns the currently searchable workflows in position order.
+func (idx *Index) Live() []*workflow.Workflow {
+	idx.mu.RLock()
+	defer idx.mu.RUnlock()
+	out := make([]*workflow.Workflow, 0, len(idx.entries)-idx.dead)
+	for _, e := range idx.entries {
+		if !e.dead {
+			out = append(out, e.wf)
+		}
+	}
+	return out
+}
+
 // RecallAgainst measures the top-k recall of the accelerated search against
-// an exact scan with the same measure: the fraction of the exact top-k found
-// in the accelerated top-k. It quantifies the filter's (heuristic) loss for
-// edit-distance schemes.
+// an exact scan over the index's live workflows with the same measure: the
+// fraction of the exact top-k found in the accelerated top-k. It quantifies
+// the filter's (heuristic) loss for edit-distance schemes.
 func (idx *Index) RecallAgainst(ctx context.Context, query *workflow.Workflow, m measures.Measure, k, minShared int) (float64, error) {
-	exact, _, err := search.TopK(ctx, query, idx.repo, m, search.Options{K: k, Parallelism: idx.Parallelism})
+	exact, _, err := search.TopK(ctx, query, liveCorpus{idx.Live()}, m, search.Options{K: k, Parallelism: idx.Parallelism})
 	if err != nil {
 		return 0, err
 	}

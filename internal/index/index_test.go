@@ -43,9 +43,12 @@ func TestBuildIndexesAllWorkflows(t *testing.T) {
 		t.Fatal("empty vocabulary")
 	}
 	for pos := range c.Repo.Workflows() {
-		if len(idx.labels[pos]) == 0 {
+		if len(idx.entries[pos].labels) == 0 {
 			t.Fatalf("workflow at %d has no indexed labels", pos)
 		}
+	}
+	if idx.Size() != c.Repo.Size() {
+		t.Errorf("index size %d vs repo size %d", idx.Size(), c.Repo.Size())
 	}
 }
 
@@ -198,5 +201,190 @@ func TestTopKCancelledContext(t *testing.T) {
 	cancel()
 	if _, err := idx.TopK(ctx, c.Repo.Workflows()[0], pllMS(), 10, 1); err != context.Canceled {
 		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// sameTopK asserts two indexes answer a query identically.
+func sameTopK(t *testing.T, a, b *Index, query *workflow.Workflow) {
+	t.Helper()
+	ra, err := a.TopK(context.Background(), query, plmMS(), 10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := b.TopK(context.Background(), query, plmMS(), 10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ra.Results) != len(rb.Results) {
+		t.Fatalf("result counts differ: %d vs %d", len(ra.Results), len(rb.Results))
+	}
+	for i := range ra.Results {
+		if ra.Results[i] != rb.Results[i] {
+			t.Fatalf("rank %d differs: %+v vs %+v", i, ra.Results[i], rb.Results[i])
+		}
+	}
+	if ra.CandidateCount != rb.CandidateCount || ra.Pruned != rb.Pruned {
+		t.Fatalf("stats differ: %d/%d vs %d/%d", ra.CandidateCount, ra.Pruned, rb.CandidateCount, rb.Pruned)
+	}
+}
+
+// TestIncrementalMatchesFullBuild grows an index one Insert at a time and
+// checks it answers exactly like a from-scratch Build at every tenth step,
+// then deletes half the corpus and checks again against a Build over the
+// survivors.
+func TestIncrementalMatchesFullBuild(t *testing.T) {
+	c := testCorpus(t)
+	wfs := c.Repo.Workflows()[:60]
+	query := wfs[0]
+
+	inc := New()
+	for i, wf := range wfs {
+		if err := inc.Insert(wf); err != nil {
+			t.Fatal(err)
+		}
+		if (i+1)%20 == 0 {
+			ref, _ := corpus.NewRepository(wfs[:i+1]...)
+			sameTopK(t, inc, Build(ref), query)
+		}
+	}
+	if err := inc.Insert(wfs[3]); err == nil {
+		t.Error("duplicate insert accepted")
+	}
+
+	// Delete every other workflow (keeping the query) and compare against a
+	// fresh build over the survivors.
+	var kept []*workflow.Workflow
+	for i, wf := range wfs {
+		if i != 0 && i%2 == 1 {
+			if !inc.Delete(wf.ID) {
+				t.Fatalf("delete %q failed", wf.ID)
+			}
+		} else {
+			kept = append(kept, wf)
+		}
+	}
+	if inc.Delete("no-such-id") {
+		t.Error("deleting unknown ID reported true")
+	}
+	ref, _ := corpus.NewRepository(kept...)
+	sameTopK(t, inc, Build(ref), query)
+}
+
+// extraTwin builds a one-module workflow for drift probes.
+func extraTwin(id string) *workflow.Workflow {
+	w := workflow.New(id)
+	w.AddModule(&workflow.Module{Label: "drift_probe_label", Type: workflow.TypeWSDL})
+	return w
+}
+
+// TestApplyBatchAndReplace routes a corpus-style batch through Apply and
+// checks equivalence with a full rebuild of the mutated repository.
+func TestApplyBatchAndReplace(t *testing.T) {
+	c := testCorpus(t)
+	wfs := c.Repo.Workflows()[:40]
+	repo, _ := corpus.NewRepository(wfs...)
+	idx := Build(repo)
+
+	repl := workflow.New(wfs[5].ID)
+	repl.AddModule(&workflow.Module{Label: "completely_fresh_label", Type: workflow.TypeWSDL})
+	extra := workflow.New("batch-new")
+	extra.AddModule(&workflow.Module{Label: "another_fresh_label", Type: workflow.TypeWSDL})
+	ops := []corpus.Op{
+		{Kind: corpus.OpAdd, Workflow: extra},
+		{Kind: corpus.OpRemove, ID: wfs[7].ID},
+		{Kind: corpus.OpReplace, Workflow: repl},
+	}
+	if _, err := repo.ApplyBatch(ops); err != nil {
+		t.Fatal(err)
+	}
+	if err := idx.Apply(ops, repo.Generation()); err != nil {
+		t.Fatal(err)
+	}
+	if idx.Generation() != repo.Generation() {
+		t.Errorf("Apply did not stamp the generation: %d vs %d", idx.Generation(), repo.Generation())
+	}
+	sameTopK(t, idx, Build(repo), wfs[0])
+	if got := idx.WorkflowAt(idx.Candidates(repl, 1)[0]); got == nil {
+		t.Error("replaced workflow not findable via candidates")
+	}
+	genBefore := idx.Generation()
+	liveBefore := idx.Stats().Live
+	if err := idx.Apply([]corpus.Op{
+		{Kind: corpus.OpAdd, Workflow: extraTwin("drift-probe")},
+		{Kind: corpus.OpRemove, ID: "never-there"},
+	}, genBefore+1); err == nil {
+		t.Error("drifted Apply accepted")
+	}
+	// A rejected batch must leave the index untouched and unstamped.
+	if idx.Generation() != genBefore {
+		t.Errorf("failed Apply stamped generation %d", idx.Generation())
+	}
+	if idx.Stats().Live != liveBefore {
+		t.Errorf("failed Apply half-applied: live %d -> %d", liveBefore, idx.Stats().Live)
+	}
+}
+
+// TestCompactionSweepsTombstones deletes most of the index and verifies the
+// tombstones are swept and searches stay correct.
+func TestCompactionSweepsTombstones(t *testing.T) {
+	c := testCorpus(t)
+	wfs := c.Repo.Workflows()
+	idx := Build(c.Repo)
+	for _, wf := range wfs[100:] {
+		idx.Delete(wf.ID)
+	}
+	st := idx.Stats()
+	if st.Compactions == 0 {
+		t.Errorf("no compaction after %d deletes (dead=%d)", len(wfs)-100, st.Dead)
+	}
+	if st.Live != 100 {
+		t.Errorf("live = %d, want 100", st.Live)
+	}
+	if st.Dead >= compactionMinDead && st.Dead*4 >= st.Live+st.Dead {
+		t.Errorf("tombstones not swept: %+v", st)
+	}
+	ref, _ := corpus.NewRepository(wfs[:100]...)
+	sameTopK(t, idx, Build(ref), wfs[0])
+}
+
+// TestConcurrentSearchAndMutate hammers TopK while a writer churns the
+// index; run with -race this is the index's torn-read detector.
+func TestConcurrentSearchAndMutate(t *testing.T) {
+	c := testCorpus(t)
+	wfs := c.Repo.Workflows()
+	idx := Build(c.Repo)
+	query := wfs[0]
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for round := 0; round < 5; round++ {
+			for _, wf := range wfs[150:] {
+				idx.Delete(wf.ID)
+			}
+			for _, wf := range wfs[150:] {
+				if err := idx.Insert(wf); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}
+	}()
+	for i := 0; ; i++ {
+		select {
+		case <-done:
+			// One final search against the settled index.
+			res, err := idx.TopK(context.Background(), query, plmMS(), 10, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(res.Results) == 0 {
+				t.Fatal("no results after churn")
+			}
+			return
+		default:
+			if _, err := idx.TopK(context.Background(), query, plmMS(), 5, 2); err != nil {
+				t.Fatal(err)
+			}
+		}
 	}
 }

@@ -1,0 +1,162 @@
+// Package scorecache caches pairwise workflow similarity scores across the
+// engine's read operations (Search, Duplicates, Cluster), so repeated and
+// overlapping queries stop re-running expensive measure evaluations — GED
+// with beam search, label edit-distance matching — on identical pairs. The
+// precomputed-per-pair-work reuse follows the same logic that lets
+// approximate query engines bound response times on repeated queries.
+//
+// Entries are keyed by (measure, idA, idB, repository generation): a
+// mutation batch bumps the generation, so stale scores for removed or
+// replaced workflows are never served and age out of the LRU naturally.
+// The cache is sharded to keep lock contention off the scoring worker
+// pools; each shard is an independent LRU.
+package scorecache
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+)
+
+// Key identifies one cached pairwise score. A and B are workflow IDs in
+// canonical (sorted) order — use PairKey to build keys.
+type Key struct {
+	Measure string
+	A, B    string
+	Gen     uint64
+}
+
+// PairKey builds a Key with the ID pair in canonical order, so (a,b) and
+// (b,a) hit the same entry — similarity is symmetric.
+func PairKey(measure, a, b string, gen uint64) Key {
+	if b < a {
+		a, b = b, a
+	}
+	return Key{Measure: measure, A: a, B: b, Gen: gen}
+}
+
+const shardCount = 16
+
+// DefaultSize is the total entry capacity used when New is given a
+// non-positive size.
+const DefaultSize = 1 << 16
+
+type cacheEntry struct {
+	key   Key
+	score float64
+}
+
+type shard struct {
+	mu      sync.Mutex
+	entries map[Key]*list.Element
+	lru     *list.List // front = most recently used
+}
+
+// Cache is a sharded LRU of pairwise similarity scores. It is safe for
+// concurrent use.
+type Cache struct {
+	shards       [shardCount]shard
+	perShardCap  int
+	hits, misses atomic.Uint64
+}
+
+// New builds a cache holding up to size entries in total (DefaultSize when
+// size <= 0).
+func New(size int) *Cache {
+	if size <= 0 {
+		size = DefaultSize
+	}
+	per := (size + shardCount - 1) / shardCount
+	if per < 1 {
+		per = 1
+	}
+	c := &Cache{perShardCap: per}
+	for i := range c.shards {
+		c.shards[i] = shard{entries: map[Key]*list.Element{}, lru: list.New()}
+	}
+	return c
+}
+
+// shardFor hashes the key onto a shard (FNV-1a over the key fields).
+func (c *Cache) shardFor(k Key) *shard {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	hashString := func(s string) {
+		for i := 0; i < len(s); i++ {
+			h ^= uint64(s[i])
+			h *= prime64
+		}
+		h ^= 0xff // field separator
+		h *= prime64
+	}
+	hashString(k.Measure)
+	hashString(k.A)
+	hashString(k.B)
+	h ^= k.Gen
+	h *= prime64
+	return &c.shards[h%shardCount]
+}
+
+// Get returns the cached score for k and whether it was present, updating
+// recency and the hit/miss counters.
+func (c *Cache) Get(k Key) (float64, bool) {
+	s := c.shardFor(k)
+	s.mu.Lock()
+	el, ok := s.entries[k]
+	if ok {
+		s.lru.MoveToFront(el)
+		score := el.Value.(*cacheEntry).score
+		s.mu.Unlock()
+		c.hits.Add(1)
+		return score, true
+	}
+	s.mu.Unlock()
+	c.misses.Add(1)
+	return 0, false
+}
+
+// Put stores a score for k, evicting the shard's least recently used entry
+// when the shard is full.
+func (c *Cache) Put(k Key, score float64) {
+	s := c.shardFor(k)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.entries[k]; ok {
+		el.Value.(*cacheEntry).score = score
+		s.lru.MoveToFront(el)
+		return
+	}
+	s.entries[k] = s.lru.PushFront(&cacheEntry{key: k, score: score})
+	if s.lru.Len() > c.perShardCap {
+		oldest := s.lru.Back()
+		s.lru.Remove(oldest)
+		delete(s.entries, oldest.Value.(*cacheEntry).key)
+	}
+}
+
+// Len returns the current number of cached entries across all shards.
+func (c *Cache) Len() int {
+	n := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		n += s.lru.Len()
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// Stats reports cumulative hit/miss counters since construction.
+type Stats struct {
+	Hits, Misses uint64
+	// Entries is the current cache population.
+	Entries int
+}
+
+// Stats returns the cache's cumulative counters and population.
+func (c *Cache) Stats() Stats {
+	return Stats{Hits: c.hits.Load(), Misses: c.misses.Load(), Entries: c.Len()}
+}

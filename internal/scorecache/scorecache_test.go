@@ -1,0 +1,93 @@
+package scorecache
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestPairKeyCanonicalOrder(t *testing.T) {
+	if PairKey("m", "b", "a", 3) != PairKey("m", "a", "b", 3) {
+		t.Error("pair order not canonicalized")
+	}
+	if PairKey("m", "a", "b", 3) == PairKey("m", "a", "b", 4) {
+		t.Error("generation not part of the key")
+	}
+	if PairKey("m1", "a", "b", 3) == PairKey("m2", "a", "b", 3) {
+		t.Error("measure not part of the key")
+	}
+}
+
+func TestGetPutAndCounters(t *testing.T) {
+	c := New(64)
+	k := PairKey("MS", "1", "2", 0)
+	if _, ok := c.Get(k); ok {
+		t.Fatal("hit on empty cache")
+	}
+	c.Put(k, 0.75)
+	v, ok := c.Get(PairKey("MS", "2", "1", 0)) // symmetric lookup
+	if !ok || v != 0.75 {
+		t.Fatalf("got %v/%v", v, ok)
+	}
+	// Overwrite updates in place.
+	c.Put(k, 0.5)
+	if v, _ := c.Get(k); v != 0.5 {
+		t.Errorf("overwrite lost: %v", v)
+	}
+	st := c.Stats()
+	if st.Hits != 2 || st.Misses != 1 || st.Entries != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := New(shardCount) // one entry per shard
+	var keys []Key
+	for i := 0; i < 10*shardCount; i++ {
+		k := PairKey("m", fmt.Sprintf("a%d", i), fmt.Sprintf("b%d", i), 1)
+		keys = append(keys, k)
+		c.Put(k, float64(i))
+	}
+	if n := c.Len(); n > shardCount {
+		t.Errorf("cache over capacity: %d entries", n)
+	}
+	// The oldest keys of each shard must be gone.
+	present := 0
+	for _, k := range keys {
+		if _, ok := c.Get(k); ok {
+			present++
+		}
+	}
+	if present > shardCount {
+		t.Errorf("%d entries survived in a %d-capacity cache", present, shardCount)
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	c := New(1024)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				k := PairKey("m", fmt.Sprintf("a%d", i%100), fmt.Sprintf("b%d", (i+w)%100), uint64(i%3))
+				if v, ok := c.Get(k); ok && v < 0 {
+					t.Error("negative score")
+				}
+				c.Put(k, float64(i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if c.Len() == 0 {
+		t.Error("empty after concurrent fill")
+	}
+}
+
+func TestDefaultSize(t *testing.T) {
+	c := New(0)
+	if c.perShardCap*shardCount < DefaultSize {
+		t.Errorf("default capacity too small: %d", c.perShardCap*shardCount)
+	}
+}

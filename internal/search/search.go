@@ -17,10 +17,19 @@ import (
 	"sync"
 	"sync/atomic"
 
-	"repro/internal/corpus"
 	"repro/internal/measures"
 	"repro/internal/workflow"
 )
+
+// Corpus is the minimal read view a scan needs. Both the mutable
+// corpus.Repository and its immutable, generation-pinned corpus.Snapshot
+// satisfy it; scans that must not observe concurrent mutation should be
+// handed a pinned Snapshot.
+type Corpus interface {
+	// Workflows returns the workflows in repository order. Callers must
+	// not modify the returned slice.
+	Workflows() []*workflow.Workflow
+}
 
 // Result is one search hit.
 type Result struct {
@@ -126,7 +135,7 @@ func Batched(ctx context.Context, n, par, batch int, fn func(i int) error) error
 // treatment of incomputable pairs; the number of skipped pairs is returned.
 // A cancelled or expired context aborts the scan: TopK then returns nil
 // results and the context's error.
-func TopK(ctx context.Context, query *workflow.Workflow, repo *corpus.Repository, m measures.Measure, opts Options) ([]Result, int, error) {
+func TopK(ctx context.Context, query *workflow.Workflow, repo Corpus, m measures.Measure, opts Options) ([]Result, int, error) {
 	k := opts.K
 	if k <= 0 {
 		k = 10
@@ -218,7 +227,7 @@ func PoolResults(lists ...[]Result) []string {
 // pair matrix with a row-per-task worker pool (batch size 1, so the uneven
 // row lengths load-balance). Pairs the measure fails on are skipped and
 // counted. A cancelled context aborts the scan with the context's error.
-func Duplicates(ctx context.Context, repo *corpus.Repository, m measures.Measure, threshold float64, par int) ([]Pair, int, error) {
+func Duplicates(ctx context.Context, repo Corpus, m measures.Measure, threshold float64, par int) ([]Pair, int, error) {
 	wfs := repo.Workflows()
 	var mu sync.Mutex
 	var out []Pair

@@ -1,0 +1,98 @@
+package wfsim
+
+import (
+	"sync/atomic"
+
+	"repro/internal/corpus"
+	"repro/internal/scorecache"
+)
+
+// CacheStats reports the shared score cache's cumulative hit/miss counters
+// and current population.
+type CacheStats = scorecache.Stats
+
+// WithScoreCache gives the engine a shared pairwise score cache holding up
+// to size entries (a default capacity when size <= 0). The cache is threaded
+// through Search, Duplicates and Cluster, so repeated and overlapping
+// queries stop re-running measure evaluations — GED, label matching — on
+// identical workflow pairs. Entries are keyed by measure, ID pair and
+// repository generation: an Apply batch bumps the generation, so scores of
+// removed or replaced workflows are never served stale.
+func WithScoreCache(size int) Option {
+	return func(e *Engine) error {
+		e.cache = scorecache.New(size)
+		return nil
+	}
+}
+
+// CacheStats returns the cumulative statistics of the engine's score cache,
+// or zero statistics when the engine has none.
+func (e *Engine) CacheStats() CacheStats {
+	if e.cache == nil {
+		return CacheStats{}
+	}
+	return e.cache.Stats()
+}
+
+// cachedMeasure decorates a measure with the shared score cache for one read
+// call: lookups are keyed to the call's pinned snapshot generation, and only
+// pairs whose workflows are the snapshot's own objects are cached (an
+// external query workflow can share an ID with a repository workflow without
+// sharing its content, so it must not populate the cache). Per-call hit and
+// miss counts feed the call's Stats.
+type cachedMeasure struct {
+	inner        Measure
+	name         string
+	snap         *corpus.Snapshot
+	gen          uint64
+	cache        *scorecache.Cache
+	hits, misses atomic.Int64
+}
+
+// cachedFor wraps m for a read over snap. The second return value is nil
+// when the engine has no cache; callers pass it to (*cachedMeasure).fill,
+// which tolerates nil.
+func (e *Engine) cachedFor(m Measure, snap *corpus.Snapshot) (Measure, *cachedMeasure) {
+	if e.cache == nil {
+		return m, nil
+	}
+	cm := &cachedMeasure{
+		inner: m,
+		name:  m.Name(),
+		snap:  snap,
+		gen:   snap.Generation(),
+		cache: e.cache,
+	}
+	return cm, cm
+}
+
+func (cm *cachedMeasure) Name() string { return cm.name }
+
+func (cm *cachedMeasure) Compare(a, b *Workflow) (float64, error) {
+	if cm.snap.Get(a.ID) != a || cm.snap.Get(b.ID) != b {
+		return cm.inner.Compare(a, b)
+	}
+	key := scorecache.PairKey(cm.name, a.ID, b.ID, cm.gen)
+	if s, ok := cm.cache.Get(key); ok {
+		cm.hits.Add(1)
+		return s, nil
+	}
+	cm.misses.Add(1)
+	s, err := cm.inner.Compare(a, b)
+	if err != nil {
+		// Failures (e.g. GED timeouts) are not cached: the budget differs
+		// per call, so a later call may succeed.
+		return s, err
+	}
+	cm.cache.Put(key, s)
+	return s, nil
+}
+
+// fill copies the per-call cache counters into stats; safe on nil.
+func (cm *cachedMeasure) fill(stats *Stats) {
+	if cm == nil {
+		return
+	}
+	stats.CacheHits = int(cm.hits.Load())
+	stats.CacheMisses = int(cm.misses.Load())
+}

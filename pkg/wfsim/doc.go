@@ -21,6 +21,21 @@
 // the per-pair graph-edit-distance budget, the API form of the paper's
 // GED-timeout semantics.
 //
+// The repository is mutable and snapshot-versioned, matching the paper's
+// living-repository setting. Engine.Apply commits a transactional batch of
+// AddWorkflow / RemoveWorkflow / ReplaceWorkflow mutations under a new
+// generation number; every read pins an immutable Snapshot, so in-flight
+// queries are never torn by writers. With WithIndex the inverted label
+// index is maintained incrementally (O(labels) per op, tombstones plus
+// periodic compaction — never a full rebuild), and WithScoreCache adds a
+// sharded LRU of pairwise scores keyed by measure, ID pair and generation,
+// shared across Search, Duplicates and Cluster:
+//
+//	eng, _ := wfsim.New(repo, wfsim.WithIndex(1), wfsim.WithScoreCache(1<<16))
+//	gen, err := eng.Apply(ctx, wfsim.AddWorkflow(wf), wfsim.RemoveWorkflow("42"))
+//	results, stats, _ := eng.SearchID(ctx, "1189", wfsim.SearchOptions{K: 10})
+//	// stats.Generation == gen; stats.CacheHits/CacheMisses report cache reuse.
+//
 // Measures are named in the paper's notation and resolved through a
 // Registry: "BW", "BT", "{MS|PS|GE}_{np|ip}_{ta|tm|te}_{scheme}" with
 // optional "_greedy"/"_nonorm" suffixes, shorthand forms such as "MS_plm"

@@ -3,29 +3,42 @@ package wfsim
 import (
 	"context"
 	"fmt"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/cluster"
 	"repro/internal/corpus"
 	"repro/internal/index"
 	"repro/internal/repoknow"
+	"repro/internal/scorecache"
 	"repro/internal/search"
 )
 
 // Engine is the similarity-search facade over one workflow repository. It
-// owns a measure Registry, an optional filter-and-refine inverted index, and
-// a worker pool configuration, and exposes the paper's operations — top-k
-// search, pairwise comparison, duplicate detection, clustering — as
-// context-aware methods.
+// owns a measure Registry, an optional filter-and-refine inverted index, an
+// optional shared pairwise score cache, and a worker pool configuration, and
+// exposes the paper's operations — top-k search, pairwise comparison,
+// duplicate detection, clustering — as context-aware methods.
+//
+// The repository is mutable through Engine.Apply: mutation batches commit
+// transactionally under a new generation number, the inverted index is
+// maintained incrementally (no full rebuild), and every read operation pins
+// an immutable repository Snapshot, so in-flight queries are never torn by
+// concurrent writers.
 //
 // An Engine is safe for concurrent use once built.
 type Engine struct {
 	repo           *corpus.Repository
 	reg            *Registry
-	idx            *index.Index
+	idx            atomic.Pointer[index.Index]
+	cache          *scorecache.Cache
 	minShared      int
 	concurrency    int
 	defaultMeasure string
+
+	applyMu       sync.Mutex   // serializes Apply batches
+	indexRebuilds atomic.Int64 // full index rebuilds (drift recovery only)
 }
 
 // Option configures an Engine under construction.
@@ -123,14 +136,28 @@ func New(repo *Repository, opts ...Option) (*Engine, error) {
 		return nil, fmt.Errorf("invalid default measure: %w", err)
 	}
 	if e.minShared > 0 {
-		e.idx = index.Build(repo)
-		e.idx.Parallelism = e.concurrency
+		snap := repo.Snapshot()
+		idx := index.Build(snap)
+		idx.Parallelism = e.concurrency
+		idx.SetGeneration(snap.Generation())
+		e.idx.Store(idx)
 	}
 	return e, nil
 }
 
-// Repository returns the engine's underlying repository.
+// Repository returns the engine's underlying repository. Prefer Engine.Apply
+// over mutating it directly: Apply keeps the inverted index maintained
+// incrementally, while direct mutation forces the next indexed search to
+// fall back to an exact scan until the index is rebuilt.
 func (e *Engine) Repository() *Repository { return e.repo }
+
+// Snapshot pins the current immutable view of the repository: the workflow
+// set and the generation number every read in this instant would see.
+func (e *Engine) Snapshot() *Snapshot { return e.repo.Snapshot() }
+
+// Generation returns the repository's current generation. It starts at the
+// value the engine was built over and increases by one per Apply batch.
+func (e *Engine) Generation() uint64 { return e.repo.Generation() }
 
 // Registry returns the engine's measure registry, for registering custom
 // measures or listing the built-in notation after construction.
@@ -206,6 +233,13 @@ type Stats struct {
 	// Pruned is the number of workflows the index filtered out unscored
 	// (0 for exact scans).
 	Pruned int
+	// CacheHits counts pairs answered from the score cache (0 when the
+	// engine has no cache; see WithScoreCache).
+	CacheHits int
+	// CacheMisses counts cacheable pairs that had to be evaluated.
+	CacheMisses int
+	// Generation is the repository generation the call observed.
+	Generation uint64
 	// Elapsed is the wall-clock duration of the call.
 	Elapsed time.Duration
 }
@@ -215,6 +249,12 @@ type Stats struct {
 // cancellation aborts the scan with ctx.Err(), and a deadline additionally
 // tightens the per-pair GED budget. When the engine has an index (WithIndex)
 // the search is filter-and-refine unless opts.Exact is set.
+//
+// The scan runs over a pinned repository snapshot: a Search issued before an
+// Apply commits returns results consistent with the pre-mutation repository.
+// An indexed search additionally requires the index generation to match the
+// snapshot (it always does when mutations go through Apply); on mismatch the
+// call degrades to an exact scan rather than serving a torn view.
 func (e *Engine) Search(ctx context.Context, query *Workflow, opts SearchOptions) ([]Result, Stats, error) {
 	if query == nil {
 		return nil, Stats{}, fmt.Errorf("nil query workflow")
@@ -223,26 +263,30 @@ func (e *Engine) Search(ctx context.Context, query *Workflow, opts SearchOptions
 	if err != nil {
 		return nil, Stats{}, err
 	}
-	stats := Stats{Measure: m.Name()}
+	snap := e.repo.Snapshot()
+	stats := Stats{Measure: m.Name(), Generation: snap.Generation()}
 	t0 := time.Now()
 	k := opts.K
 	if k <= 0 {
 		k = 10
 	}
+	mm, cm := e.cachedFor(m, snap)
 
-	if e.idx != nil && !opts.Exact && !opts.IncludeQuery && opts.MinSimilarity == nil {
-		res, err := e.idx.TopK(ctx, query, m, k, e.minShared)
+	if idx := e.idx.Load(); idx != nil && idx.Generation() == snap.Generation() &&
+		!opts.Exact && !opts.IncludeQuery && opts.MinSimilarity == nil {
+		res, err := idx.TopK(ctx, query, mm, k, e.minShared)
 		if err != nil {
 			return nil, Stats{}, err
 		}
 		stats.Scored = res.CandidateCount - res.Skipped
 		stats.Skipped = res.Skipped
 		stats.Pruned = res.Pruned
+		cm.fill(&stats)
 		stats.Elapsed = time.Since(t0)
 		return res.Results, stats, nil
 	}
 
-	results, skipped, err := search.TopK(ctx, query, e.repo, m, search.Options{
+	results, skipped, err := search.TopK(ctx, query, snap, mm, search.Options{
 		K:             k,
 		Parallelism:   e.concurrency,
 		IncludeQuery:  opts.IncludeQuery,
@@ -252,10 +296,11 @@ func (e *Engine) Search(ctx context.Context, query *Workflow, opts SearchOptions
 		return nil, Stats{}, err
 	}
 	stats.Skipped = skipped
-	stats.Scored = e.repo.Size() - skipped
-	if !opts.IncludeQuery && e.repo.Get(query.ID) != nil {
+	stats.Scored = snap.Size() - skipped
+	if !opts.IncludeQuery && snap.Get(query.ID) != nil {
 		stats.Scored--
 	}
+	cm.fill(&stats)
 	stats.Elapsed = time.Since(t0)
 	return results, stats, nil
 }
@@ -338,18 +383,23 @@ func (e *Engine) Duplicates(ctx context.Context, threshold float64, opts Duplica
 	if err != nil {
 		return nil, Stats{}, err
 	}
+	snap := e.repo.Snapshot()
+	mm, cm := e.cachedFor(m, snap)
 	t0 := time.Now()
-	pairs, skipped, err := search.Duplicates(ctx, e.repo, m, threshold, e.concurrency)
+	pairs, skipped, err := search.Duplicates(ctx, snap, mm, threshold, e.concurrency)
 	if err != nil {
 		return nil, Stats{}, err
 	}
-	n := e.repo.Size()
-	return pairs, Stats{
-		Measure: m.Name(),
-		Scored:  n*(n-1)/2 - skipped,
-		Skipped: skipped,
-		Elapsed: time.Since(t0),
-	}, nil
+	n := snap.Size()
+	stats := Stats{
+		Measure:    m.Name(),
+		Scored:     n*(n-1)/2 - skipped,
+		Skipped:    skipped,
+		Generation: snap.Generation(),
+		Elapsed:    time.Since(t0),
+	}
+	cm.fill(&stats)
+	return pairs, stats, nil
 }
 
 // ClusterOptions configures Engine.Cluster.
@@ -439,7 +489,9 @@ func (e *Engine) Cluster(ctx context.Context, opts ClusterOptions) (*ClusterResu
 	if opts.MinSimilarity != nil {
 		minSim = *opts.MinSimilarity
 	}
-	mat, err := cluster.BuildMatrix(ctx, e.repo, m, e.concurrency)
+	snap := e.repo.Snapshot()
+	mm, _ := e.cachedFor(m, snap)
+	mat, err := cluster.BuildMatrix(ctx, snap, mm, e.concurrency)
 	if err != nil {
 		return nil, err
 	}

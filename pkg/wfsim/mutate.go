@@ -1,0 +1,160 @@
+package wfsim
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/corpus"
+	"repro/internal/index"
+)
+
+// Mutation is one operation in an Engine.Apply batch. Build mutations with
+// AddWorkflow, RemoveWorkflow and ReplaceWorkflow; the zero Mutation is
+// invalid and rejected by Apply.
+type Mutation struct {
+	op corpus.Op
+}
+
+// AddWorkflow inserts a workflow into the repository. Its ID must be
+// non-empty and not already present.
+func AddWorkflow(wf *Workflow) Mutation {
+	m := Mutation{op: corpus.Op{Kind: corpus.OpAdd, Workflow: wf}}
+	if wf != nil {
+		m.op.ID = wf.ID
+	}
+	return m
+}
+
+// RemoveWorkflow deletes the workflow with the given ID.
+func RemoveWorkflow(id string) Mutation {
+	return Mutation{op: corpus.Op{Kind: corpus.OpRemove, ID: id}}
+}
+
+// ReplaceWorkflow swaps the repository workflow with wf.ID for wf, keeping
+// its position. The ID must already be present.
+func ReplaceWorkflow(wf *Workflow) Mutation {
+	m := Mutation{op: corpus.Op{Kind: corpus.OpReplace, Workflow: wf}}
+	if wf != nil {
+		m.op.ID = wf.ID
+	}
+	return m
+}
+
+// String describes the mutation for logs and errors.
+func (m Mutation) String() string {
+	switch m.op.Kind {
+	case corpus.OpAdd:
+		return "add(" + m.op.ID + ")"
+	case corpus.OpRemove:
+		return "remove(" + m.op.ID + ")"
+	case corpus.OpReplace:
+		return "replace(" + m.op.ID + ")"
+	default:
+		return "invalid"
+	}
+}
+
+// Apply commits a transactional mutation batch against the repository and
+// returns the new generation number. The batch is all-or-nothing: every
+// workflow is structurally validated and every op is checked against the
+// repository state (with preceding ops of the same batch staged) before
+// anything commits, so a failed Apply leaves the repository, the index and
+// the caches exactly as they were.
+//
+// On success the whole batch becomes visible atomically under one new
+// generation: the inverted index is maintained incrementally (O(labels) per
+// op, no corpus rescans), and the score cache's generation keying retires
+// every cached pair involving removed or replaced workflows. Reads already
+// in flight keep their pinned pre-mutation snapshot.
+//
+// Concurrent Apply calls are serialised; reads never block on a writer. An
+// empty batch is a no-op returning the current generation.
+func (e *Engine) Apply(ctx context.Context, muts ...Mutation) (uint64, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	e.applyMu.Lock()
+	defer e.applyMu.Unlock()
+	if len(muts) == 0 {
+		return e.repo.Generation(), nil
+	}
+	ops := make([]corpus.Op, len(muts))
+	for i, m := range muts {
+		if m.op.Kind == 0 {
+			return 0, fmt.Errorf("wfsim: empty mutation at position %d", i)
+		}
+		if m.op.Workflow != nil {
+			if err := m.op.Workflow.Validate(); err != nil {
+				return 0, fmt.Errorf("wfsim: mutation %d (%s): %w", i, m, err)
+			}
+		}
+		ops[i] = m.op
+	}
+	genBefore := e.repo.Generation()
+	gen, err := e.repo.ApplyBatch(ops)
+	if err != nil {
+		return 0, err
+	}
+	if idx := e.idx.Load(); idx != nil {
+		// The index must have been current for the pre-batch repository
+		// (it can lag when the repository was mutated directly, bypassing
+		// Apply — incremental maintenance would then stamp a generation
+		// whose earlier changes the index never saw, silently hiding
+		// them). On lag or on a drifted batch, recover with a full
+		// rebuild — the only code path that ever rebuilds. The batch and
+		// its generation stamp commit under one index write lock, so a
+		// concurrent search can never pass the generation check against a
+		// partially-applied or unstamped index.
+		if idx.Generation() != genBefore || idx.Apply(ops, gen) != nil {
+			e.rebuildIndex()
+		}
+	}
+	return gen, nil
+}
+
+// rebuildIndex rebuilds the inverted index from the current snapshot. It is
+// drift recovery, not routine maintenance: Apply keeps the index current
+// incrementally, and IndexStats.Rebuilds stays 0 on that path.
+func (e *Engine) rebuildIndex() {
+	snap := e.repo.Snapshot()
+	idx := index.Build(snap)
+	idx.Parallelism = e.concurrency
+	idx.SetGeneration(snap.Generation())
+	e.idx.Store(idx)
+	e.indexRebuilds.Add(1)
+}
+
+// IndexStats describes the inverted index's incremental-maintenance state.
+type IndexStats struct {
+	// Live is the number of searchable workflows in the index.
+	Live int
+	// Dead is the number of tombstoned entries awaiting compaction.
+	Dead int
+	// Vocabulary is the number of distinct canonical labels indexed.
+	Vocabulary int
+	// Compactions counts tombstone sweeps (cheap, label-list based).
+	Compactions int
+	// Rebuilds counts full from-scratch index rebuilds; it stays 0 while
+	// all mutations go through Apply.
+	Rebuilds int
+	// Generation is the repository generation the index reflects.
+	Generation uint64
+}
+
+// IndexStats reports the index's maintenance counters; ok is false when the
+// engine was built without WithIndex.
+func (e *Engine) IndexStats() (stats IndexStats, ok bool) {
+	idx := e.idx.Load()
+	if idx == nil {
+		return IndexStats{}, false
+	}
+	s := idx.Stats()
+	return IndexStats{
+		Live:        s.Live,
+		Dead:        s.Dead,
+		Vocabulary:  s.Vocabulary,
+		Compactions: s.Compactions,
+		Rebuilds:    int(e.indexRebuilds.Load()),
+		Generation:  s.Generation,
+	}, true
+}

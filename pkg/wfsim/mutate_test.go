@@ -1,0 +1,439 @@
+package wfsim
+
+import (
+	"context"
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// mutWorkflow builds a tiny valid workflow whose similarity under
+// contentMeasure is driven by its first module label.
+func mutWorkflow(id, label string) *Workflow {
+	w := NewWorkflow(id)
+	a := w.AddModule(&Module{Label: label, Type: TypeWSDL})
+	b := w.AddModule(&Module{Label: label + "_step_two", Type: TypeWSDL})
+	_ = w.AddEdge(a, b)
+	return w
+}
+
+// contentMeasure scores pairs by content (first-label equality) and counts
+// every real evaluation, so tests can prove the cache short-circuited it.
+type contentMeasure struct {
+	calls atomic.Int64
+}
+
+func (m *contentMeasure) Name() string { return "content" }
+
+func (m *contentMeasure) Compare(a, b *Workflow) (float64, error) {
+	m.calls.Add(1)
+	if len(a.Modules) > 0 && len(b.Modules) > 0 && a.Modules[0].Label == b.Modules[0].Label {
+		return 1, nil
+	}
+	return 0.3, nil
+}
+
+func mutEngine(t *testing.T, opts ...Option) *Engine {
+	t.Helper()
+	repo, err := NewRepository(
+		mutWorkflow("w1", "fetch_sequence"),
+		mutWorkflow("w2", "fetch_sequence"),
+		mutWorkflow("w3", "run_blast"),
+		mutWorkflow("w4", "render_plot"),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := New(repo, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng
+}
+
+// TestApplyAddVisibleWithoutRebuild is the incremental-maintenance
+// acceptance test: a post-Apply search sees the new workflow through the
+// index with zero full rebuilds.
+func TestApplyAddVisibleWithoutRebuild(t *testing.T) {
+	eng := mutEngine(t, WithIndex(1), WithMeasure("content", &contentMeasure{}))
+	ctx := context.Background()
+	genBefore := eng.Generation()
+
+	gen, err := eng.Apply(ctx,
+		AddWorkflow(mutWorkflow("w5", "spot_image")),
+		RemoveWorkflow("w4"),
+		ReplaceWorkflow(mutWorkflow("w3", "spot_image")),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gen != genBefore+1 {
+		t.Errorf("generation: %d -> %d, want +1", genBefore, gen)
+	}
+
+	// The added workflow and the replaced content are indexed: an indexed
+	// search from w5 finds its new twin w3 (both "spot_image") at 1.0.
+	results, stats, err := eng.SearchID(ctx, "w5", SearchOptions{Measure: "content", K: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Generation != gen {
+		t.Errorf("search generation = %d, want %d", stats.Generation, gen)
+	}
+	if len(results) == 0 || results[0].ID != "w3" || results[0].Similarity != 1 {
+		t.Errorf("post-Apply indexed search = %v, want w3 at 1.0", results)
+	}
+	for _, r := range results {
+		if r.ID == "w4" {
+			t.Error("removed workflow served from index")
+		}
+	}
+
+	ist, ok := eng.IndexStats()
+	if !ok {
+		t.Fatal("engine has no index stats")
+	}
+	if ist.Rebuilds != 0 {
+		t.Errorf("index was fully rebuilt %d times; maintenance must be incremental", ist.Rebuilds)
+	}
+	if ist.Generation != gen {
+		t.Errorf("index generation = %d, want %d", ist.Generation, gen)
+	}
+	if ist.Live != 4 {
+		t.Errorf("index live = %d, want 4", ist.Live)
+	}
+}
+
+// TestApplyTransactional: a batch with one bad op must leave generation,
+// repository and index untouched.
+func TestApplyTransactional(t *testing.T) {
+	eng := mutEngine(t, WithIndex(1))
+	ctx := context.Background()
+	genBefore := eng.Generation()
+	istBefore, _ := eng.IndexStats()
+
+	if _, err := eng.Apply(ctx,
+		AddWorkflow(mutWorkflow("w9", "ok")),
+		RemoveWorkflow("no-such-id"),
+	); err == nil {
+		t.Fatal("bad batch accepted")
+	}
+	if eng.Generation() != genBefore {
+		t.Error("failed batch bumped the generation")
+	}
+	if eng.Workflow("w9") != nil {
+		t.Error("failed batch partially applied")
+	}
+	if ist, _ := eng.IndexStats(); ist.Live != istBefore.Live {
+		t.Errorf("failed batch touched the index: live %d -> %d", istBefore.Live, ist.Live)
+	}
+
+	if _, err := eng.Apply(ctx, Mutation{}); err == nil {
+		t.Error("zero mutation accepted")
+	}
+	if _, err := eng.Apply(ctx, AddWorkflow(nil)); err == nil {
+		t.Error("nil workflow accepted")
+	}
+	// Structural validation is part of the transaction.
+	bad := NewWorkflow("bad")
+	bad.AddModule(&Module{Label: "x", Type: TypeWSDL})
+	bad.Edges = append(bad.Edges, Edge{From: 0, To: 9})
+	if _, err := eng.Apply(ctx, AddWorkflow(bad)); err == nil {
+		t.Error("structurally invalid workflow accepted")
+	}
+	cancelled, cancel := context.WithCancel(ctx)
+	cancel()
+	if _, err := eng.Apply(cancelled, RemoveWorkflow("w1")); err == nil {
+		t.Error("cancelled Apply accepted")
+	}
+	// An empty batch is a no-op reporting the current generation.
+	if gen, err := eng.Apply(ctx); err != nil || gen != genBefore {
+		t.Errorf("empty batch: gen %d err %v", gen, err)
+	}
+}
+
+// gateMeasure blocks its first Compare until released, letting a test hold
+// a search in flight while a mutation commits.
+type gateMeasure struct {
+	inner   contentMeasure
+	started chan struct{}
+	release chan struct{}
+	once    sync.Once
+}
+
+func (g *gateMeasure) Name() string { return "gate" }
+
+func (g *gateMeasure) Compare(a, b *Workflow) (float64, error) {
+	g.once.Do(func() {
+		close(g.started)
+		<-g.release
+	})
+	return g.inner.Compare(a, b)
+}
+
+// TestSearchPinsPreMutationSnapshot is the snapshot-isolation acceptance
+// test: a Search issued before Apply completes returns results consistent
+// with the pre-mutation repository.
+func TestSearchPinsPreMutationSnapshot(t *testing.T) {
+	gm := &gateMeasure{started: make(chan struct{}), release: make(chan struct{})}
+	eng := mutEngine(t, WithMeasure("gate", gm), WithConcurrency(2))
+	ctx := context.Background()
+	genBefore := eng.Generation()
+
+	type outcome struct {
+		results []Result
+		stats   Stats
+		err     error
+	}
+	done := make(chan outcome, 1)
+	go func() {
+		var o outcome
+		o.results, o.stats, o.err = eng.SearchID(ctx, "w1", SearchOptions{Measure: "gate", K: 10})
+		done <- o
+	}()
+
+	<-gm.started // the search is mid-scan, pinned to the old snapshot
+	gen, err := eng.Apply(ctx,
+		AddWorkflow(mutWorkflow("w5", "fetch_sequence")), // would rank top for w1
+		RemoveWorkflow("w2"),                             // w1's current best hit
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gen != genBefore+1 {
+		t.Fatalf("apply generation = %d", gen)
+	}
+	close(gm.release)
+
+	o := <-done
+	if o.err != nil {
+		t.Fatal(o.err)
+	}
+	if o.stats.Generation != genBefore {
+		t.Errorf("in-flight search observed generation %d, want pre-mutation %d", o.stats.Generation, genBefore)
+	}
+	ids := map[string]float64{}
+	for _, r := range o.results {
+		ids[r.ID] = r.Similarity
+	}
+	if _, ok := ids["w5"]; ok {
+		t.Error("in-flight search saw a workflow added mid-scan")
+	}
+	if _, ok := ids["w2"]; !ok {
+		t.Error("in-flight search lost a workflow removed mid-scan")
+	}
+	if len(o.results) != 3 {
+		t.Errorf("in-flight search returned %d results, want 3 (pre-mutation corpus)", len(o.results))
+	}
+
+	// A fresh search sees the post-mutation repository.
+	results, stats, err := eng.SearchID(ctx, "w1", SearchOptions{Measure: "gate", K: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Generation != gen {
+		t.Errorf("fresh search generation = %d, want %d", stats.Generation, gen)
+	}
+	ids = map[string]float64{}
+	for _, r := range results {
+		ids[r.ID] = r.Similarity
+	}
+	if _, ok := ids["w5"]; !ok {
+		t.Error("fresh search misses the added workflow")
+	}
+	if _, ok := ids["w2"]; ok {
+		t.Error("fresh search still serves the removed workflow")
+	}
+}
+
+// TestWarmDuplicatesZeroEvaluations is the score-cache acceptance test:
+// a repeated Duplicates run with a warm cache performs zero pairwise
+// measure evaluations (hit counter equals pair count) and matches the cold
+// run exactly.
+func TestWarmDuplicatesZeroEvaluations(t *testing.T) {
+	cm := &contentMeasure{}
+	eng := mutEngine(t, WithScoreCache(1024), WithMeasure("content", cm))
+	ctx := context.Background()
+	n := eng.Repository().Size()
+	pairCount := n * (n - 1) / 2
+
+	cold, coldStats, err := eng.Duplicates(ctx, 0.2, DuplicateOptions{Measure: "content"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if coldStats.CacheMisses != pairCount || coldStats.CacheHits != 0 {
+		t.Errorf("cold run: hits %d misses %d, want 0/%d", coldStats.CacheHits, coldStats.CacheMisses, pairCount)
+	}
+	evalsAfterCold := cm.calls.Load()
+
+	warm, warmStats, err := eng.Duplicates(ctx, 0.2, DuplicateOptions{Measure: "content"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := cm.calls.Load(); got != evalsAfterCold {
+		t.Errorf("warm run evaluated %d pairs, want 0", got-evalsAfterCold)
+	}
+	if warmStats.CacheHits != pairCount || warmStats.CacheMisses != 0 {
+		t.Errorf("warm run: hits %d misses %d, want %d/0", warmStats.CacheHits, warmStats.CacheMisses, pairCount)
+	}
+	if !reflect.DeepEqual(cold, warm) {
+		t.Errorf("warm results diverge from cold:\ncold %v\nwarm %v", cold, warm)
+	}
+	if cs := eng.CacheStats(); cs.Hits != uint64(pairCount) || cs.Entries == 0 {
+		t.Errorf("engine cache stats = %+v", cs)
+	}
+}
+
+// TestCacheInvalidationOnApply is the generation-bump test: after Apply
+// removes or replaces a workflow, cached pairs involving it are never
+// served.
+func TestCacheInvalidationOnApply(t *testing.T) {
+	cm := &contentMeasure{}
+	eng := mutEngine(t, WithScoreCache(1024), WithMeasure("content", cm))
+	ctx := context.Background()
+
+	// Warm the cache. Under "content", w1–w2 score 1.0 (shared label).
+	pairs, _, err := eng.Duplicates(ctx, 0.9, DuplicateOptions{Measure: "content"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pairs) != 1 || pairs[0].A != "w1" || pairs[0].B != "w2" {
+		t.Fatalf("cold duplicates = %v, want the w1-w2 twin pair", pairs)
+	}
+
+	// Replace w2 with different content and remove w4.
+	if _, err := eng.Apply(ctx,
+		ReplaceWorkflow(mutWorkflow("w2", "totally_new_label")),
+		RemoveWorkflow("w4"),
+	); err != nil {
+		t.Fatal(err)
+	}
+
+	pairs, stats, err := eng.Duplicates(ctx, 0.9, DuplicateOptions{Measure: "content"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The stale 1.0 score for (w1, w2) must not be served: under the new
+	// content no pair clears the 0.9 threshold.
+	if len(pairs) != 0 {
+		t.Errorf("stale cached pairs served after Apply: %v", pairs)
+	}
+	// Generation keying means zero hits right after a mutation.
+	if stats.CacheHits != 0 {
+		t.Errorf("post-Apply run hit the stale generation %d times", stats.CacheHits)
+	}
+	n := eng.Repository().Size()
+	if stats.CacheMisses != n*(n-1)/2 {
+		t.Errorf("post-Apply misses = %d, want %d", stats.CacheMisses, n*(n-1)/2)
+	}
+	for _, p := range pairs {
+		if p.A == "w4" || p.B == "w4" {
+			t.Errorf("removed workflow in pair %v", p)
+		}
+	}
+}
+
+// TestDirectMutationDriftRecovery: mutating the repository directly
+// (bypassing Apply) must not silently hide workflows from indexed search.
+// The next Apply detects the generation lag and rebuilds the index.
+func TestDirectMutationDriftRecovery(t *testing.T) {
+	eng := mutEngine(t, WithIndex(1), WithMeasure("content", &contentMeasure{}))
+	ctx := context.Background()
+
+	// Bypass Apply: the engine's index never sees wX.
+	if err := eng.Repository().Add(mutWorkflow("wX", "drifted_label")); err != nil {
+		t.Fatal(err)
+	}
+	// Indexed search degrades to an exact scan (generation mismatch), so
+	// the directly-added workflow is still found.
+	results, _, err := eng.SearchID(ctx, "wX", SearchOptions{Measure: "content", K: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 4 {
+		t.Errorf("degraded search returned %d results, want 4", len(results))
+	}
+
+	// The next Apply must not stamp the index current while it still lacks
+	// wX: it rebuilds instead, and searches from a wX twin find it via the
+	// index afterwards.
+	if _, err := eng.Apply(ctx, AddWorkflow(mutWorkflow("wY", "drifted_label"))); err != nil {
+		t.Fatal(err)
+	}
+	ist, _ := eng.IndexStats()
+	if ist.Rebuilds != 1 {
+		t.Errorf("rebuilds = %d, want exactly 1 (drift recovery)", ist.Rebuilds)
+	}
+	if ist.Generation != eng.Generation() {
+		t.Errorf("index generation %d != repository %d after recovery", ist.Generation, eng.Generation())
+	}
+	results, stats, err := eng.SearchID(ctx, "wY", SearchOptions{Measure: "content", K: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Pruned == 0 && len(results) == 5 {
+		t.Log("note: nothing pruned on this corpus (fine)")
+	}
+	found := false
+	for _, r := range results {
+		found = found || r.ID == "wX"
+	}
+	if !found {
+		t.Error("rebuilt index still hides the directly-added workflow")
+	}
+}
+
+// TestConcurrentSearchDuringApply exercises reads racing mutation batches;
+// under -race (CI) it is the engine's torn-state detector.
+func TestConcurrentSearchDuringApply(t *testing.T) {
+	cm := &contentMeasure{}
+	eng := mutEngine(t, WithIndex(1), WithScoreCache(256), WithMeasure("content", cm))
+	ctx := context.Background()
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if _, _, err := eng.SearchID(ctx, "w1", SearchOptions{Measure: "content", K: 5}); err != nil {
+					t.Error(err)
+					return
+				}
+				if _, _, err := eng.Duplicates(ctx, 0.5, DuplicateOptions{Measure: "content"}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	for round := 0; round < 25; round++ {
+		id := "churn"
+		if _, err := eng.Apply(ctx, AddWorkflow(mutWorkflow(id, "spin_label"))); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := eng.Apply(ctx,
+			ReplaceWorkflow(mutWorkflow(id, "spun_label")),
+			RemoveWorkflow(id),
+		); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+
+	ist, _ := eng.IndexStats()
+	if ist.Rebuilds != 0 {
+		t.Errorf("churn triggered %d full rebuilds", ist.Rebuilds)
+	}
+	if ist.Live != 4 {
+		t.Errorf("index live = %d after churn, want 4", ist.Live)
+	}
+}

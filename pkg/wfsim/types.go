@@ -24,9 +24,13 @@ type (
 	Annotations = workflow.Annotations
 	// Edge is a directed data link between two modules.
 	Edge = workflow.Edge
-	// Repository is an in-memory workflow collection with ID lookup and
-	// JSON persistence (Save/SaveFile).
+	// Repository is a mutable, snapshot-versioned in-memory workflow
+	// collection with ID lookup and JSON persistence (Save/SaveFile).
+	// Mutate it through Engine.Apply to keep the engine's index current.
 	Repository = corpus.Repository
+	// Snapshot is an immutable, generation-stamped view of a Repository —
+	// what every Engine read operation pins for its duration.
+	Snapshot = corpus.Snapshot
 	// Measure scores the similarity of two workflows; see Registry for the
 	// built-in measures and their paper notation.
 	Measure = measures.Measure
