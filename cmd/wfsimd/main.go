@@ -1,0 +1,125 @@
+// Command wfsimd is the long-lived workflow-similarity service: an HTTP/JSON
+// front-end over the wfsim Engine that serves searches, comparisons,
+// duplicate detection, clustering and transactional mutation batches to many
+// concurrent clients. It is built entirely on the public packages
+// repro/pkg/wfsim and repro/pkg/wfsim/serve.
+//
+// Usage:
+//
+//	wfsimd [-addr :8080] [-corpus corpus.json] [-index] [-min-shared 1]
+//	       [-cache 65536] [-repoknow] [-threshold 0.5] [-measure NAME]
+//	       [-concurrency N] [-default-deadline 30s] [-max-deadline 2m]
+//
+// Without -corpus the service starts over an empty repository and is
+// populated through POST /v1/workflows:batch. See the package documentation
+// of repro/pkg/wfsim/serve for the endpoint reference.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/pkg/wfsim"
+	"repro/pkg/wfsim/serve"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintf(os.Stderr, "wfsimd: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("wfsimd", flag.ExitOnError)
+	addr := fs.String("addr", ":8080", "listen address")
+	corpusPath := fs.String("corpus", "", "corpus JSON to serve (empty repository when omitted)")
+	useIndex := fs.Bool("index", false, "enable filter-and-refine inverted-index acceleration")
+	minShared := fs.Int("min-shared", 1, "index candidate threshold (shared canonical labels)")
+	cacheSize := fs.Int("cache", 1<<16, "pairwise score cache entries (0 disables)")
+	repoKnow := fs.Bool("repoknow", false, "derive the importance projection from repository IDF instead of module types")
+	threshold := fs.Float64("threshold", 0, "repository-knowledge projection threshold (0 = default)")
+	measure := fs.String("measure", "", "default measure in paper notation (empty = library default)")
+	concurrency := fs.Int("concurrency", 0, "scoring worker-pool width (0 = GOMAXPROCS)")
+	defaultDeadline := fs.Duration("default-deadline", 30*time.Second, "per-request deadline when the client sends none")
+	maxDeadline := fs.Duration("max-deadline", 2*time.Minute, "cap on client-requested deadlines")
+	fs.Parse(args)
+
+	var repo *wfsim.Repository
+	var err error
+	if *corpusPath != "" {
+		repo, err = wfsim.LoadRepository(*corpusPath)
+		if err != nil {
+			return err
+		}
+	} else {
+		repo, err = wfsim.NewRepository()
+		if err != nil {
+			return err
+		}
+	}
+
+	var opts []wfsim.Option
+	if *useIndex {
+		opts = append(opts, wfsim.WithIndex(*minShared))
+	}
+	if *cacheSize > 0 {
+		opts = append(opts, wfsim.WithScoreCache(*cacheSize))
+	}
+	if *repoKnow {
+		opts = append(opts, wfsim.WithRepositoryKnowledge(*threshold))
+	}
+	if *measure != "" {
+		opts = append(opts, wfsim.WithDefaultMeasure(*measure))
+	}
+	if *concurrency > 0 {
+		opts = append(opts, wfsim.WithConcurrency(*concurrency))
+	}
+	eng, err := wfsim.New(repo, opts...)
+	if err != nil {
+		return err
+	}
+
+	srv := serve.New(eng, serve.Config{
+		DefaultDeadline: *defaultDeadline,
+		MaxDeadline:     *maxDeadline,
+	})
+	httpServer := &http.Server{
+		Addr:              *addr,
+		Handler:           srv,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("wfsimd: serving %d workflows (generation %d) on %s", repo.Size(), eng.Generation(), *addr)
+		errc <- httpServer.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	log.Printf("wfsimd: shutting down")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := httpServer.Shutdown(shutdownCtx); err != nil {
+		return err
+	}
+	if err := <-errc; !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
+}

@@ -16,6 +16,7 @@ package corpus
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -24,6 +25,16 @@ import (
 	"sync/atomic"
 
 	"repro/internal/workflow"
+)
+
+// Sentinel errors wrapped by mutation failures, so callers (e.g. an HTTP
+// layer mapping conflicts vs. malformed requests) can discriminate with
+// errors.Is instead of string matching.
+var (
+	// ErrNotFound: a Remove/Replace named an ID the repository lacks.
+	ErrNotFound = errors.New("workflow not found")
+	// ErrDuplicateID: an Add reused an existing workflow ID.
+	ErrDuplicateID = errors.New("duplicate workflow ID")
 )
 
 // Snapshot is an immutable, generation-stamped view of a repository. All
@@ -108,7 +119,7 @@ func (r *Repository) checkAddable(wf *workflow.Workflow, member map[string]*work
 		return fmt.Errorf("workflow without ID (repository size %d)", len(r.workflows))
 	}
 	if _, dup := member[wf.ID]; dup {
-		return fmt.Errorf("duplicate workflow ID %q (repository size %d)", wf.ID, len(r.workflows))
+		return fmt.Errorf("%w %q (repository size %d)", ErrDuplicateID, wf.ID, len(r.workflows))
 	}
 	return nil
 }
@@ -148,7 +159,7 @@ func (r *Repository) Remove(id string) error {
 
 func (r *Repository) removeLocked(id string) error {
 	if _, ok := r.byID[id]; !ok {
-		return fmt.Errorf("corpus: workflow %q not found (repository size %d)", id, len(r.workflows))
+		return fmt.Errorf("corpus: workflow %q %w (repository size %d)", id, ErrNotFound, len(r.workflows))
 	}
 	for i, wf := range r.workflows {
 		if wf.ID == id {
@@ -178,7 +189,7 @@ func (r *Repository) replaceLocked(wf *workflow.Workflow) error {
 		return fmt.Errorf("corpus: nil workflow (repository size %d)", len(r.workflows))
 	}
 	if _, ok := r.byID[wf.ID]; !ok {
-		return fmt.Errorf("corpus: workflow %q not found (repository size %d)", wf.ID, len(r.workflows))
+		return fmt.Errorf("corpus: workflow %q %w (repository size %d)", wf.ID, ErrNotFound, len(r.workflows))
 	}
 	for i, old := range r.workflows {
 		if old.ID == wf.ID {
@@ -238,7 +249,7 @@ func (r *Repository) ApplyBatch(ops []Op) (uint64, error) {
 			staged[op.Workflow.ID] = op.Workflow
 		case OpRemove:
 			if _, ok := staged[op.ID]; !ok {
-				return 0, fmt.Errorf("corpus: batch op %d: workflow %q not found (repository size %d)", i, op.ID, len(r.workflows))
+				return 0, fmt.Errorf("corpus: batch op %d: workflow %q %w (repository size %d)", i, op.ID, ErrNotFound, len(r.workflows))
 			}
 			delete(staged, op.ID)
 		case OpReplace:
@@ -246,7 +257,7 @@ func (r *Repository) ApplyBatch(ops []Op) (uint64, error) {
 				return 0, fmt.Errorf("corpus: batch op %d: nil workflow (repository size %d)", i, len(r.workflows))
 			}
 			if _, ok := staged[op.Workflow.ID]; !ok {
-				return 0, fmt.Errorf("corpus: batch op %d: workflow %q not found (repository size %d)", i, op.Workflow.ID, len(r.workflows))
+				return 0, fmt.Errorf("corpus: batch op %d: workflow %q %w (repository size %d)", i, op.Workflow.ID, ErrNotFound, len(r.workflows))
 			}
 			staged[op.Workflow.ID] = op.Workflow
 		default:

@@ -19,20 +19,27 @@ import (
 )
 
 // Key identifies one cached pairwise score. A and B are workflow IDs in
-// canonical (sorted) order — use PairKey to build keys.
+// canonical (sorted) order — use PairKey to build keys. Gen is the
+// repository generation the score was computed under; Proj is the projector
+// epoch (bumped whenever the importance projection changes), so a score
+// computed under one projection configuration is never served under another
+// even within the same repository generation. Self-pairs (A == B) are
+// ordinary keys: the canonical ordering is a no-op and the cached score is
+// the measure's self-similarity.
 type Key struct {
 	Measure string
 	A, B    string
 	Gen     uint64
+	Proj    uint64
 }
 
 // PairKey builds a Key with the ID pair in canonical order, so (a,b) and
 // (b,a) hit the same entry — similarity is symmetric.
-func PairKey(measure, a, b string, gen uint64) Key {
+func PairKey(measure, a, b string, gen, proj uint64) Key {
 	if b < a {
 		a, b = b, a
 	}
-	return Key{Measure: measure, A: a, B: b, Gen: gen}
+	return Key{Measure: measure, A: a, B: b, Gen: gen, Proj: proj}
 }
 
 const shardCount = 16
@@ -97,6 +104,8 @@ func (c *Cache) shardFor(k Key) *shard {
 	hashString(k.B)
 	h ^= k.Gen
 	h *= prime64
+	h ^= k.Proj
+	h *= prime64
 	return &c.shards[h%shardCount]
 }
 
@@ -151,9 +160,10 @@ func (c *Cache) Len() int {
 
 // Stats reports cumulative hit/miss counters since construction.
 type Stats struct {
-	Hits, Misses uint64
+	Hits   uint64 `json:"hits"`
+	Misses uint64 `json:"misses"`
 	// Entries is the current cache population.
-	Entries int
+	Entries int `json:"entries"`
 }
 
 // Stats returns the cache's cumulative counters and population.

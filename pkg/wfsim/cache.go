@@ -15,9 +15,12 @@ type CacheStats = scorecache.Stats
 // to size entries (a default capacity when size <= 0). The cache is threaded
 // through Search, Duplicates and Cluster, so repeated and overlapping
 // queries stop re-running measure evaluations — GED, label matching — on
-// identical workflow pairs. Entries are keyed by measure, ID pair and
-// repository generation: an Apply batch bumps the generation, so scores of
-// removed or replaced workflows are never served stale.
+// identical workflow pairs. Entries are keyed by measure, ID pair,
+// repository generation and projector epoch: an Apply batch bumps the
+// generation, so scores of removed or replaced workflows are never served
+// stale, and a projector replacement (repository-knowledge refresh, manual
+// SetProjector) bumps the epoch, so scores computed under a different
+// importance projection are never served either.
 func WithScoreCache(size int) Option {
 	return func(e *Engine) error {
 		e.cache = scorecache.New(size)
@@ -45,14 +48,16 @@ type cachedMeasure struct {
 	name         string
 	snap         *corpus.Snapshot
 	gen          uint64
+	proj         uint64
 	cache        *scorecache.Cache
 	hits, misses atomic.Int64
 }
 
-// cachedFor wraps m for a read over snap. The second return value is nil
-// when the engine has no cache; callers pass it to (*cachedMeasure).fill,
-// which tolerates nil.
-func (e *Engine) cachedFor(m Measure, snap *corpus.Snapshot) (Measure, *cachedMeasure) {
+// cachedFor wraps m for a read over snap; projEpoch is the epoch of the
+// projection m was resolved with (see Engine.projectionFor). The second
+// return value is nil when the engine has no cache; callers pass it to
+// (*cachedMeasure).fill, which tolerates nil.
+func (e *Engine) cachedFor(m Measure, snap *corpus.Snapshot, projEpoch uint64) (Measure, *cachedMeasure) {
 	if e.cache == nil {
 		return m, nil
 	}
@@ -61,6 +66,7 @@ func (e *Engine) cachedFor(m Measure, snap *corpus.Snapshot) (Measure, *cachedMe
 		name:  m.Name(),
 		snap:  snap,
 		gen:   snap.Generation(),
+		proj:  projEpoch,
 		cache: e.cache,
 	}
 	return cm, cm
@@ -72,7 +78,7 @@ func (cm *cachedMeasure) Compare(a, b *Workflow) (float64, error) {
 	if cm.snap.Get(a.ID) != a || cm.snap.Get(b.ID) != b {
 		return cm.inner.Compare(a, b)
 	}
-	key := scorecache.PairKey(cm.name, a.ID, b.ID, cm.gen)
+	key := scorecache.PairKey(cm.name, a.ID, b.ID, cm.gen, cm.proj)
 	if s, ok := cm.cache.Get(key); ok {
 		cm.hits.Add(1)
 		return s, nil

@@ -10,6 +10,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/corpus"
 	"repro/internal/index"
+	"repro/internal/measures"
 	"repro/internal/repoknow"
 	"repro/internal/scorecache"
 	"repro/internal/search"
@@ -36,9 +37,59 @@ type Engine struct {
 	minShared      int
 	concurrency    int
 	defaultMeasure string
+	repoKnow       *repoKnowState
 
 	applyMu       sync.Mutex   // serializes Apply batches
 	indexRebuilds atomic.Int64 // full index rebuilds (drift recovery only)
+}
+
+// repoKnowState derives importance projectors from repository snapshots
+// (WithRepositoryKnowledge). Projectors are keyed by generation: a read over
+// a pinned snapshot always projects against that snapshot's own module
+// frequencies, even while readers at other generations are in flight — no
+// reader can regress another reader's projection. Each built projector
+// carries a unique epoch for score-cache keying.
+type repoKnowState struct {
+	threshold float64
+	mu        sync.Mutex
+	entries   map[uint64]*projEntry // generation -> projector, newest few kept
+	epochs    uint64
+	rebuilds  atomic.Int64
+}
+
+// projEntry is one generation's importance projector.
+type projEntry struct {
+	gen     uint64
+	epoch   uint64
+	project measures.Projector
+}
+
+// entryFor returns the projector for snap's generation, building (and
+// counting) it on first use. A handful of recent generations stay cached so
+// overlapping reads across a mutation boundary don't rebuild per call.
+func (rk *repoKnowState) entryFor(snap *corpus.Snapshot) *projEntry {
+	gen := snap.Generation()
+	rk.mu.Lock()
+	defer rk.mu.Unlock()
+	if ent, ok := rk.entries[gen]; ok {
+		return ent
+	}
+	usage := repoknow.CollectUsage(snap.Workflows())
+	proj := repoknow.NewProjector(repoknow.NewFrequencyScorer(usage), rk.threshold)
+	rk.epochs++
+	ent := &projEntry{gen: gen, epoch: rk.epochs, project: proj.Project}
+	rk.entries[gen] = ent
+	for len(rk.entries) > 4 {
+		oldest := gen
+		for g := range rk.entries {
+			if g < oldest {
+				oldest = g
+			}
+		}
+		delete(rk.entries, oldest)
+	}
+	rk.rebuilds.Add(1)
+	return ent
 }
 
 // Option configures an Engine under construction.
@@ -73,16 +124,48 @@ func WithConcurrency(n int) Option {
 // repository, and "ip" measures drop modules scoring below threshold
 // (<= 0 means DefaultProjectionThreshold). This is the automatic importance
 // derivation the paper names as future work (Section 6).
+//
+// The projector tracks the living repository: it is first computed in New's
+// finalize step (after all options, so option order does not matter) and
+// recomputed from the post-mutation snapshot whenever the repository
+// generation moves — an Engine.Apply that changes module document
+// frequencies changes "ip" measure scores on the next read. An engine built
+// over an empty repository is valid: the projector keeps everything until
+// workflows arrive, then rebuilds from real frequencies.
 func WithRepositoryKnowledge(threshold float64) Option {
 	return func(e *Engine) error {
 		if threshold <= 0 {
 			threshold = DefaultProjectionThreshold
 		}
-		usage := repoknow.CollectUsage(e.repo.Workflows())
-		proj := repoknow.NewProjector(repoknow.NewFrequencyScorer(usage), threshold)
-		e.reg.SetProjector(proj.Project)
+		if threshold != threshold || threshold > 1 {
+			return fmt.Errorf("repository-knowledge threshold %v out of range (0, 1]: IDF scores never exceed 1, so every module would be projected away", threshold)
+		}
+		e.repoKnow = &repoKnowState{threshold: threshold, entries: map[uint64]*projEntry{}}
 		return nil
 	}
+}
+
+// projectionFor resolves the importance projection a read over snap must
+// use, plus the epoch that keys its cached scores. With repository knowledge
+// the projector belongs to snap's generation (built lazily, per generation);
+// otherwise it is the registry's configured projector, captured atomically
+// with its epoch.
+func (e *Engine) projectionFor(snap *corpus.Snapshot) (measures.Projector, uint64) {
+	if rk := e.repoKnow; rk != nil {
+		ent := rk.entryFor(snap)
+		return ent.project, ent.epoch
+	}
+	return e.reg.projectorState()
+}
+
+// ProjectorRebuilds counts repository-knowledge projector computations
+// (initial build included); it stays constant between mutations. Zero for
+// engines without WithRepositoryKnowledge.
+func (e *Engine) ProjectorRebuilds() int {
+	if e.repoKnow == nil {
+		return 0
+	}
+	return int(e.repoKnow.rebuilds.Load())
 }
 
 // WithGEDBudget sets the per-pair graph-edit-distance deadline and beam
@@ -135,6 +218,12 @@ func New(repo *Repository, opts ...Option) (*Engine, error) {
 	if _, err := e.reg.Parse(e.defaultMeasure); err != nil {
 		return nil, fmt.Errorf("invalid default measure: %w", err)
 	}
+	// Finalize step: the repository-knowledge projector for the initial
+	// generation is computed here — after every option has run — and later
+	// generations get their own projector lazily on first read.
+	if e.repoKnow != nil {
+		e.repoKnow.entryFor(repo.Snapshot())
+	}
 	if e.minShared > 0 {
 		snap := repo.Snapshot()
 		idx := index.Build(snap)
@@ -172,25 +261,26 @@ func (e *Engine) ParseMeasure(name string) (Measure, error) {
 	if name == "" {
 		name = e.defaultMeasure
 	}
-	return e.reg.Parse(name)
+	project, _ := e.projectionFor(e.repo.Snapshot())
+	deadline, beam := e.reg.GEDBudget()
+	return e.reg.parseResolved(name, deadline, beam, project)
 }
 
 // Project applies the engine's importance projection (the "ip" preprocessing
-// of structural measures) to a workflow.
+// of structural measures) to a workflow, against the current repository
+// generation's module frequencies.
 func (e *Engine) Project(wf *Workflow) *Workflow {
-	e.reg.mu.RLock()
-	project := e.reg.project
-	e.reg.mu.RUnlock()
+	project, _ := e.projectionFor(e.repo.Snapshot())
 	if project == nil {
 		return wf
 	}
 	return project(wf)
 }
 
-// measureFor resolves name (or the default) with the registry's GED budget,
-// clamping the deadline to the context's remaining time — a call deadline
-// becomes the paper's per-pair GED timeout.
-func (e *Engine) measureFor(ctx context.Context, name string) (Measure, error) {
+// measureFor resolves name (or the default) with the given projection and
+// the registry's GED budget, clamping the deadline to the context's
+// remaining time — a call deadline becomes the paper's per-pair GED timeout.
+func (e *Engine) measureFor(ctx context.Context, name string, project measures.Projector) (Measure, error) {
 	if name == "" {
 		name = e.defaultMeasure
 	}
@@ -203,7 +293,7 @@ func (e *Engine) measureFor(ctx context.Context, name string) (Measure, error) {
 			deadline = time.Nanosecond // expired; pair scoring fails fast
 		}
 	}
-	return e.reg.parseWithBudget(name, deadline, beam)
+	return e.reg.parseResolved(name, deadline, beam, project)
 }
 
 // SearchOptions configures Engine.Search.
@@ -259,18 +349,24 @@ func (e *Engine) Search(ctx context.Context, query *Workflow, opts SearchOptions
 	if query == nil {
 		return nil, Stats{}, fmt.Errorf("nil query workflow")
 	}
-	m, err := e.measureFor(ctx, opts.Measure)
+	return e.searchSnap(ctx, query, e.repo.Snapshot(), opts)
+}
+
+// searchSnap is Search over an already-pinned snapshot: the projection, the
+// scan and the cache keys all belong to snap's generation.
+func (e *Engine) searchSnap(ctx context.Context, query *Workflow, snap *corpus.Snapshot, opts SearchOptions) ([]Result, Stats, error) {
+	project, epoch := e.projectionFor(snap)
+	m, err := e.measureFor(ctx, opts.Measure, project)
 	if err != nil {
 		return nil, Stats{}, err
 	}
-	snap := e.repo.Snapshot()
 	stats := Stats{Measure: m.Name(), Generation: snap.Generation()}
 	t0 := time.Now()
 	k := opts.K
 	if k <= 0 {
 		k = 10
 	}
-	mm, cm := e.cachedFor(m, snap)
+	mm, cm := e.cachedFor(m, snap, epoch)
 
 	if idx := e.idx.Load(); idx != nil && idx.Generation() == snap.Generation() &&
 		!opts.Exact && !opts.IncludeQuery && opts.MinSimilarity == nil {
@@ -305,13 +401,17 @@ func (e *Engine) Search(ctx context.Context, query *Workflow, opts SearchOptions
 	return results, stats, nil
 }
 
-// SearchID is Search with the query named by repository ID.
+// SearchID is Search with the query named by repository ID. The query is
+// resolved from the same pinned snapshot the scan runs over, so a
+// concurrent Replace cannot make the call score stale query content under a
+// newer generation stamp.
 func (e *Engine) SearchID(ctx context.Context, queryID string, opts SearchOptions) ([]Result, Stats, error) {
-	query := e.repo.Get(queryID)
+	snap := e.repo.Snapshot()
+	query := snap.Get(queryID)
 	if query == nil {
 		return nil, Stats{}, fmt.Errorf("query workflow %q not found", queryID)
 	}
-	return e.Search(ctx, query, opts)
+	return e.searchSnap(ctx, query, snap, opts)
 }
 
 // Score is one measure's verdict on a workflow pair.
@@ -336,9 +436,28 @@ func CompareMeasures() []string {
 // scoring failures are reported in the corresponding Score.Err so one GED
 // timeout does not hide the other measures.
 func (e *Engine) Compare(ctx context.Context, a, b *Workflow, measureNames ...string) ([]Score, error) {
+	return e.compareSnap(ctx, e.repo.Snapshot(), a, b, measureNames)
+}
+
+// CompareIDs is Compare with the pair named by repository IDs, both resolved
+// from one pinned snapshot. It additionally returns that snapshot's
+// generation, so callers can correlate the scores with the mutation stream.
+func (e *Engine) CompareIDs(ctx context.Context, aID, bID string, measureNames ...string) ([]Score, uint64, error) {
+	snap := e.repo.Snapshot()
+	a, b := snap.Get(aID), snap.Get(bID)
+	if a == nil || b == nil {
+		return nil, 0, fmt.Errorf("workflow %q or %q not found", aID, bID)
+	}
+	scores, err := e.compareSnap(ctx, snap, a, b, measureNames)
+	return scores, snap.Generation(), err
+}
+
+// compareSnap scores one pair with snap's projection.
+func (e *Engine) compareSnap(ctx context.Context, snap *corpus.Snapshot, a, b *Workflow, measureNames []string) ([]Score, error) {
 	if a == nil || b == nil {
 		return nil, fmt.Errorf("nil workflow in Compare")
 	}
+	project, _ := e.projectionFor(snap)
 	if len(measureNames) == 0 {
 		measureNames = CompareMeasures()
 	}
@@ -347,7 +466,7 @@ func (e *Engine) Compare(ctx context.Context, a, b *Workflow, measureNames ...st
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		m, err := e.measureFor(ctx, name)
+		m, err := e.measureFor(ctx, name, project)
 		if err != nil {
 			return nil, err
 		}
@@ -355,15 +474,6 @@ func (e *Engine) Compare(ctx context.Context, a, b *Workflow, measureNames ...st
 		out = append(out, Score{Measure: m.Name(), Similarity: s, Err: err})
 	}
 	return out, nil
-}
-
-// CompareIDs is Compare with the pair named by repository IDs.
-func (e *Engine) CompareIDs(ctx context.Context, aID, bID string, measureNames ...string) ([]Score, error) {
-	a, b := e.repo.Get(aID), e.repo.Get(bID)
-	if a == nil || b == nil {
-		return nil, fmt.Errorf("workflow %q or %q not found", aID, bID)
-	}
-	return e.Compare(ctx, a, b, measureNames...)
 }
 
 // DuplicateOptions configures Engine.Duplicates.
@@ -379,12 +489,13 @@ type DuplicateOptions struct {
 // canonical measure name, the number of pairs scored and skipped, and the
 // wall-clock duration.
 func (e *Engine) Duplicates(ctx context.Context, threshold float64, opts DuplicateOptions) ([]Pair, Stats, error) {
-	m, err := e.measureFor(ctx, opts.Measure)
+	snap := e.repo.Snapshot()
+	project, epoch := e.projectionFor(snap)
+	m, err := e.measureFor(ctx, opts.Measure, project)
 	if err != nil {
 		return nil, Stats{}, err
 	}
-	snap := e.repo.Snapshot()
-	mm, cm := e.cachedFor(m, snap)
+	mm, cm := e.cachedFor(m, snap, epoch)
 	t0 := time.Now()
 	pairs, skipped, err := search.Duplicates(ctx, snap, mm, threshold, e.concurrency)
 	if err != nil {
@@ -423,6 +534,8 @@ type ClusterResult struct {
 	Clusters [][]string
 	// Skipped counts pairs the measure could not score (similarity 0).
 	Skipped int
+	// Generation is the repository generation of the snapshot clustered.
+	Generation uint64
 }
 
 // Purity evaluates the clustering against a reference assignment of
@@ -481,7 +594,9 @@ func (r *ClusterResult) assignments(ref map[string]int) (found, reference cluste
 // paper's introduction. The underlying pair matrix is computed in parallel
 // and honors ctx cancellation.
 func (e *Engine) Cluster(ctx context.Context, opts ClusterOptions) (*ClusterResult, error) {
-	m, err := e.measureFor(ctx, opts.Measure)
+	snap := e.repo.Snapshot()
+	project, epoch := e.projectionFor(snap)
+	m, err := e.measureFor(ctx, opts.Measure, project)
 	if err != nil {
 		return nil, err
 	}
@@ -489,8 +604,7 @@ func (e *Engine) Cluster(ctx context.Context, opts ClusterOptions) (*ClusterResu
 	if opts.MinSimilarity != nil {
 		minSim = *opts.MinSimilarity
 	}
-	snap := e.repo.Snapshot()
-	mm, _ := e.cachedFor(m, snap)
+	mm, _ := e.cachedFor(m, snap, epoch)
 	mat, err := cluster.BuildMatrix(ctx, snap, mm, e.concurrency)
 	if err != nil {
 		return nil, err
@@ -501,7 +615,7 @@ func (e *Engine) Cluster(ctx context.Context, opts ClusterOptions) (*ClusterResu
 	} else {
 		c = cluster.Agglomerative(mat, minSim)
 	}
-	out := &ClusterResult{Measure: m.Name(), Clusters: make([][]string, c.K), Skipped: mat.Skipped}
+	out := &ClusterResult{Measure: m.Name(), Clusters: make([][]string, c.K), Skipped: mat.Skipped, Generation: snap.Generation()}
 	for k, members := range c.Members() {
 		ids := make([]string, len(members))
 		for i, pos := range members {

@@ -157,7 +157,7 @@ func TestSearchDeadlineClampsGEDBudget(t *testing.T) {
 	eng, _ := testEngine(t, WithGEDBudget(time.Hour, 4))
 	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
 	defer cancel()
-	m, err := eng.measureFor(ctx, "GE_np_ta_pll")
+	m, err := eng.measureFor(ctx, "GE_np_ta_pll", nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -166,7 +166,7 @@ func TestSearchDeadlineClampsGEDBudget(t *testing.T) {
 		t.Errorf("GED deadline = %v, want clamped into (0, 50ms]", cfg)
 	}
 	// Without a context deadline the configured budget applies.
-	m, err = eng.measureFor(context.Background(), "GE_np_ta_pll")
+	m, err = eng.measureFor(context.Background(), "GE_np_ta_pll", nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -176,7 +176,7 @@ func TestSearchDeadlineClampsGEDBudget(t *testing.T) {
 	// Retuning the budget through the public registry must reach the
 	// engine's own measure resolution.
 	eng.Registry().SetGEDBudget(time.Minute, 8)
-	m, err = eng.measureFor(context.Background(), "GE_np_ta_pll")
+	m, err = eng.measureFor(context.Background(), "GE_np_ta_pll", nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -63,9 +63,12 @@ func (m Mutation) String() string {
 //
 // On success the whole batch becomes visible atomically under one new
 // generation: the inverted index is maintained incrementally (O(labels) per
-// op, no corpus rescans), and the score cache's generation keying retires
-// every cached pair involving removed or replaced workflows. Reads already
-// in flight keep their pinned pre-mutation snapshot.
+// op, no corpus rescans), the score cache's generation keying retires every
+// cached pair involving removed or replaced workflows, and the
+// repository-knowledge projector (WithRepositoryKnowledge) is recomputed
+// from the post-batch snapshot on the next read — "ip" measures never score
+// against pre-mutation module frequencies. Reads already in flight keep
+// their pinned pre-mutation snapshot.
 //
 // Concurrent Apply calls are serialised; reads never block on a writer. An
 // empty batch is a no-op returning the current generation.
@@ -90,22 +93,24 @@ func (e *Engine) Apply(ctx context.Context, muts ...Mutation) (uint64, error) {
 		}
 		ops[i] = m.op
 	}
-	genBefore := e.repo.Generation()
 	gen, err := e.repo.ApplyBatch(ops)
 	if err != nil {
 		return 0, err
 	}
 	if idx := e.idx.Load(); idx != nil {
-		// The index must have been current for the pre-batch repository
-		// (it can lag when the repository was mutated directly, bypassing
-		// Apply — incremental maintenance would then stamp a generation
-		// whose earlier changes the index never saw, silently hiding
-		// them). On lag or on a drifted batch, recover with a full
-		// rebuild — the only code path that ever rebuilds. The batch and
-		// its generation stamp commit under one index write lock, so a
-		// concurrent search can never pass the generation check against a
-		// partially-applied or unstamped index.
-		if idx.Generation() != genBefore || idx.Apply(ops, gen) != nil {
+		// The index must have been current for the pre-batch repository —
+		// generation gen-1, judged against the generation the batch
+		// actually committed under, so a direct repository mutation
+		// slipping in right before ApplyBatch still reads as drift. (It
+		// lags when the repository was mutated directly, bypassing Apply —
+		// incremental maintenance would then stamp a generation whose
+		// earlier changes the index never saw, silently hiding them.) On
+		// lag or on a drifted batch, recover with a full rebuild — the
+		// only code path that ever rebuilds. The batch and its generation
+		// stamp commit under one index write lock, so a concurrent search
+		// can never pass the generation check against a partially-applied
+		// or unstamped index.
+		if idx.Generation() != gen-1 || idx.Apply(ops, gen) != nil {
 			e.rebuildIndex()
 		}
 	}
@@ -127,18 +132,18 @@ func (e *Engine) rebuildIndex() {
 // IndexStats describes the inverted index's incremental-maintenance state.
 type IndexStats struct {
 	// Live is the number of searchable workflows in the index.
-	Live int
+	Live int `json:"live"`
 	// Dead is the number of tombstoned entries awaiting compaction.
-	Dead int
+	Dead int `json:"dead"`
 	// Vocabulary is the number of distinct canonical labels indexed.
-	Vocabulary int
+	Vocabulary int `json:"vocabulary"`
 	// Compactions counts tombstone sweeps (cheap, label-list based).
-	Compactions int
+	Compactions int `json:"compactions"`
 	// Rebuilds counts full from-scratch index rebuilds; it stays 0 while
 	// all mutations go through Apply.
-	Rebuilds int
+	Rebuilds int `json:"rebuilds"`
 	// Generation is the repository generation the index reflects.
-	Generation uint64
+	Generation uint64 `json:"generation"`
 }
 
 // IndexStats reports the index's maintenance counters; ok is false when the

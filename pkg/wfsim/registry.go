@@ -5,6 +5,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/measures"
@@ -46,6 +47,10 @@ type Registry struct {
 	mu      sync.RWMutex
 	custom  map[string]Measure
 	project measures.Projector
+	// projEpoch counts projector replacements; cached pairwise scores carry
+	// the epoch they were computed under, so SetProjector acts as a cache
+	// flush for projection-dependent scores.
+	projEpoch atomic.Uint64
 	// gedDeadline and gedBeam are the default GED budget; Engine clamps the
 	// deadline further when a context deadline is nearer.
 	gedDeadline time.Duration
@@ -63,11 +68,29 @@ func NewRegistry() *Registry {
 	}
 }
 
-// SetProjector replaces the importance projection applied by "ip" measures.
+// SetProjector replaces the importance projection applied by "ip" measures
+// and bumps the projector epoch, retiring every cached score computed under
+// the previous projection (see Engine's score cache).
 func (r *Registry) SetProjector(project func(*Workflow) *Workflow) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.project = project
+	r.projEpoch.Add(1)
+}
+
+// ProjectorEpoch returns the number of times the projector has been
+// replaced. Cached pairwise scores are keyed by this epoch so a
+// projection-threshold or scorer change can never serve a score computed
+// under a different projector.
+func (r *Registry) ProjectorEpoch() uint64 { return r.projEpoch.Load() }
+
+// projectorState captures the current projector together with its epoch
+// under one lock, so a concurrent SetProjector cannot pair one projector
+// with the other's epoch in a cache key.
+func (r *Registry) projectorState() (measures.Projector, uint64) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.project, r.projEpoch.Load()
 }
 
 // SetGEDBudget replaces the default per-pair GED deadline and beam width.
@@ -155,13 +178,23 @@ func (r *Registry) Canonical(name string) (string, error) {
 }
 
 func (r *Registry) parseWithBudget(name string, deadline time.Duration, beam int) (Measure, error) {
+	r.mu.RLock()
+	project := r.project
+	r.mu.RUnlock()
+	return r.parseResolved(name, deadline, beam, project)
+}
+
+// parseResolved resolves a measure name against an explicit projector — the
+// engine passes the projection belonging to the snapshot a read pinned, so
+// "ip" measures never mix another generation's module frequencies into the
+// parse.
+func (r *Registry) parseResolved(name string, deadline time.Duration, beam int, project measures.Projector) (Measure, error) {
 	name = strings.TrimSpace(name)
 	if name == "" {
 		return nil, fmt.Errorf("empty measure name")
 	}
 	r.mu.RLock()
 	custom, isCustom := r.custom[name]
-	project := r.project
 	r.mu.RUnlock()
 	if isCustom {
 		return custom, nil
@@ -176,7 +209,7 @@ func (r *Registry) parseWithBudget(name string, deadline time.Duration, beam int
 		}
 		members := make([]Measure, len(parts))
 		for i, part := range parts {
-			m, err := r.parseWithBudget(part, deadline, beam)
+			m, err := r.parseResolved(part, deadline, beam, project)
 			if err != nil {
 				return nil, err
 			}

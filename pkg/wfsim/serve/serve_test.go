@@ -1,0 +1,570 @@
+package serve_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/pkg/wfsim"
+	"repro/pkg/wfsim/serve"
+)
+
+// chainWorkflow builds a valid chain workflow over the given module labels.
+func chainWorkflow(id string, labels ...string) *wfsim.Workflow {
+	w := wfsim.NewWorkflow(id)
+	prev := -1
+	for _, l := range labels {
+		i := w.AddModule(&wfsim.Module{Label: l, Type: wfsim.TypeWSDL})
+		if prev >= 0 {
+			_ = w.AddEdge(prev, i)
+		}
+		prev = i
+	}
+	return w
+}
+
+// slowMeasure spends d per pair, so request deadlines have something to cut
+// short.
+type slowMeasure struct{ d time.Duration }
+
+func (m slowMeasure) Name() string { return "slow" }
+func (m slowMeasure) Compare(a, b *wfsim.Workflow) (float64, error) {
+	time.Sleep(m.d)
+	return 0.5, nil
+}
+
+// newTestServer builds an engine over a small corpus and mounts the serve
+// handler on an httptest server.
+func newTestServer(t *testing.T, cfg serve.Config, opts ...wfsim.Option) (*httptest.Server, *wfsim.Engine) {
+	t.Helper()
+	repo, err := wfsim.NewRepository(
+		chainWorkflow("w1", "fetch_sequence", "align_genomes"),
+		chainWorkflow("w2", "fetch_sequence", "render_plot"),
+		chainWorkflow("w3", "call_variants", "export_report"),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := wfsim.New(repo, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(serve.New(eng, cfg))
+	t.Cleanup(ts.Close)
+	return ts, eng
+}
+
+// postJSON posts v as JSON and decodes the response body into out (when
+// non-nil), returning the status code.
+func postJSON(t *testing.T, url string, v any, out any) int {
+	t.Helper()
+	body, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != nil {
+		if err := json.Unmarshal(data, out); err != nil {
+			t.Fatalf("decode response %q: %v", data, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+type wireStats struct {
+	Measure     string  `json:"measure"`
+	Scored      int     `json:"scored"`
+	Skipped     int     `json:"skipped"`
+	CacheHits   int     `json:"cache_hits"`
+	CacheMisses int     `json:"cache_misses"`
+	Generation  uint64  `json:"generation"`
+	ElapsedMS   float64 `json:"elapsed_ms"`
+}
+
+type wireSearch struct {
+	Results []struct {
+		ID         string  `json:"id"`
+		Similarity float64 `json:"similarity"`
+	} `json:"results"`
+	Stats wireStats `json:"stats"`
+	Error string    `json:"error"`
+}
+
+// TestRoundTrip is the service acceptance test: ingest over HTTP (JSON batch
+// and NDJSON stream), then search, duplicates, compare, cluster, fetch and
+// stats all observe the mutations, with every read reporting the generation
+// and cache counters it was served under.
+func TestRoundTrip(t *testing.T) {
+	ts, eng := newTestServer(t, serve.Config{}, wfsim.WithScoreCache(1024), wfsim.WithIndex(1))
+	genBefore := eng.Generation()
+
+	// JSON batch: one add, one replace, one remove — transactional.
+	var br struct {
+		Generation uint64 `json:"generation"`
+		Ops        int    `json:"ops"`
+	}
+	status := postJSON(t, ts.URL+"/v1/workflows:batch", map[string]any{
+		"ops": []map[string]any{
+			{"op": "add", "workflow": chainWorkflow("w4", "fetch_sequence", "annotate_pathways")},
+			{"op": "replace", "workflow": chainWorkflow("w3", "fetch_sequence", "export_report")},
+			{"op": "remove", "id": "w2"},
+		},
+	}, &br)
+	if status != http.StatusOK {
+		t.Fatalf("batch status = %d", status)
+	}
+	if br.Generation != genBefore+1 || br.Ops != 3 {
+		t.Fatalf("batch response = %+v, want generation %d, 3 ops", br, genBefore+1)
+	}
+
+	// NDJSON stream: two more adds in one transactional batch.
+	var nd bytes.Buffer
+	for _, wf := range []*wfsim.Workflow{
+		chainWorkflow("w5", "fetch_sequence", "cluster_expression"),
+		chainWorkflow("w6", "plot_phylogeny", "render_tree"),
+	} {
+		op, _ := json.Marshal(map[string]any{"op": "add", "workflow": wf})
+		nd.Write(op)
+		nd.WriteByte('\n')
+	}
+	resp, err := http.Post(ts.URL+"/v1/workflows:batch", "application/x-ndjson", &nd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("ndjson batch status = %d", resp.StatusCode)
+	}
+
+	// Search by repository ID: w1, w3, w4, w5 share "fetch_sequence".
+	var sr wireSearch
+	if status := postJSON(t, ts.URL+"/v1/search", map[string]any{"query_id": "w1", "k": 10}, &sr); status != http.StatusOK {
+		t.Fatalf("search status = %d (%s)", status, sr.Error)
+	}
+	if sr.Stats.Generation != genBefore+2 {
+		t.Errorf("search generation = %d, want %d", sr.Stats.Generation, genBefore+2)
+	}
+	got := map[string]bool{}
+	for _, r := range sr.Results {
+		got[r.ID] = true
+	}
+	if got["w2"] {
+		t.Error("search served the removed workflow w2")
+	}
+	if !got["w4"] || !got["w5"] {
+		t.Errorf("search misses ingested workflows: %v", got)
+	}
+
+	// Inline-query search: a workflow that never entered the repository.
+	if status := postJSON(t, ts.URL+"/v1/search", map[string]any{
+		"query": chainWorkflow("external", "fetch_sequence", "align_genomes"),
+		"k":     3,
+	}, &sr); status != http.StatusOK {
+		t.Fatalf("inline search status = %d (%s)", status, sr.Error)
+	}
+	if len(sr.Results) == 0 {
+		t.Error("inline search returned nothing")
+	}
+
+	// Duplicates: warm the cache, then verify the repeated call reports
+	// hits — the response carries the call's cache counters.
+	var dr struct {
+		Pairs []struct {
+			A, B       string
+			Similarity float64
+		} `json:"pairs"`
+		Stats wireStats `json:"stats"`
+		Error string    `json:"error"`
+	}
+	pairCount := 5 * 4 / 2 // 5 workflows after the two batches
+	if status := postJSON(t, ts.URL+"/v1/duplicates", map[string]any{"threshold": 0.2}, &dr); status != http.StatusOK {
+		t.Fatalf("duplicates status = %d (%s)", status, dr.Error)
+	}
+	cold := dr.Stats
+	// Earlier searches may have warmed some pairs; every pair is accounted
+	// for either way.
+	if cold.CacheHits+cold.CacheMisses != pairCount {
+		t.Errorf("cold duplicates cache counters = %d/%d, want sum %d", cold.CacheHits, cold.CacheMisses, pairCount)
+	}
+	if status := postJSON(t, ts.URL+"/v1/duplicates", map[string]any{"threshold": 0.2}, &dr); status != http.StatusOK {
+		t.Fatalf("warm duplicates status = %d", status)
+	}
+	if dr.Stats.CacheHits != pairCount || dr.Stats.CacheMisses != 0 {
+		t.Errorf("warm duplicates cache counters = %d/%d, want %d/0",
+			dr.Stats.CacheHits, dr.Stats.CacheMisses, pairCount)
+	}
+
+	// Compare and cluster.
+	var cr struct {
+		Scores []struct {
+			Measure    string  `json:"measure"`
+			Similarity float64 `json:"similarity"`
+			Error      string  `json:"error"`
+		} `json:"scores"`
+		Generation uint64 `json:"generation"`
+	}
+	if status := postJSON(t, ts.URL+"/v1/compare", map[string]any{
+		"a_id": "w1", "b_id": "w4", "measures": []string{"MS_pll", "BW"},
+	}, &cr); status != http.StatusOK {
+		t.Fatalf("compare status = %d", status)
+	}
+	if len(cr.Scores) != 2 || cr.Generation != genBefore+2 {
+		t.Errorf("compare response = %+v", cr)
+	}
+	var cl struct {
+		Clusters   [][]string `json:"clusters"`
+		Generation uint64     `json:"generation"`
+	}
+	if status := postJSON(t, ts.URL+"/v1/cluster", map[string]any{"measure": "MS_pll"}, &cl); status != http.StatusOK {
+		t.Fatalf("cluster status = %d", status)
+	}
+	members := 0
+	for _, c := range cl.Clusters {
+		members += len(c)
+	}
+	if members != 5 {
+		t.Errorf("clustering covers %d workflows, want 5", members)
+	}
+
+	// Fetch one workflow; then a miss.
+	resp, err = http.Get(ts.URL + "/v1/workflows/w4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wf wfsim.Workflow
+	if err := json.NewDecoder(resp.Body).Decode(&wf); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || wf.ID != "w4" || len(wf.Modules) != 2 {
+		t.Errorf("workflow fetch: status %d, wf %+v", resp.StatusCode, wf)
+	}
+	resp, err = http.Get(ts.URL + "/v1/workflows/no-such-id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("missing workflow status = %d, want 404", resp.StatusCode)
+	}
+
+	// Stats reflect the mutation stream.
+	var st struct {
+		Generation uint64 `json:"generation"`
+		Workflows  int    `json:"workflows"`
+		Batches    int64  `json:"batches"`
+		OpsApplied int64  `json:"ops_applied"`
+	}
+	resp, err = http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if st.Generation != genBefore+2 || st.Workflows != 5 || st.Batches != 2 || st.OpsApplied != 5 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+// TestBatchTransactionality: a batch with one bad op must change nothing and
+// come back as a conflict.
+func TestBatchTransactionality(t *testing.T) {
+	ts, eng := newTestServer(t, serve.Config{})
+	genBefore := eng.Generation()
+
+	var er struct {
+		Error string `json:"error"`
+	}
+	status := postJSON(t, ts.URL+"/v1/workflows:batch", map[string]any{
+		"ops": []map[string]any{
+			{"op": "add", "workflow": chainWorkflow("w9", "ok_module")},
+			{"op": "remove", "id": "no-such-id"},
+		},
+	}, &er)
+	if status != http.StatusConflict || er.Error == "" {
+		t.Errorf("bad batch: status %d, error %q", status, er.Error)
+	}
+	if eng.Generation() != genBefore {
+		t.Error("failed batch bumped the generation")
+	}
+	if eng.Workflow("w9") != nil {
+		t.Error("failed batch partially applied")
+	}
+
+	// A duplicate-ID add is a conflict too (stale client state, retryable
+	// after a refetch)...
+	if status := postJSON(t, ts.URL+"/v1/workflows:batch", map[string]any{
+		"ops": []map[string]any{{"op": "add", "workflow": chainWorkflow("w1", "dup_module")}},
+	}, nil); status != http.StatusConflict {
+		t.Errorf("duplicate add: status %d, want 409", status)
+	}
+	// ...while malformed batches are 400s — retrying them can never succeed.
+	for name, body := range map[string]any{
+		"empty batch": map[string]any{"ops": []any{}},
+		"unknown op":  map[string]any{"ops": []map[string]any{{"op": "upsert", "id": "w1"}}},
+		"add sans wf": map[string]any{"ops": []map[string]any{{"op": "add"}}},
+		"invalid wf": map[string]any{"ops": []map[string]any{{"op": "add", "workflow": map[string]any{
+			"id":      "bad",
+			"modules": []map[string]any{{"id": "m1", "label": "x", "type": "wsdl"}},
+			"edges":   []map[string]any{{"from": 0, "to": 9}},
+		}}}},
+	} {
+		if status := postJSON(t, ts.URL+"/v1/workflows:batch", body, nil); status != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", name, status)
+		}
+	}
+	if resp, err := http.Post(ts.URL+"/v1/workflows:batch", "application/json", strings.NewReader("{not json")); err == nil {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("malformed JSON: status %d", resp.StatusCode)
+		}
+	}
+}
+
+// TestRequestValidation covers read-path input errors.
+func TestRequestValidation(t *testing.T) {
+	ts, _ := newTestServer(t, serve.Config{})
+	cases := []struct {
+		path string
+		body any
+	}{
+		{"/v1/search", map[string]any{}},                                            // neither query_id nor query
+		{"/v1/search", map[string]any{"query_id": "w1", "query": map[string]any{}}}, // both
+		{"/v1/search", map[string]any{"query_id": "no-such-id"}},
+		{"/v1/search", map[string]any{"query_id": "w1", "measure": "XX_bogus"}},
+		{"/v1/search", map[string]any{"query_id": "w1", "bogus_field": 1}},
+		{"/v1/duplicates", map[string]any{"threshold": 0.0}},
+		{"/v1/duplicates", map[string]any{"threshold": 1.5}},
+		{"/v1/compare", map[string]any{"a_id": "w1"}},
+		{"/v1/compare", map[string]any{"a_id": "w1", "b_id": "no-such-id"}},
+		{"/v1/cluster", map[string]any{"measure": "nope_nope"}},
+	}
+	for _, c := range cases {
+		var er struct {
+			Error string `json:"error"`
+		}
+		if status := postJSON(t, ts.URL+c.path, c.body, &er); status != http.StatusBadRequest {
+			t.Errorf("%s %v: status %d (%s), want 400", c.path, c.body, status, er.Error)
+		}
+	}
+}
+
+// TestDeadlineBoundsResponse: a request deadline bounds the whole call — a
+// scan over a deliberately slow measure is cut off near the deadline instead
+// of running to completion, and reports a timeout.
+func TestDeadlineBoundsResponse(t *testing.T) {
+	ts, _ := newTestServer(t, serve.Config{},
+		wfsim.WithMeasure("slow", slowMeasure{d: 300 * time.Millisecond}))
+
+	start := time.Now()
+	var sr wireSearch
+	status := postJSON(t, ts.URL+"/v1/search", map[string]any{
+		"query_id": "w1", "measure": "slow", "deadline_ms": 100,
+	}, &sr)
+	elapsed := time.Since(start)
+	if status != http.StatusGatewayTimeout {
+		t.Errorf("slow search under 100ms deadline: status %d (%s), want 504", status, sr.Error)
+	}
+	// 3 pairs x 300ms = 900ms unbounded; the deadline must cut the scan off
+	// long before that (generous slack for CI schedulers).
+	if elapsed > 700*time.Millisecond {
+		t.Errorf("deadline ignored: call took %v", elapsed)
+	}
+}
+
+// TestDeadlineClampsGEDBudget: the per-request deadline tightens the
+// engine's per-pair GED budget — a graph-edit-distance search under a tiny
+// deadline returns promptly (all pairs failed fast and were skipped, or the
+// call timed out), never taking anywhere near the engine's own generous GED
+// budget.
+func TestDeadlineClampsGEDBudget(t *testing.T) {
+	ts, _ := newTestServer(t, serve.Config{},
+		wfsim.WithGEDBudget(60*time.Second, 1<<14))
+
+	// Generous deadline: GED completes and scores the corpus.
+	var sr wireSearch
+	if status := postJSON(t, ts.URL+"/v1/search", map[string]any{
+		"query_id": "w1", "measure": "GE_ip_te_pll", "deadline_ms": 10_000,
+	}, &sr); status != http.StatusOK {
+		t.Fatalf("GED search status = %d (%s)", status, sr.Error)
+	}
+	if sr.Stats.Measure != "GE_ip_te_pll" || len(sr.Results) == 0 {
+		t.Errorf("GED search = %+v", sr)
+	}
+
+	// Ingest two large workflows whose pairwise GED at beam width 2^14 is
+	// far beyond a 50ms budget, then search under a 50ms deadline: the
+	// clamped per-pair budget makes expensive pairs fail fast (skipped), or
+	// the call context expires between pairs — either way the response is
+	// bounded by the deadline, not by the engine's 60s GED budget.
+	big := func(id string) *wfsim.Workflow {
+		labels := make([]string, 60)
+		for i := range labels {
+			labels[i] = fmt.Sprintf("%s_stage_%c%c", id, 'a'+i%26, 'a'+(i*7)%26)
+		}
+		return chainWorkflow(id, labels...)
+	}
+	if status := postJSON(t, ts.URL+"/v1/workflows:batch", map[string]any{
+		"ops": []map[string]any{
+			{"op": "add", "workflow": big("big1")},
+			{"op": "add", "workflow": big("big2")},
+		},
+	}, nil); status != http.StatusOK {
+		t.Fatalf("big ingest status = %d", status)
+	}
+	start := time.Now()
+	status := postJSON(t, ts.URL+"/v1/search", map[string]any{
+		"query_id": "big1", "measure": "GE_ip_te_pll", "deadline_ms": 50,
+	}, &sr)
+	elapsed := time.Since(start)
+	if elapsed > 5*time.Second {
+		t.Errorf("tiny deadline: call took %v, GED budget not clamped", elapsed)
+	}
+	switch status {
+	case http.StatusGatewayTimeout: // context expired mid-scan
+	case http.StatusOK: // expensive pairs timed out per-pair and were skipped
+		if sr.Stats.Skipped == 0 {
+			t.Errorf("tiny deadline scored every pair normally: %+v", sr.Stats)
+		}
+	default:
+		t.Errorf("tiny deadline status = %d (%s)", status, sr.Error)
+	}
+}
+
+// TestConcurrentIngestAndSearch hammers the service with writers posting
+// transactional batches while readers search and fetch stats; under -race
+// this is the service-level torn-state detector. Every response must report
+// a generation at least as new as any generation observed before the request
+// was issued.
+func TestConcurrentIngestAndSearch(t *testing.T) {
+	ts, eng := newTestServer(t, serve.Config{},
+		wfsim.WithIndex(1), wfsim.WithScoreCache(512), wfsim.WithRepositoryKnowledge(0))
+	genStart := eng.Generation()
+
+	const writers, readers, rounds = 3, 4, 15
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+
+	for wr := 0; wr < writers; wr++ {
+		wg.Add(1)
+		go func(wr int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				id := fmt.Sprintf("w%d-r%d", wr, i)
+				status := postJSON(t, ts.URL+"/v1/workflows:batch", map[string]any{
+					"ops": []map[string]any{
+						{"op": "add", "workflow": chainWorkflow(id, "fetch_sequence", fmt.Sprintf("step_%d_%d", wr, i))},
+					},
+				}, nil)
+				if status != http.StatusOK {
+					t.Errorf("writer %d round %d: status %d", wr, i, status)
+					return
+				}
+			}
+		}(wr)
+	}
+
+	for rd := 0; rd < readers; rd++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				genBefore := eng.Generation()
+				var sr wireSearch
+				status := postJSON(t, ts.URL+"/v1/search", map[string]any{"query_id": "w1", "k": 5}, &sr)
+				if status != http.StatusOK {
+					t.Errorf("reader: status %d (%s)", status, sr.Error)
+					return
+				}
+				// Snapshots are pinned after genBefore was observed and
+				// generations are monotone: serving an older snapshot would
+				// be a torn read.
+				if sr.Stats.Generation < genBefore {
+					t.Errorf("response generation %d older than pre-request generation %d", sr.Stats.Generation, genBefore)
+					return
+				}
+				for _, res := range sr.Results {
+					if res.ID == "" || res.Similarity < 0 || res.Similarity > 1 {
+						t.Errorf("torn result: %+v", res)
+						return
+					}
+				}
+			}
+		}()
+	}
+
+	// Writers finish first; then release the readers.
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	for {
+		var st struct {
+			Batches int64 `json:"batches"`
+		}
+		resp, err := http.Get(ts.URL + "/v1/stats")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if st.Batches >= writers*rounds {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	close(stop)
+	<-done
+
+	if got, want := eng.Generation(), genStart+writers*rounds; got != want {
+		t.Errorf("final generation = %d, want %d (one bump per batch)", got, want)
+	}
+	if got, want := eng.Snapshot().Size(), 3+writers*rounds; got != want {
+		t.Errorf("final corpus size = %d, want %d", got, want)
+	}
+}
+
+// TestHealthz: liveness reports status and generation.
+func TestHealthz(t *testing.T) {
+	ts, eng := newTestServer(t, serve.Config{})
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var h struct {
+		Status     string `json:"status"`
+		Generation uint64 `json:"generation"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK || h.Status != "ok" || h.Generation != eng.Generation() {
+		t.Errorf("healthz = %d %+v", resp.StatusCode, h)
+	}
+}

@@ -61,6 +61,17 @@ const (
 	TypeUnknown       = workflow.TypeUnknown
 )
 
+// Sentinel mutation errors, re-exported for errors.Is discrimination:
+// Apply (and direct Repository mutation) failures wrap these, so callers —
+// e.g. an HTTP layer separating conflicts from malformed requests — don't
+// need to match error strings.
+var (
+	// ErrNotFound: a remove/replace named an ID the repository lacks.
+	ErrNotFound = corpus.ErrNotFound
+	// ErrDuplicateID: an add reused an existing workflow ID.
+	ErrDuplicateID = corpus.ErrDuplicateID
+)
+
 // NewWorkflow returns an empty workflow with the given repository ID.
 func NewWorkflow(id string) *Workflow { return workflow.New(id) }
 

@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Smoke test for the wfsimd HTTP service: start an empty server, ingest a
+# three-workflow fixture corpus over the NDJSON batch endpoint, run one
+# search, and assert a 200 with non-empty results naming the expected twin.
+# Run from the repository root: ./scripts/smoke_wfsimd.sh
+set -euo pipefail
+
+ADDR="127.0.0.1:${WFSIMD_SMOKE_PORT:-8791}"
+BIN="$(mktemp -d)/wfsimd"
+
+go build -o "$BIN" ./cmd/wfsimd
+"$BIN" -addr "$ADDR" -index -cache 4096 &
+PID=$!
+trap 'kill "$PID" 2>/dev/null || true' EXIT
+
+for _ in $(seq 1 50); do
+  if curl -fsS "http://$ADDR/healthz" >/dev/null 2>&1; then break; fi
+  sleep 0.2
+done
+curl -fsS "http://$ADDR/healthz" >/dev/null || { echo "smoke: server never became healthy" >&2; exit 1; }
+
+# Fixture corpus: a and b share a module label; c is unrelated.
+curl -fsS -X POST -H 'Content-Type: application/x-ndjson' --data-binary @- \
+  "http://$ADDR/v1/workflows:batch" <<'EOF' >/dev/null
+{"op":"add","workflow":{"id":"a","annotations":{"title":"blast a"},"modules":[{"id":"m1","label":"fetch_sequence","type":"wsdl"},{"id":"m2","label":"run_blast","type":"wsdl"}],"edges":[{"from":0,"to":1}]}}
+{"op":"add","workflow":{"id":"b","annotations":{"title":"blast b"},"modules":[{"id":"m1","label":"fetch_sequence","type":"wsdl"},{"id":"m2","label":"plot_hits","type":"wsdl"}],"edges":[{"from":0,"to":1}]}}
+{"op":"add","workflow":{"id":"c","annotations":{"title":"imaging"},"modules":[{"id":"m1","label":"load_image","type":"tool"},{"id":"m2","label":"segment_cells","type":"tool"}],"edges":[{"from":0,"to":1}]}}
+EOF
+
+OUT=$(curl -fsS -X POST -H 'Content-Type: application/json' \
+  -d '{"query_id":"a","k":5,"deadline_ms":5000}' \
+  "http://$ADDR/v1/search")
+echo "smoke: search response: $OUT"
+echo "$OUT" | grep -q '"id":"b"' || { echo "smoke: search results missing expected hit b" >&2; exit 1; }
+echo "$OUT" | grep -q '"generation":1' || { echo "smoke: response does not report the ingest generation" >&2; exit 1; }
+echo "smoke: OK"
