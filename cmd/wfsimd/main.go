@@ -6,13 +6,20 @@
 //
 // Usage:
 //
-//	wfsimd [-addr :8080] [-corpus corpus.json] [-index] [-min-shared 1]
-//	       [-cache 65536] [-repoknow] [-threshold 0.5] [-measure NAME]
-//	       [-concurrency N] [-default-deadline 30s] [-max-deadline 2m]
+//	wfsimd [-addr :8080] [-corpus corpus.json] [-data DIR] [-index]
+//	       [-min-shared 1] [-cache 65536] [-repoknow] [-threshold 0.5]
+//	       [-measure NAME] [-concurrency N] [-default-deadline 30s]
+//	       [-max-deadline 2m] [-compact-bytes N] [-compact-records N]
 //
 // Without -corpus the service starts over an empty repository and is
-// populated through POST /v1/workflows:batch. See the package documentation
-// of repro/pkg/wfsim/serve for the endpoint reference.
+// populated through POST /v1/workflows:batch. With -data the repository is
+// durable: every committed batch is written to an append-only mutation log
+// in DIR before it is applied, the log is periodically compacted into
+// snapshots, and a restart recovers the corpus to the last committed
+// generation (replaying the log tail, tolerating a torn final record).
+// -corpus may only be combined with a -data directory that holds no state
+// yet; the preload then becomes the baseline snapshot. See the package
+// documentation of repro/pkg/wfsim/serve for the endpoint reference.
 package main
 
 import (
@@ -42,6 +49,9 @@ func run(args []string) error {
 	fs := flag.NewFlagSet("wfsimd", flag.ExitOnError)
 	addr := fs.String("addr", ":8080", "listen address")
 	corpusPath := fs.String("corpus", "", "corpus JSON to serve (empty repository when omitted)")
+	dataDir := fs.String("data", "", "data directory for durable storage (RAM-only when omitted)")
+	compactBytes := fs.Int64("compact-bytes", 0, "compact the mutation log past this many bytes (0 = default 8 MiB)")
+	compactRecords := fs.Int("compact-records", 0, "compact the mutation log past this many records (0 = default 4096)")
 	useIndex := fs.Bool("index", false, "enable filter-and-refine inverted-index acceleration")
 	minShared := fs.Int("min-shared", 1, "index candidate threshold (shared canonical labels)")
 	cacheSize := fs.Int("cache", 1<<16, "pairwise score cache entries (0 disables)")
@@ -52,6 +62,19 @@ func run(args []string) error {
 	defaultDeadline := fs.Duration("default-deadline", 30*time.Second, "per-request deadline when the client sends none")
 	maxDeadline := fs.Duration("max-deadline", 2*time.Minute, "cap on client-requested deadlines")
 	fs.Parse(args)
+
+	if *corpusPath != "" && *dataDir != "" {
+		// A preload into a directory that already recovered state would
+		// silently double-load (or be shadowed by) the stored corpus;
+		// require an explicit choice instead.
+		has, err := wfsim.HasStoredState(*dataDir)
+		if err != nil {
+			return fmt.Errorf("inspect -data directory: %w", err)
+		}
+		if has {
+			return fmt.Errorf("-corpus %s conflicts with -data %s: the data directory already holds a stored corpus; drop -corpus to serve the stored state, or point -data at a fresh directory to preload", *corpusPath, *dataDir)
+		}
+	}
 
 	var repo *wfsim.Repository
 	var err error
@@ -68,6 +91,12 @@ func run(args []string) error {
 	}
 
 	var opts []wfsim.Option
+	if *dataDir != "" {
+		opts = append(opts, wfsim.WithStorage(*dataDir,
+			wfsim.StorageCompaction(*compactBytes, *compactRecords),
+			wfsim.StorageWarnings(log.Printf),
+		))
+	}
 	if *useIndex {
 		opts = append(opts, wfsim.WithIndex(*minShared))
 	}
@@ -86,6 +115,11 @@ func run(args []string) error {
 	eng, err := wfsim.New(repo, opts...)
 	if err != nil {
 		return err
+	}
+	if st, ok := eng.StorageStats(); ok {
+		log.Printf("wfsimd: recovered %d workflows at generation %d from %s (snapshot gen %d, %d log records replayed, %d warm cache entries)",
+			st.Recovery.Workflows, st.Recovery.Generation, st.Dir,
+			st.Recovery.SnapshotGeneration, st.Recovery.ReplayedRecords, st.WarmCacheEntries)
 	}
 
 	srv := serve.New(eng, serve.Config{
@@ -120,6 +154,11 @@ func run(args []string) error {
 	}
 	if err := <-errc; !errors.Is(err, http.ErrServerClosed) {
 		return err
+	}
+	// In-flight mutations are done (the listener is drained): flush a final
+	// snapshot and the warm score cache so the next boot replays nothing.
+	if err := eng.Close(); err != nil {
+		return fmt.Errorf("flush storage: %w", err)
 	}
 	return nil
 }

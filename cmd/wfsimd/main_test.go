@@ -1,0 +1,46 @@
+package main
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"repro/pkg/wfsim"
+)
+
+// seedDataDir commits one workflow into dir so it holds stored state.
+func seedDataDir(t *testing.T, dir string) {
+	t.Helper()
+	repo, err := wfsim.NewRepository()
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := wfsim.New(repo, wfsim.WithStorage(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := wfsim.NewWorkflow("seed")
+	w.AddModule(&wfsim.Module{Label: "seed_step", Type: wfsim.TypeWSDL})
+	if _, err := eng.Apply(context.Background(), wfsim.AddWorkflow(w)); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRunRejectsPreloadIntoStatefulDataDir: -corpus combined with a -data
+// directory that already holds a stored corpus must fail fast with a clear
+// error instead of double-loading.
+func TestRunRejectsPreloadIntoStatefulDataDir(t *testing.T) {
+	dir := t.TempDir()
+	seedDataDir(t, dir)
+
+	err := run([]string{"-corpus", "whatever.json", "-data", dir, "-addr", "127.0.0.1:0"})
+	if err == nil {
+		t.Fatal("run accepted -corpus with a stateful -data directory")
+	}
+	if !strings.Contains(err.Error(), "already holds a stored corpus") {
+		t.Fatalf("conflict error %q does not explain the preload conflict", err)
+	}
+}

@@ -81,6 +81,37 @@ type Repository struct {
 	byID      map[string]*workflow.Workflow
 	gen       atomic.Uint64
 	snap      atomic.Pointer[Snapshot]
+	hook      CommitHook
+}
+
+// CommitHook intercepts mutations inside the transaction boundary: it is
+// called after a batch has fully validated but before any in-memory state
+// changes, with the generation the batch will commit under and the ops it
+// contains. A non-nil error aborts the commit and leaves the repository
+// untouched — this is how a write-ahead log makes the in-memory commit
+// conditional on durability. The hook runs under the repository's write
+// lock: it must not call back into the repository.
+type CommitHook func(gen uint64, ops []Op) error
+
+// SetCommitHook installs (or, with nil, removes) the repository's commit
+// hook. It applies to all mutation paths: Add, Remove, Replace and
+// ApplyBatch all fire it exactly once per committed transaction.
+func (r *Repository) SetCommitHook(h CommitHook) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.hook = h
+}
+
+// fireHookLocked invokes the commit hook, if any, for a validated batch
+// about to commit under the next generation.
+func (r *Repository) fireHookLocked(ops []Op) error {
+	if r.hook == nil {
+		return nil
+	}
+	if err := r.hook(r.gen.Load()+1, ops); err != nil {
+		return fmt.Errorf("corpus: commit hook: %w", err)
+	}
+	return nil
 }
 
 // NewRepository builds a repository from the given workflows.
@@ -139,9 +170,13 @@ func (r *Repository) Add(wf *workflow.Workflow) error {
 	if r.byID == nil {
 		r.byID = map[string]*workflow.Workflow{}
 	}
-	if err := r.addLocked(wf); err != nil {
+	if err := r.checkAddable(wf, r.byID); err != nil {
+		return fmt.Errorf("corpus: %w", err)
+	}
+	if err := r.fireHookLocked([]Op{{Kind: OpAdd, ID: wf.ID, Workflow: wf}}); err != nil {
 		return err
 	}
+	_ = r.addLocked(wf) // validated above
 	r.invalidateLocked()
 	return nil
 }
@@ -150,9 +185,13 @@ func (r *Repository) Add(wf *workflow.Workflow) error {
 func (r *Repository) Remove(id string) error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if err := r.removeLocked(id); err != nil {
+	if _, ok := r.byID[id]; !ok {
+		return fmt.Errorf("corpus: workflow %q %w (repository size %d)", id, ErrNotFound, len(r.workflows))
+	}
+	if err := r.fireHookLocked([]Op{{Kind: OpRemove, ID: id}}); err != nil {
 		return err
 	}
+	_ = r.removeLocked(id) // validated above
 	r.invalidateLocked()
 	return nil
 }
@@ -177,9 +216,16 @@ func (r *Repository) removeLocked(id string) error {
 func (r *Repository) Replace(wf *workflow.Workflow) error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if err := r.replaceLocked(wf); err != nil {
+	if wf == nil {
+		return fmt.Errorf("corpus: nil workflow (repository size %d)", len(r.workflows))
+	}
+	if _, ok := r.byID[wf.ID]; !ok {
+		return fmt.Errorf("corpus: workflow %q %w (repository size %d)", wf.ID, ErrNotFound, len(r.workflows))
+	}
+	if err := r.fireHookLocked([]Op{{Kind: OpReplace, ID: wf.ID, Workflow: wf}}); err != nil {
 		return err
 	}
+	_ = r.replaceLocked(wf) // validated above
 	r.invalidateLocked()
 	return nil
 }
@@ -264,6 +310,11 @@ func (r *Repository) ApplyBatch(ops []Op) (uint64, error) {
 			return 0, fmt.Errorf("corpus: batch op %d: invalid op kind %d", i, op.Kind)
 		}
 	}
+	// The batch is fully validated: give the commit hook (e.g. a write-ahead
+	// log) its one chance to veto before any in-memory state changes.
+	if err := r.fireHookLocked(ops); err != nil {
+		return 0, err
+	}
 	// Commit pass: every op was validated against its staged state, so the
 	// mirrored mutations cannot fail.
 	for _, op := range ops {
@@ -277,6 +328,31 @@ func (r *Repository) ApplyBatch(ops []Op) (uint64, error) {
 		}
 	}
 	return r.invalidateLocked(), nil
+}
+
+// Restore replaces the contents and generation of an empty, never-mutated
+// repository with a recovered state — the boot path of a storage layer that
+// loaded a snapshot and replayed a mutation log. It does not fire the
+// commit hook (the restored state is by definition already durable) and
+// fails on a repository that has any workflows or a non-zero generation.
+func (r *Repository) Restore(gen uint64, wfs ...*workflow.Workflow) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.workflows) != 0 || r.gen.Load() != 0 {
+		return fmt.Errorf("corpus: Restore into non-empty repository (size %d, generation %d)", len(r.workflows), r.gen.Load())
+	}
+	byID := make(map[string]*workflow.Workflow, len(wfs))
+	for _, wf := range wfs {
+		if err := r.checkAddable(wf, byID); err != nil {
+			return fmt.Errorf("corpus: restore: %w", err)
+		}
+		byID[wf.ID] = wf
+	}
+	r.workflows = append([]*workflow.Workflow(nil), wfs...)
+	r.byID = byID
+	r.gen.Store(gen)
+	r.snap.Store(nil)
+	return nil
 }
 
 // Snapshot pins the current immutable view of the repository. The snapshot

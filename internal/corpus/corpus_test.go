@@ -2,6 +2,7 @@ package corpus
 
 import (
 	"bytes"
+	"errors"
 	"path/filepath"
 	"reflect"
 	"strings"
@@ -208,5 +209,116 @@ func TestSaveLoadFile(t *testing.T) {
 	}
 	if _, err := LoadFile(filepath.Join(dir, "missing.json")); err == nil {
 		t.Error("missing file accepted")
+	}
+}
+
+func TestCommitHookSeesEveryMutation(t *testing.T) {
+	r, err := NewRepository()
+	if err != nil {
+		t.Fatal(err)
+	}
+	type call struct {
+		gen uint64
+		ops []Op
+	}
+	var calls []call
+	r.SetCommitHook(func(gen uint64, ops []Op) error {
+		calls = append(calls, call{gen, ops})
+		return nil
+	})
+	if err := r.Add(sample("1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Replace(sample("1")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.ApplyBatch([]Op{
+		{Kind: OpAdd, ID: "2", Workflow: sample("2")},
+		{Kind: OpRemove, ID: "1"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Remove("2"); err != nil {
+		t.Fatal(err)
+	}
+	if len(calls) != 4 {
+		t.Fatalf("hook fired %d times, want 4", len(calls))
+	}
+	for i, c := range calls {
+		if c.gen != uint64(i+1) {
+			t.Errorf("call %d carries generation %d, want %d", i, c.gen, i+1)
+		}
+	}
+	if len(calls[2].ops) != 2 {
+		t.Errorf("batch hook got %d ops, want 2", len(calls[2].ops))
+	}
+	if calls[1].ops[0].Kind != OpReplace || calls[3].ops[0].Kind != OpRemove {
+		t.Errorf("hook op kinds wrong: %+v / %+v", calls[1].ops, calls[3].ops)
+	}
+}
+
+func TestCommitHookErrorAbortsCommit(t *testing.T) {
+	r, err := NewRepository(sample("1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	genBefore := r.Generation()
+	hookErr := errors.New("denied")
+	r.SetCommitHook(func(uint64, []Op) error {
+		return hookErr
+	})
+	if err := r.Add(sample("2")); err == nil || !strings.Contains(err.Error(), "denied") {
+		t.Fatalf("Add with failing hook: %v", err)
+	}
+	if _, err := r.ApplyBatch([]Op{{Kind: OpRemove, ID: "1"}}); err == nil {
+		t.Fatal("ApplyBatch with failing hook succeeded")
+	}
+	if r.Generation() != genBefore || r.Size() != 1 || r.Get("2") != nil {
+		t.Fatalf("aborted commit leaked state: gen %d size %d", r.Generation(), r.Size())
+	}
+	// Validation failures must surface before the hook is consulted.
+	fired := false
+	r.SetCommitHook(func(uint64, []Op) error { fired = true; return nil })
+	if err := r.Add(sample("1")); err == nil {
+		t.Fatal("duplicate add accepted")
+	}
+	if fired {
+		t.Fatal("hook fired for a mutation that failed validation")
+	}
+}
+
+func TestRestoreOnlyOnFreshRepository(t *testing.T) {
+	r, err := NewRepository()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fired := false
+	r.SetCommitHook(func(uint64, []Op) error { fired = true; return nil })
+	if err := r.Restore(7, sample("1"), sample("2")); err != nil {
+		t.Fatal(err)
+	}
+	if fired {
+		t.Fatal("Restore fired the commit hook; recovery must not re-log itself")
+	}
+	if r.Generation() != 7 || r.Size() != 2 {
+		t.Fatalf("restored gen %d size %d, want 7/2", r.Generation(), r.Size())
+	}
+	if got := r.IDs(); !reflect.DeepEqual(got, []string{"1", "2"}) {
+		t.Fatalf("restored IDs %v", got)
+	}
+	if err := r.Restore(9, sample("3")); err == nil {
+		t.Fatal("second Restore accepted on a non-fresh repository")
+	}
+	r2, _ := NewRepository(sample("1"))
+	if err := r2.Restore(1, sample("2")); err == nil {
+		t.Fatal("Restore accepted on a pre-populated repository")
+	}
+	// Restore validates its input like any other mutation path.
+	r3, _ := NewRepository()
+	if err := r3.Restore(1, sample("dup"), sample("dup")); err == nil {
+		t.Fatal("Restore accepted duplicate IDs")
+	}
+	if r3.Size() != 0 || r3.Generation() != 0 {
+		t.Fatal("failed Restore mutated the repository")
 	}
 }

@@ -158,6 +158,32 @@ func (c *Cache) Len() int {
 	return n
 }
 
+// Entry is one cached score, as enumerated by Export.
+type Entry struct {
+	Key   Key
+	Score float64
+}
+
+// Export returns the cached entries whose keys satisfy keep (nil keeps
+// everything), in unspecified order — the serialization point for warm
+// cache persistence. It holds each shard's lock only while copying that
+// shard and does not update recency.
+func (c *Cache) Export(keep func(Key) bool) []Entry {
+	var out []Entry
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		for el := s.lru.Front(); el != nil; el = el.Next() {
+			ent := el.Value.(*cacheEntry)
+			if keep == nil || keep(ent.key) {
+				out = append(out, Entry{Key: ent.key, Score: ent.score})
+			}
+		}
+		s.mu.Unlock()
+	}
+	return out
+}
+
 // Stats reports cumulative hit/miss counters since construction.
 type Stats struct {
 	Hits   uint64 `json:"hits"`

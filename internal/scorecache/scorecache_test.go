@@ -113,3 +113,28 @@ func TestDefaultSize(t *testing.T) {
 		t.Errorf("default capacity too small: %d", c.perShardCap*shardCount)
 	}
 }
+
+func TestExportFiltersWithoutTouchingRecency(t *testing.T) {
+	c := New(64)
+	for i := 0; i < 8; i++ {
+		gen := uint64(i % 2)
+		c.Put(PairKey("MS", fmt.Sprint(i), "q", gen, 0), float64(i)/10)
+	}
+	all := c.Export(nil)
+	if len(all) != 8 {
+		t.Fatalf("Export(nil) returned %d entries, want 8", len(all))
+	}
+	gen1 := c.Export(func(k Key) bool { return k.Gen == 1 })
+	if len(gen1) != 4 {
+		t.Fatalf("filtered export returned %d entries, want 4", len(gen1))
+	}
+	for _, e := range gen1 {
+		if e.Key.Gen != 1 {
+			t.Fatalf("filter leaked entry %+v", e)
+		}
+	}
+	// Export is a read: hit/miss counters stay untouched.
+	if st := c.Stats(); st.Hits != 0 || st.Misses != 0 {
+		t.Errorf("Export moved counters: %+v", st)
+	}
+}

@@ -1,0 +1,75 @@
+package storage
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// cacheName is the warm score-cache file within a data directory.
+const cacheName = "scorecache.warm"
+
+// cacheMagic identifies (and versions) the warm-cache file format.
+const cacheMagic = "wfsimsc1"
+
+// CachedScore is one persisted pairwise similarity score. The workflow IDs
+// are in the canonical (sorted) order the score cache keys by.
+type CachedScore struct {
+	Measure string  `json:"m"`
+	A       string  `json:"a"`
+	B       string  `json:"b"`
+	Score   float64 `json:"s"`
+}
+
+// cachePayload is the warm-cache file contents. Entries are only valid for
+// the exact repository generation they were computed under and the same
+// projection configuration (Sig), both checked at load time — a restart
+// with different flags or a log replay past Gen silently discards them,
+// trading warmth for correctness.
+type cachePayload struct {
+	Gen     uint64        `json:"gen"`
+	Sig     string        `json:"sig"`
+	Entries []CachedScore `json:"entries"`
+}
+
+// SaveScoreCache durably writes warm score-cache entries computed at gen
+// under the projection configuration described by sig.
+func (s *Store) SaveScoreCache(gen uint64, sig string, entries []CachedScore) error {
+	payload, err := json.Marshal(cachePayload{Gen: gen, Sig: sig, Entries: entries})
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	return writeFileAtomic(filepath.Join(s.dir, cacheName), cacheMagic, payload)
+}
+
+// LoadScoreCache returns the persisted warm entries if they match the
+// recovered generation gen and projection signature sig; ok is false when
+// the file is absent, unreadable, or stale. Warmth is an optimization, so
+// every failure mode degrades to a cold cache, never an error.
+func (s *Store) LoadScoreCache(gen uint64, sig string) (entries []CachedScore, ok bool) {
+	path := filepath.Join(s.dir, cacheName)
+	payload, err := readFileFrame(path, cacheMagic)
+	if err != nil {
+		if !os.IsNotExist(err) {
+			s.opts.Warnf("storage: ignoring unreadable warm cache %s: %v", cacheName, err)
+		}
+		return nil, false
+	}
+	var cp cachePayload
+	if err := json.Unmarshal(payload, &cp); err != nil {
+		s.opts.Warnf("storage: ignoring undecodable warm cache %s: %v", cacheName, err)
+		return nil, false
+	}
+	if cp.Gen != gen || cp.Sig != sig {
+		s.opts.Warnf("storage: ignoring stale warm cache %s: %v", cacheName,
+			fmt.Sprintf("generation %d / sig %q, want %d / %q", cp.Gen, cp.Sig, gen, sig))
+		return nil, false
+	}
+	return cp.Entries, true
+}

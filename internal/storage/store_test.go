@@ -1,0 +1,275 @@
+package storage
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/corpus"
+	"repro/internal/workflow"
+)
+
+// wf builds a minimal valid workflow with one labeled module.
+func wf(id, label string) *workflow.Workflow {
+	w := workflow.New(id)
+	w.Annotations.Title = "title " + id
+	w.AddModule(&workflow.Module{ID: "m1", Label: label, Type: workflow.TypeWSDL})
+	return w
+}
+
+func addOp(w *workflow.Workflow) corpus.Op {
+	return corpus.Op{Kind: corpus.OpAdd, ID: w.ID, Workflow: w}
+}
+
+func mustOpen(t *testing.T, dir string, opts Options) (*Store, []*workflow.Workflow, uint64) {
+	t.Helper()
+	s, wfs, gen, err := Open(dir, opts)
+	if err != nil {
+		t.Fatalf("Open(%s): %v", dir, err)
+	}
+	return s, wfs, gen
+}
+
+func ids(wfs []*workflow.Workflow) []string {
+	out := make([]string, len(wfs))
+	for i, w := range wfs {
+		out[i] = w.ID
+	}
+	return out
+}
+
+func TestOpenEmptyDirectory(t *testing.T) {
+	dir := t.TempDir()
+	s, wfs, gen := mustOpen(t, dir, Options{})
+	defer s.Close()
+	if len(wfs) != 0 || gen != 0 {
+		t.Fatalf("fresh store recovered %d workflows at generation %d, want empty at 0", len(wfs), gen)
+	}
+	if has, err := DirHasState(dir); err != nil || has {
+		t.Fatalf("DirHasState on freshly-opened empty dir = %v, %v; want false, nil", has, err)
+	}
+}
+
+func TestCommitReplayRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s, _, _ := mustOpen(t, dir, Options{})
+	if err := s.Commit(1, []corpus.Op{addOp(wf("a", "fetch")), addOp(wf("b", "blast"))}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Commit(2, []corpus.Op{{Kind: corpus.OpRemove, ID: "a"}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Commit(3, []corpus.Op{{Kind: corpus.OpReplace, ID: "b", Workflow: wf("b", "blastx")}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Commit(5, nil); err == nil {
+		t.Fatal("commit with a generation gap was accepted")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, wfs, gen := mustOpen(t, dir, Options{})
+	defer s2.Close()
+	if gen != 3 {
+		t.Fatalf("recovered generation %d, want 3", gen)
+	}
+	if got := ids(wfs); !reflect.DeepEqual(got, []string{"b"}) {
+		t.Fatalf("recovered workflows %v, want [b]", got)
+	}
+	if wfs[0].Modules[0].Label != "blastx" {
+		t.Fatalf("replace not replayed: label %q", wfs[0].Modules[0].Label)
+	}
+	st := s2.Stats()
+	if st.Recovery.ReplayedRecords != 3 || st.Recovery.ReplayedOps != 4 {
+		t.Fatalf("recovery stats %+v, want 3 records / 4 ops replayed", st.Recovery)
+	}
+	if has, err := DirHasState(dir); err != nil || !has {
+		t.Fatalf("DirHasState after commits = %v, %v; want true, nil", has, err)
+	}
+}
+
+func TestCompactTruncatesLogAndKeepsTail(t *testing.T) {
+	dir := t.TempDir()
+	s, _, _ := mustOpen(t, dir, Options{})
+	defer s.Close()
+	for g, id := range []string{"a", "b", "c"} {
+		if err := s.Commit(uint64(g+1), []corpus.Op{addOp(wf(id, "op-"+id))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Checkpoint at generation 2: the view holds a and b; record 3 (add c)
+	// must survive the log rewrite.
+	if err := s.Compact(2, []*workflow.Workflow{wf("a", "op-a"), wf("b", "op-b")}); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.SnapshotGeneration != 2 || st.LogRecords != 1 {
+		t.Fatalf("after compact: %+v, want snapshot gen 2 and 1 log record", st)
+	}
+	if err := s.Commit(4, []corpus.Op{addOp(wf("d", "op-d"))}); err != nil {
+		t.Fatalf("commit after compact: %v", err)
+	}
+	s.Close()
+
+	s2, wfs, gen := mustOpen(t, dir, Options{})
+	defer s2.Close()
+	if gen != 4 {
+		t.Fatalf("recovered generation %d, want 4", gen)
+	}
+	if got := ids(wfs); !reflect.DeepEqual(got, []string{"a", "b", "c", "d"}) {
+		t.Fatalf("recovered workflows %v, want [a b c d]", got)
+	}
+	if st := s2.Stats(); !st.Recovery.SnapshotLoaded || st.Recovery.SnapshotGeneration != 2 || st.Recovery.ReplayedRecords != 2 {
+		t.Fatalf("recovery did not use the snapshot + 2-record tail: %+v", st.Recovery)
+	}
+}
+
+func TestCompactStaleAndBeyondGuards(t *testing.T) {
+	dir := t.TempDir()
+	s, _, _ := mustOpen(t, dir, Options{})
+	defer s.Close()
+	if err := s.Commit(1, []corpus.Op{addOp(wf("a", "x"))}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Compact(1, []*workflow.Workflow{wf("a", "x")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Compact(0, nil); err == nil {
+		t.Fatal("compaction behind the latest snapshot was accepted")
+	}
+	if err := s.Commit(2, []corpus.Op{addOp(wf("b", "y"))}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Compact(9, nil); err == nil {
+		t.Fatal("compaction beyond the last committed generation was accepted")
+	}
+}
+
+func TestBaselineCompactOnFreshStore(t *testing.T) {
+	dir := t.TempDir()
+	s, _, _ := mustOpen(t, dir, Options{})
+	// A pre-populated repository adopting a fresh store checkpoints its
+	// current state even though nothing was ever committed to the log.
+	if err := s.Compact(0, []*workflow.Workflow{wf("pre", "loaded")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Commit(1, []corpus.Op{addOp(wf("a", "x"))}); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	s2, wfs, gen := mustOpen(t, dir, Options{})
+	defer s2.Close()
+	if gen != 1 || !reflect.DeepEqual(ids(wfs), []string{"pre", "a"}) {
+		t.Fatalf("recovered %v at generation %d, want [pre a] at 1", ids(wfs), gen)
+	}
+}
+
+func TestShouldCompactThresholds(t *testing.T) {
+	dir := t.TempDir()
+	s, _, _ := mustOpen(t, dir, Options{CompactRecords: 2, CompactBytes: -1})
+	defer s.Close()
+	if s.ShouldCompact() {
+		t.Fatal("empty log wants compaction")
+	}
+	_ = s.Commit(1, []corpus.Op{addOp(wf("a", "x"))})
+	if s.ShouldCompact() {
+		t.Fatal("1 record under a 2-record threshold wants compaction")
+	}
+	_ = s.Commit(2, []corpus.Op{addOp(wf("b", "y"))})
+	if !s.ShouldCompact() {
+		t.Fatal("2 records at a 2-record threshold does not want compaction")
+	}
+}
+
+func TestClosedStoreRejectsWrites(t *testing.T) {
+	dir := t.TempDir()
+	s, _, _ := mustOpen(t, dir, Options{})
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	if err := s.Commit(1, []corpus.Op{addOp(wf("a", "x"))}); err != ErrClosed {
+		t.Fatalf("Commit on closed store: %v, want ErrClosed", err)
+	}
+	if err := s.Compact(0, nil); err != ErrClosed {
+		t.Fatalf("Compact on closed store: %v, want ErrClosed", err)
+	}
+}
+
+func TestScoreCacheFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s, _, _ := mustOpen(t, dir, Options{})
+	entries := []CachedScore{
+		{Measure: "MS_ip_te_pll", A: "a", B: "b", Score: 0.75},
+		{Measure: "BW", A: "a", B: "c", Score: 0.25},
+	}
+	if err := s.SaveScoreCache(7, "repoknow:0.5", entries); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	s2, _, _ := mustOpen(t, dir, Options{})
+	defer s2.Close()
+	got, ok := s2.LoadScoreCache(7, "repoknow:0.5")
+	if !ok || !reflect.DeepEqual(got, entries) {
+		t.Fatalf("warm cache round trip: ok=%v got=%v", ok, got)
+	}
+	if _, ok := s2.LoadScoreCache(8, "repoknow:0.5"); ok {
+		t.Fatal("warm cache accepted under a different generation")
+	}
+	if _, ok := s2.LoadScoreCache(7, "configured"); ok {
+		t.Fatal("warm cache accepted under a different projection signature")
+	}
+}
+
+func TestCorruptSnapshotIsSkipped(t *testing.T) {
+	dir := t.TempDir()
+	s, _, _ := mustOpen(t, dir, Options{})
+	_ = s.Commit(1, []corpus.Op{addOp(wf("a", "x"))})
+	if err := s.Compact(1, []*workflow.Workflow{wf("a", "x")}); err != nil {
+		t.Fatal(err)
+	}
+	_ = s.Commit(2, []corpus.Op{addOp(wf("b", "y"))})
+	if err := s.Compact(2, []*workflow.Workflow{wf("a", "x"), wf("b", "y")}); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	// Flip a payload byte in the newest snapshot; recovery must fall back
+	// to... nothing older (compaction deleted it), i.e. replay from the log
+	// alone would lose state — so this test corrupts only after re-creating
+	// an older snapshot scenario: write generation-1 snapshot back first.
+	if _, err := writeSnapshot(dir, 1, []*workflow.Workflow{wf("a", "x")}); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, snapshotName(2))
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-1] ^= 0xff
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	warned := false
+	s2, wfs, gen, err := Open(dir, Options{Warnf: func(string, ...any) { warned = true }})
+	if err != nil {
+		t.Fatalf("recovery with corrupt newest snapshot: %v", err)
+	}
+	defer s2.Close()
+	if !warned {
+		t.Fatal("no warning for the corrupt snapshot")
+	}
+	// Falls back to the gen-1 snapshot; the log was compacted at gen 2 so
+	// the tail is empty — recovery lands at generation 1 with workflow a.
+	// (A real compaction deletes older snapshots only after the newer one
+	// is durable, so this state needs the external damage simulated here.)
+	if gen != 1 || !reflect.DeepEqual(ids(wfs), []string{"a"}) {
+		t.Fatalf("recovered %v at generation %d, want [a] at 1", ids(wfs), gen)
+	}
+}

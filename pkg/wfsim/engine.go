@@ -14,6 +14,7 @@ import (
 	"repro/internal/repoknow"
 	"repro/internal/scorecache"
 	"repro/internal/search"
+	"repro/internal/storage"
 )
 
 // Engine is the similarity-search facade over one workflow repository. It
@@ -38,6 +39,12 @@ type Engine struct {
 	concurrency    int
 	defaultMeasure string
 	repoKnow       *repoKnowState
+
+	storageDir  string        // WithStorage data directory ("" = RAM only)
+	storageCfg  storageConfig // WithStorage tuning
+	store       *storage.Store
+	storeClosed bool // guarded by applyMu
+	warmEntries int  // score-cache entries re-seeded at boot
 
 	applyMu       sync.Mutex   // serializes Apply batches
 	indexRebuilds atomic.Int64 // full index rebuilds (drift recovery only)
@@ -218,6 +225,14 @@ func New(repo *Repository, opts ...Option) (*Engine, error) {
 	if _, err := e.reg.Parse(e.defaultMeasure); err != nil {
 		return nil, fmt.Errorf("invalid default measure: %w", err)
 	}
+	// Storage recovery runs first among the finalize steps, so the
+	// projector and the index below are built over the recovered state,
+	// not the empty repository the caller passed in.
+	if e.storageDir != "" {
+		if err := e.openStorage(); err != nil {
+			return nil, err
+		}
+	}
 	// Finalize step: the repository-knowledge projector for the initial
 	// generation is computed here — after every option has run — and later
 	// generations get their own projector lazily on first read.
@@ -231,6 +246,8 @@ func New(repo *Repository, opts ...Option) (*Engine, error) {
 		idx.SetGeneration(snap.Generation())
 		e.idx.Store(idx)
 	}
+	// Warm-cache re-seeding needs the projector epoch, so it runs last.
+	e.loadWarmCache()
 	return e, nil
 }
 

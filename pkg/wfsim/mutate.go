@@ -114,6 +114,9 @@ func (e *Engine) Apply(ctx context.Context, muts ...Mutation) (uint64, error) {
 			e.rebuildIndex()
 		}
 	}
+	// With storage, checkpoint when the mutation log has outgrown its
+	// thresholds; still under applyMu, so compactions never overlap.
+	e.maybeCompact()
 	return gen, nil
 }
 

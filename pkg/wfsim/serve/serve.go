@@ -512,15 +512,16 @@ func (s *Server) handleGetWorkflow(w http.ResponseWriter, r *http.Request) {
 }
 
 type statsResponse struct {
-	Generation        uint64            `json:"generation"`
-	Workflows         int               `json:"workflows"`
-	Index             *wfsim.IndexStats `json:"index,omitempty"`
-	Cache             wfsim.CacheStats  `json:"cache"`
-	ProjectorRebuilds int               `json:"projector_rebuilds"`
-	UptimeMS          float64           `json:"uptime_ms"`
-	Requests          int64             `json:"requests"`
-	Batches           int64             `json:"batches"`
-	OpsApplied        int64             `json:"ops_applied"`
+	Generation        uint64              `json:"generation"`
+	Workflows         int                 `json:"workflows"`
+	Index             *wfsim.IndexStats   `json:"index,omitempty"`
+	Cache             wfsim.CacheStats    `json:"cache"`
+	Storage           *wfsim.StorageStats `json:"storage,omitempty"`
+	ProjectorRebuilds int                 `json:"projector_rebuilds"`
+	UptimeMS          float64             `json:"uptime_ms"`
+	Requests          int64               `json:"requests"`
+	Batches           int64               `json:"batches"`
+	OpsApplied        int64               `json:"ops_applied"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -537,6 +538,9 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	}
 	if ist, ok := s.eng.IndexStats(); ok {
 		resp.Index = &ist
+	}
+	if sst, ok := s.eng.StorageStats(); ok {
+		resp.Storage = &sst
 	}
 	writeJSON(w, http.StatusOK, resp)
 }

@@ -568,3 +568,65 @@ func TestHealthz(t *testing.T) {
 		t.Errorf("healthz = %d %+v", resp.StatusCode, h)
 	}
 }
+
+// TestStatsExposesStorage: with durable storage attached, /v1/stats carries a
+// storage block (log size, snapshot generation, boot recovery counters);
+// without it the key is omitted entirely.
+func TestStatsExposesStorage(t *testing.T) {
+	ts, eng := newTestServer(t, serve.Config{}, wfsim.WithStorage(t.TempDir()))
+	t.Cleanup(func() { eng.Close() })
+
+	status := postJSON(t, ts.URL+"/v1/workflows:batch", map[string]any{
+		"ops": []map[string]any{
+			{"op": "add", "workflow": chainWorkflow("w4", "durable_step")},
+		},
+	}, nil)
+	if status != http.StatusOK {
+		t.Fatalf("batch status = %d", status)
+	}
+
+	var st struct {
+		Storage *struct {
+			Dir                string `json:"dir"`
+			LogBytes           int64  `json:"log_bytes"`
+			LogRecords         int64  `json:"log_records"`
+			SnapshotGeneration uint64 `json:"snapshot_generation"`
+			Recovery           struct {
+				Generation uint64 `json:"generation"`
+			} `json:"recovery"`
+		} `json:"storage"`
+	}
+	resp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if st.Storage == nil {
+		t.Fatal("stats response has no storage block despite WithStorage")
+	}
+	if st.Storage.LogRecords != 1 || st.Storage.LogBytes == 0 {
+		t.Errorf("storage stats after one batch = %+v, want 1 nonempty log record", st.Storage)
+	}
+	// The pre-populated test repository became the baseline snapshot.
+	if st.Storage.SnapshotGeneration != 0 {
+		t.Errorf("baseline snapshot generation = %d, want 0", st.Storage.SnapshotGeneration)
+	}
+
+	// A storage-less server must omit the block.
+	ts2, _ := newTestServer(t, serve.Config{})
+	var raw map[string]json.RawMessage
+	resp, err = http.Get(ts2.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&raw); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if _, ok := raw["storage"]; ok {
+		t.Error("stats response carries a storage block without WithStorage")
+	}
+}

@@ -1,0 +1,230 @@
+package wfsim
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/corpus"
+	"repro/internal/scorecache"
+	"repro/internal/storage"
+)
+
+// WithStorage makes the engine's repository durable, backed by the given
+// data directory. Every Apply batch is appended to an append-only mutation
+// log and fsynced inside the transaction boundary — the in-memory commit
+// happens only after the record is durable, so a process killed at any
+// instant restarts at the last fully-committed generation. The log is
+// periodically compacted into snapshot files, and construction recovers the
+// directory's state: latest valid snapshot plus replayed log tail, with a
+// torn final record truncated (warned about, never fatal).
+//
+// The repository passed to New must be empty when the directory holds
+// state; an engine over a pre-populated repository and a fresh directory
+// persists the initial contents as the baseline snapshot. When the engine
+// also has a score cache (WithScoreCache), warm pairwise scores for the
+// final generation are persisted on Close and re-seeded on the next boot,
+// so a restart is warm, not just correct.
+//
+// Call Engine.Close on shutdown to flush a final snapshot; mutations after
+// Close fail.
+func WithStorage(dir string, opts ...StorageOption) Option {
+	return func(e *Engine) error {
+		if dir == "" {
+			return fmt.Errorf("empty storage directory")
+		}
+		e.storageDir = dir
+		for _, o := range opts {
+			o(&e.storageCfg)
+		}
+		return nil
+	}
+}
+
+// StorageOption fine-tunes WithStorage.
+type StorageOption func(*storageConfig)
+
+// storageConfig mirrors the internal storage options on the engine.
+type storageConfig struct {
+	compactBytes   int64
+	compactRecords int64
+	noSync         bool
+	warnf          func(format string, args ...any)
+}
+
+// StorageCompaction sets the log-size thresholds (bytes, records) past
+// which a commit triggers snapshot compaction; zero keeps a default,
+// negative disables that trigger.
+func StorageCompaction(bytes int64, records int) StorageOption {
+	return func(c *storageConfig) {
+		c.compactBytes = bytes
+		c.compactRecords = int64(records)
+	}
+}
+
+// StorageNoSync skips the per-commit fsync. Only for tests and benchmarks:
+// a crash may then lose recent commits (never corrupt the store).
+func StorageNoSync() StorageOption {
+	return func(c *storageConfig) { c.noSync = true }
+}
+
+// StorageWarnings routes storage warnings — torn-tail truncation at boot,
+// background compaction failures — to warnf (e.g. log.Printf). Discarded
+// by default; the facts are still visible in StorageStats.
+func StorageWarnings(warnf func(format string, args ...any)) StorageOption {
+	return func(c *storageConfig) { c.warnf = warnf }
+}
+
+// StorageStats describes the engine's durability layer: mutation-log size,
+// latest snapshot generation, compaction count, and what boot-time recovery
+// found (snapshot loaded, records replayed, torn tail truncated).
+type StorageStats struct {
+	storage.Stats
+	// WarmCacheEntries is the number of persisted pairwise scores re-seeded
+	// into the score cache at boot.
+	WarmCacheEntries int `json:"warm_cache_entries"`
+}
+
+// StorageStats reports the durability layer's counters; ok is false when
+// the engine was built without WithStorage.
+func (e *Engine) StorageStats() (stats StorageStats, ok bool) {
+	if e.store == nil {
+		return StorageStats{}, false
+	}
+	return StorageStats{Stats: e.store.Stats(), WarmCacheEntries: e.warmEntries}, true
+}
+
+// openStorage runs during New, after all options and before the index and
+// projector finalize steps, so both are built over the recovered state.
+func (e *Engine) openStorage() error {
+	if e.storageCfg.warnf == nil {
+		e.storageCfg.warnf = func(string, ...any) {}
+	}
+	store, wfs, gen, err := storage.Open(e.storageDir, storage.Options{
+		CompactBytes:   e.storageCfg.compactBytes,
+		CompactRecords: e.storageCfg.compactRecords,
+		NoSync:         e.storageCfg.noSync,
+		Warnf:          e.storageCfg.warnf,
+	})
+	if err != nil {
+		return err
+	}
+	switch {
+	case gen > 0 || len(wfs) > 0:
+		if e.repo.Generation() != 0 || e.repo.Size() != 0 {
+			store.Close()
+			return fmt.Errorf("storage directory %s holds state at generation %d; refusing to recover into a non-empty repository (preload only into a fresh data directory)", e.storageDir, gen)
+		}
+		if err := e.repo.Restore(gen, wfs...); err != nil {
+			store.Close()
+			return err
+		}
+	case e.repo.Size() > 0 || e.repo.Generation() > 0:
+		// Fresh directory under a pre-populated repository: persist the
+		// initial contents as the baseline snapshot, so the preload itself
+		// survives a restart.
+		snap := e.repo.Snapshot()
+		if err := store.Compact(snap.Generation(), snap.Workflows()); err != nil {
+			store.Close()
+			return fmt.Errorf("persist initial repository state: %w", err)
+		}
+	}
+	e.repo.SetCommitHook(func(gen uint64, ops []corpus.Op) error {
+		return store.Commit(gen, ops)
+	})
+	e.store = store
+	return nil
+}
+
+// projectionSig describes the projection configuration for warm-cache
+// validity: persisted scores are only re-seeded into a process whose
+// projection is derived the same way (same repository-knowledge threshold,
+// or the same static configuration).
+func (e *Engine) projectionSig() string {
+	if e.repoKnow != nil {
+		return fmt.Sprintf("repoknow:%g", e.repoKnow.threshold)
+	}
+	return "configured"
+}
+
+// loadWarmCache re-seeds the score cache from the persisted warm entries,
+// if they match the recovered generation and projection configuration.
+func (e *Engine) loadWarmCache() {
+	if e.store == nil || e.cache == nil {
+		return
+	}
+	snap := e.repo.Snapshot()
+	entries, ok := e.store.LoadScoreCache(snap.Generation(), e.projectionSig())
+	if !ok {
+		return
+	}
+	gen := snap.Generation()
+	_, epoch := e.projectionFor(snap)
+	for _, ent := range entries {
+		e.cache.Put(scorecache.PairKey(ent.Measure, ent.A, ent.B, gen, epoch), ent.Score)
+	}
+	e.warmEntries = len(entries)
+}
+
+// maybeCompact runs after a committed Apply batch, under applyMu: when the
+// log has outgrown its thresholds, checkpoint the post-batch snapshot and
+// truncate the covered log prefix. Compaction failure never fails the
+// commit — the batch is already durable in the log; the store just stays
+// un-truncated until a later attempt succeeds.
+func (e *Engine) maybeCompact() {
+	if e.store == nil || !e.store.ShouldCompact() {
+		return
+	}
+	snap := e.repo.Snapshot()
+	if err := e.store.Compact(snap.Generation(), snap.Workflows()); err != nil && !errors.Is(err, storage.ErrClosed) {
+		e.storageCfg.warnf("wfsim: snapshot compaction at generation %d failed: %v", snap.Generation(), err)
+	}
+}
+
+// Close flushes and closes the engine's durability layer: a final snapshot
+// compaction, warm score-cache persistence (when the engine has a cache),
+// and release of the underlying files. Mutations after Close fail with a
+// storage-closed error; reads keep working from memory. Close is
+// idempotent and a no-op for engines without WithStorage.
+func (e *Engine) Close() error {
+	if e.store == nil {
+		return nil
+	}
+	e.applyMu.Lock()
+	defer e.applyMu.Unlock()
+	if e.storeClosed {
+		return nil
+	}
+	e.storeClosed = true
+	snap := e.repo.Snapshot()
+	var firstErr error
+	if err := e.store.Checkpoint(snap.Generation(), snap.Workflows()); err != nil {
+		firstErr = err
+	}
+	if e.cache != nil {
+		gen := snap.Generation()
+		_, epoch := e.projectionFor(snap)
+		exported := e.cache.Export(func(k scorecache.Key) bool {
+			return k.Gen == gen && k.Proj == epoch
+		})
+		if len(exported) > 0 {
+			entries := make([]storage.CachedScore, len(exported))
+			for i, ent := range exported {
+				entries[i] = storage.CachedScore{Measure: ent.Key.Measure, A: ent.Key.A, B: ent.Key.B, Score: ent.Score}
+			}
+			if err := e.store.SaveScoreCache(gen, e.projectionSig(), entries); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+	}
+	if err := e.store.Close(); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	return firstErr
+}
+
+// HasStoredState reports whether dir holds recoverable repository state (a
+// snapshot or at least one committed log record) — what a daemon checks
+// before allowing a corpus preload to target the directory.
+func HasStoredState(dir string) (bool, error) {
+	return storage.DirHasState(dir)
+}

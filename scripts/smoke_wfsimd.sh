@@ -1,36 +1,90 @@
 #!/usr/bin/env bash
-# Smoke test for the wfsimd HTTP service: start an empty server, ingest a
-# three-workflow fixture corpus over the NDJSON batch endpoint, run one
-# search, and assert a 200 with non-empty results naming the expected twin.
+# Smoke test for the wfsimd HTTP service, in two phases.
+#
+# Phase 1 (RAM-only): start an empty server, ingest a three-workflow fixture
+# corpus over the NDJSON batch endpoint, run one search, and assert a 200
+# with non-empty results naming the expected twin.
+#
+# Phase 2 (durability): start a server with a -data directory, ingest the
+# same fixture, record the generation and the search hit, SIGTERM the
+# daemon, restart it over the same directory, and assert the pre-kill
+# generation and search result survive the restart.
+#
 # Run from the repository root: ./scripts/smoke_wfsimd.sh
 set -euo pipefail
 
 ADDR="127.0.0.1:${WFSIMD_SMOKE_PORT:-8791}"
-BIN="$(mktemp -d)/wfsimd"
+WORK="$(mktemp -d)"
+BIN="$WORK/wfsimd"
+DATA="$WORK/data"
+PID=""
 
 go build -o "$BIN" ./cmd/wfsimd
-"$BIN" -addr "$ADDR" -index -cache 4096 &
-PID=$!
-trap 'kill "$PID" 2>/dev/null || true' EXIT
+trap '[ -n "$PID" ] && kill "$PID" 2>/dev/null || true' EXIT
 
-for _ in $(seq 1 50); do
-  if curl -fsS "http://$ADDR/healthz" >/dev/null 2>&1; then break; fi
-  sleep 0.2
-done
-curl -fsS "http://$ADDR/healthz" >/dev/null || { echo "smoke: server never became healthy" >&2; exit 1; }
+wait_healthy() {
+  for _ in $(seq 1 50); do
+    if curl -fsS "http://$ADDR/healthz" >/dev/null 2>&1; then return 0; fi
+    sleep 0.2
+  done
+  echo "smoke: server never became healthy" >&2
+  exit 1
+}
 
-# Fixture corpus: a and b share a module label; c is unrelated.
-curl -fsS -X POST -H 'Content-Type: application/x-ndjson' --data-binary @- \
-  "http://$ADDR/v1/workflows:batch" <<'EOF' >/dev/null
+ingest_fixture() {
+  # Fixture corpus: a and b share a module label; c is unrelated.
+  curl -fsS -X POST -H 'Content-Type: application/x-ndjson' --data-binary @- \
+    "http://$ADDR/v1/workflows:batch" <<'EOF' >/dev/null
 {"op":"add","workflow":{"id":"a","annotations":{"title":"blast a"},"modules":[{"id":"m1","label":"fetch_sequence","type":"wsdl"},{"id":"m2","label":"run_blast","type":"wsdl"}],"edges":[{"from":0,"to":1}]}}
 {"op":"add","workflow":{"id":"b","annotations":{"title":"blast b"},"modules":[{"id":"m1","label":"fetch_sequence","type":"wsdl"},{"id":"m2","label":"plot_hits","type":"wsdl"}],"edges":[{"from":0,"to":1}]}}
 {"op":"add","workflow":{"id":"c","annotations":{"title":"imaging"},"modules":[{"id":"m1","label":"load_image","type":"tool"},{"id":"m2","label":"segment_cells","type":"tool"}],"edges":[{"from":0,"to":1}]}}
 EOF
+}
 
-OUT=$(curl -fsS -X POST -H 'Content-Type: application/json' \
-  -d '{"query_id":"a","k":5,"deadline_ms":5000}' \
-  "http://$ADDR/v1/search")
+search_a() {
+  curl -fsS -X POST -H 'Content-Type: application/json' \
+    -d '{"query_id":"a","k":5,"deadline_ms":5000}' \
+    "http://$ADDR/v1/search"
+}
+
+# ---- Phase 1: RAM-only ingest + search ----
+"$BIN" -addr "$ADDR" -index -cache 4096 &
+PID=$!
+wait_healthy
+ingest_fixture
+OUT=$(search_a)
 echo "smoke: search response: $OUT"
 echo "$OUT" | grep -q '"id":"b"' || { echo "smoke: search results missing expected hit b" >&2; exit 1; }
 echo "$OUT" | grep -q '"generation":1' || { echo "smoke: response does not report the ingest generation" >&2; exit 1; }
+kill "$PID"; wait "$PID" 2>/dev/null || true; PID=""
+echo "smoke: phase 1 (RAM-only) OK"
+
+# ---- Phase 2: durable ingest, SIGTERM, restart, verify ----
+mkdir -p "$DATA"
+"$BIN" -addr "$ADDR" -index -cache 4096 -data "$DATA" &
+PID=$!
+wait_healthy
+ingest_fixture
+OUT=$(search_a)
+echo "$OUT" | grep -q '"id":"b"' || { echo "smoke: durable search missing expected hit b" >&2; exit 1; }
+echo "$OUT" | grep -q '"generation":1' || { echo "smoke: durable ingest did not reach generation 1" >&2; exit 1; }
+kill -TERM "$PID"
+wait "$PID" 2>/dev/null || true
+PID=""
+[ -s "$DATA/wal.log" ] || ls "$DATA"/snap-*.snap >/dev/null 2>&1 || {
+  echo "smoke: data directory holds neither a log nor a snapshot after shutdown" >&2; exit 1; }
+
+"$BIN" -addr "$ADDR" -index -cache 4096 -data "$DATA" &
+PID=$!
+wait_healthy
+STATS=$(curl -fsS "http://$ADDR/v1/stats")
+echo "smoke: post-restart stats: $STATS"
+echo "$STATS" | grep -q '"generation":1' || { echo "smoke: restart lost the pre-kill generation" >&2; exit 1; }
+echo "$STATS" | grep -q '"workflows":3' || { echo "smoke: restart lost workflows" >&2; exit 1; }
+echo "$STATS" | grep -q '"storage"' || { echo "smoke: stats carry no storage block" >&2; exit 1; }
+OUT=$(search_a)
+echo "smoke: post-restart search: $OUT"
+echo "$OUT" | grep -q '"id":"b"' || { echo "smoke: pre-kill search hit b did not survive the restart" >&2; exit 1; }
+echo "$OUT" | grep -q '"generation":1' || { echo "smoke: post-restart search serves the wrong generation" >&2; exit 1; }
+echo "smoke: phase 2 (durable restart) OK"
 echo "smoke: OK"
