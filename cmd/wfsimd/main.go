@@ -6,10 +6,11 @@
 //
 // Usage:
 //
-//	wfsimd [-addr :8080] [-corpus corpus.json] [-data DIR] [-index]
-//	       [-min-shared 1] [-cache 65536] [-repoknow] [-threshold 0.5]
-//	       [-measure NAME] [-concurrency N] [-default-deadline 30s]
-//	       [-max-deadline 2m] [-compact-bytes N] [-compact-records N]
+//	wfsimd [-addr :8080] [-corpus corpus.json] [-data DIR] [-shards N]
+//	       [-index] [-min-shared 1] [-cache 65536] [-repoknow]
+//	       [-threshold 0.5] [-measure NAME] [-concurrency N]
+//	       [-default-deadline 30s] [-max-deadline 2m]
+//	       [-compact-bytes N] [-compact-records N]
 //
 // Without -corpus the service starts over an empty repository and is
 // populated through POST /v1/workflows:batch. With -data the repository is
@@ -18,8 +19,16 @@
 // snapshots, and a restart recovers the corpus to the last committed
 // generation (replaying the log tail, tolerating a torn final record).
 // -corpus may only be combined with a -data directory that holds no state
-// yet; the preload then becomes the baseline snapshot. See the package
-// documentation of repro/pkg/wfsim/serve for the endpoint reference.
+// yet; the preload then becomes the baseline snapshot.
+//
+// With -shards N (N > 1) the corpus is partitioned across N in-process
+// shards by consistent-hashed workflow ID: mutation batches commit
+// all-or-nothing across the touched shards, reads scatter-gather with
+// per-shard generation vectors stamped into every response, and a -data
+// directory holds one subdirectory per shard. A sharded data directory
+// records its shard count and refuses to reopen under a different -shards
+// value. See the package documentation of repro/pkg/wfsim/serve for the
+// endpoint reference.
 package main
 
 import (
@@ -50,6 +59,7 @@ func run(args []string) error {
 	addr := fs.String("addr", ":8080", "listen address")
 	corpusPath := fs.String("corpus", "", "corpus JSON to serve (empty repository when omitted)")
 	dataDir := fs.String("data", "", "data directory for durable storage (RAM-only when omitted)")
+	shards := fs.Int("shards", 1, "partition the corpus across N in-process shards (1 = single engine)")
 	compactBytes := fs.Int64("compact-bytes", 0, "compact the mutation log past this many bytes (0 = default 8 MiB)")
 	compactRecords := fs.Int("compact-records", 0, "compact the mutation log past this many records (0 = default 4096)")
 	useIndex := fs.Bool("index", false, "enable filter-and-refine inverted-index acceleration")
@@ -91,6 +101,11 @@ func run(args []string) error {
 	}
 
 	var opts []wfsim.Option
+	if *shards != 1 {
+		// Engine construction validates the count and, with -data, refuses a
+		// directory initialised under a different shard count.
+		opts = append(opts, wfsim.WithShards(*shards))
+	}
 	if *dataDir != "" {
 		opts = append(opts, wfsim.WithStorage(*dataDir,
 			wfsim.StorageCompaction(*compactBytes, *compactRecords),
@@ -137,7 +152,11 @@ func run(args []string) error {
 
 	errc := make(chan error, 1)
 	go func() {
-		log.Printf("wfsimd: serving %d workflows (generation %d) on %s", repo.Size(), eng.Generation(), *addr)
+		if n := eng.Shards(); n > 1 {
+			log.Printf("wfsimd: serving %d workflows across %d shards (generations %v) on %s", eng.Size(), n, eng.Generations(), *addr)
+		} else {
+			log.Printf("wfsimd: serving %d workflows (generation %d) on %s", eng.Size(), eng.Generation(), *addr)
+		}
 		errc <- httpServer.ListenAndServe()
 	}()
 

@@ -51,7 +51,14 @@ func BuildMatrix(ctx context.Context, repo search.Corpus, m measures.Measure, pa
 			if err := ctx.Err(); err != nil {
 				return err
 			}
-			s, err := m.Compare(wfs[i], wfs[j])
+			// Evaluate in ID order so the cell value is a function of the
+			// unordered pair (see search.Duplicates): measures need not be
+			// bit-symmetric under operand swap.
+			x, y := wfs[i], wfs[j]
+			if y.ID < x.ID {
+				x, y = y, x
+			}
+			s, err := m.Compare(x, y)
 			if err != nil {
 				skipped.Add(1)
 				continue

@@ -268,6 +268,53 @@ type Op struct {
 	Workflow *workflow.Workflow
 }
 
+// validateBatchLocked runs the validation pass of a mutation batch over a
+// staged overlay of the current state; nothing is mutated. It is the prepare
+// phase of a transaction: an error means the batch cannot commit here.
+func (r *Repository) validateBatchLocked(ops []Op) error {
+	staged := make(map[string]*workflow.Workflow, len(r.byID)+len(ops))
+	for id, wf := range r.byID {
+		staged[id] = wf
+	}
+	for i, op := range ops {
+		switch op.Kind {
+		case OpAdd:
+			if err := r.checkAddable(op.Workflow, staged); err != nil {
+				return fmt.Errorf("corpus: batch op %d: %w", i, err)
+			}
+			staged[op.Workflow.ID] = op.Workflow
+		case OpRemove:
+			if _, ok := staged[op.ID]; !ok {
+				return fmt.Errorf("corpus: batch op %d: workflow %q %w (repository size %d)", i, op.ID, ErrNotFound, len(r.workflows))
+			}
+			delete(staged, op.ID)
+		case OpReplace:
+			if op.Workflow == nil {
+				return fmt.Errorf("corpus: batch op %d: nil workflow (repository size %d)", i, len(r.workflows))
+			}
+			if _, ok := staged[op.Workflow.ID]; !ok {
+				return fmt.Errorf("corpus: batch op %d: workflow %q %w (repository size %d)", i, op.Workflow.ID, ErrNotFound, len(r.workflows))
+			}
+			staged[op.Workflow.ID] = op.Workflow
+		default:
+			return fmt.Errorf("corpus: batch op %d: invalid op kind %d", i, op.Kind)
+		}
+	}
+	return nil
+}
+
+// ValidateBatch checks whether a mutation batch would commit against the
+// current state, without mutating anything and without firing the commit
+// hook. It is the prepare phase of a cross-repository transaction: a
+// coordinator validates a split batch on every touched repository before
+// committing to any of them. A nil error is a point-in-time statement; it
+// stays true only while the caller prevents interleaved writers.
+func (r *Repository) ValidateBatch(ops []Op) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.validateBatchLocked(ops)
+}
+
 // ApplyBatch applies a transactional mutation batch: every op is validated
 // against the repository state with all preceding ops of the batch staged,
 // and either the whole batch commits under a single new generation or the
@@ -281,34 +328,8 @@ func (r *Repository) ApplyBatch(ops []Op) (uint64, error) {
 	if len(ops) == 0 {
 		return r.gen.Load(), nil
 	}
-	// Validation pass over a staged overlay; nothing is mutated yet.
-	staged := make(map[string]*workflow.Workflow, len(r.byID)+len(ops))
-	for id, wf := range r.byID {
-		staged[id] = wf
-	}
-	for i, op := range ops {
-		switch op.Kind {
-		case OpAdd:
-			if err := r.checkAddable(op.Workflow, staged); err != nil {
-				return 0, fmt.Errorf("corpus: batch op %d: %w", i, err)
-			}
-			staged[op.Workflow.ID] = op.Workflow
-		case OpRemove:
-			if _, ok := staged[op.ID]; !ok {
-				return 0, fmt.Errorf("corpus: batch op %d: workflow %q %w (repository size %d)", i, op.ID, ErrNotFound, len(r.workflows))
-			}
-			delete(staged, op.ID)
-		case OpReplace:
-			if op.Workflow == nil {
-				return 0, fmt.Errorf("corpus: batch op %d: nil workflow (repository size %d)", i, len(r.workflows))
-			}
-			if _, ok := staged[op.Workflow.ID]; !ok {
-				return 0, fmt.Errorf("corpus: batch op %d: workflow %q %w (repository size %d)", i, op.Workflow.ID, ErrNotFound, len(r.workflows))
-			}
-			staged[op.Workflow.ID] = op.Workflow
-		default:
-			return 0, fmt.Errorf("corpus: batch op %d: invalid op kind %d", i, op.Kind)
-		}
+	if err := r.validateBatchLocked(ops); err != nil {
+		return 0, err
 	}
 	// The batch is fully validated: give the commit hook (e.g. a write-ahead
 	// log) its one chance to veto before any in-memory state changes.

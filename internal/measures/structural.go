@@ -95,6 +95,10 @@ type Config struct {
 	MappingLabelThreshold float64
 	// Counter, when non-nil, accumulates module-pair comparison counts.
 	Counter *PairCounter
+	// Memo, when non-nil, memoizes EditDistance attribute comparisons
+	// across compares — scan-scoped sharing installed by Specialise.
+	// Scores are bit-identical with or without it.
+	Memo *module.SimMemo
 }
 
 // DefaultMappingLabelThreshold is the minimum mapped-pair similarity that
@@ -165,7 +169,7 @@ func (s *Structural) moduleSets(a, b *workflow.Workflow) float64 {
 	if a.Size() == 0 || b.Size() == 0 {
 		return 0
 	}
-	w, st := module.WeightMatrix(a, b, s.cfg.Scheme, s.cfg.Preselect)
+	w, st := module.WeightMatrixMemo(a, b, s.cfg.Scheme, s.cfg.Preselect, s.cfg.Memo)
 	s.cfg.Counter.Add(st.Total, st.Compared)
 	nnsim := s.match(w).TotalWeight()
 	if !s.cfg.Normalize {
@@ -191,7 +195,7 @@ func (s *Structural) pathSets(a, b *workflow.Workflow) float64 {
 	// Module similarities are computed once for the workflow pair; path
 	// alignment then indexes into the shared matrix. Modules occur on many
 	// paths, so recomputing per path pair would be quadratically wasteful.
-	full, st := module.WeightMatrix(a, b, s.cfg.Scheme, s.cfg.Preselect)
+	full, st := module.WeightMatrixMemo(a, b, s.cfg.Scheme, s.cfg.Preselect, s.cfg.Memo)
 	s.cfg.Counter.Add(st.Total, st.Compared)
 
 	pathWeights := make(matching.Weights, len(pa))
@@ -275,7 +279,7 @@ func (s *Structural) graphEdit(a, b *workflow.Workflow) (float64, error) {
 // mapped onto each other (with similarity >= the mapping label threshold)
 // share a label; all other modules receive unique labels.
 func (s *Structural) labeledGraphs(a, b *workflow.Workflow) (*ged.Graph, *ged.Graph) {
-	w, st := module.WeightMatrix(a, b, s.cfg.Scheme, s.cfg.Preselect)
+	w, st := module.WeightMatrixMemo(a, b, s.cfg.Scheme, s.cfg.Preselect, s.cfg.Memo)
 	s.cfg.Counter.Add(st.Total, st.Compared)
 	mapping := s.match(w)
 

@@ -1,0 +1,142 @@
+package module
+
+import (
+	"sync"
+
+	"repro/internal/matching"
+	"repro/internal/workflow"
+)
+
+// SimMemo memoizes EditDistance comparator results for the duration of one
+// whole-corpus scan. Module labels (and scripts, descriptions, service
+// fields) are drawn from a corpus vocabulary that is tiny compared to the
+// O(n²·m²) attribute pairs a Duplicates scan compares, so the same
+// Levenshtein computation is repeated millions of times; the memo collapses
+// each distinct string pair to one computation. Levenshtein similarity is
+// symmetric and pure, so memoized scans return bit-identical scores.
+//
+// Only EditDistance results are memoized — Exact/ExactFold are cheaper than
+// the lookup. A SimMemo is safe for concurrent use (internally sharded) and
+// is meant to be scan-scoped: it has no eviction, only a hard entry cap
+// (insertion stops when full, correctness is unaffected).
+type SimMemo struct {
+	shards [simMemoShards]simMemoShard
+}
+
+const (
+	simMemoShards = 32
+	// simMemoCap bounds total entries across shards. At two interned-ish
+	// strings and a float per entry this keeps a runaway vocabulary under
+	// ~100 MB instead of unbounded.
+	simMemoCap = 1 << 20
+)
+
+type simMemoShard struct {
+	mu sync.RWMutex
+	m  map[simMemoKey]float64
+}
+
+type simMemoKey struct{ a, b string }
+
+// NewSimMemo returns an empty memo.
+func NewSimMemo() *SimMemo {
+	return &SimMemo{}
+}
+
+// editSimilarity returns the memoized Levenshtein similarity of (a, b).
+func (sm *SimMemo) editSimilarity(a, b string) float64 {
+	if a > b {
+		a, b = b, a // symmetric: canonicalize key order
+	}
+	k := simMemoKey{a, b}
+	sh := &sm.shards[memoHash(a, b)%simMemoShards]
+	sh.mu.RLock()
+	v, ok := sh.m[k]
+	sh.mu.RUnlock()
+	if ok {
+		return v
+	}
+	v = EditDistance.compare(a, b)
+	sh.mu.Lock()
+	if sh.m == nil {
+		sh.m = make(map[simMemoKey]float64)
+	}
+	if len(sh.m) < simMemoCap/simMemoShards {
+		sh.m[k] = v
+	}
+	sh.mu.Unlock()
+	return v
+}
+
+// Len returns the number of memoized pairs (for tests and stats).
+func (sm *SimMemo) Len() int {
+	n := 0
+	for i := range sm.shards {
+		sh := &sm.shards[i]
+		sh.mu.RLock()
+		n += len(sh.m)
+		sh.mu.RUnlock()
+	}
+	return n
+}
+
+// memoHash is FNV-1a over both strings, matching the canonicalized order.
+func memoHash(a, b string) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(a); i++ {
+		h ^= uint64(a[i])
+		h *= prime64
+	}
+	h ^= 0xff // separator so ("ab","c") and ("a","bc") differ
+	h *= prime64
+	for i := 0; i < len(b); i++ {
+		h ^= uint64(b[i])
+		h *= prime64
+	}
+	return h
+}
+
+// compareMemo is Comparator.compare routed through a memo for the
+// comparators where memoization pays; a nil memo degrades to the plain
+// comparison.
+func (c Comparator) compareMemo(a, b string, memo *SimMemo) float64 {
+	if memo != nil && c == EditDistance {
+		return memo.editSimilarity(a, b)
+	}
+	return c.compare(a, b)
+}
+
+// SimilarityMemo computes the scheme's module similarity like Similarity,
+// memoizing EditDistance attribute comparisons in memo (which may be nil).
+// Scores are bit-identical to Similarity.
+func (s Scheme) SimilarityMemo(a, b *workflow.Module, memo *SimMemo) float64 {
+	var sum, wsum float64
+	for _, spec := range s.Specs {
+		va, vb := value(a, spec.Attr), value(b, spec.Attr)
+		if va == "" && vb == "" {
+			continue // attribute absent from both: no evidence either way
+		}
+		sum += spec.Weight * spec.Cmp.compareMemo(va, vb, memo)
+		wsum += spec.Weight
+	}
+	if wsum == 0 {
+		return 0
+	}
+	return sum / wsum
+}
+
+// WeightMatrixMemo is WeightMatrix with a scan-scoped memo (which may be
+// nil) threaded through the attribute comparisons.
+func WeightMatrixMemo(a, b *workflow.Workflow, s Scheme, p Preselect, memo *SimMemo) (matching.Weights, PairStats) {
+	return weightMatrixModules(a.Modules, b.Modules, s, p, memo)
+}
+
+// WeightMatrixForMemo is WeightMatrixFor with a scan-scoped memo (which may
+// be nil) threaded through the attribute comparisons.
+func WeightMatrixForMemo(a, b []*workflow.Module, s Scheme, p Preselect, memo *SimMemo) (matching.Weights, PairStats) {
+	return weightMatrixModules(a, b, s, p, memo)
+}

@@ -114,17 +114,17 @@ type PairStats struct {
 // Pairs excluded by the preselection get weight 0 without being compared.
 // It returns the matrix together with comparison statistics.
 func WeightMatrix(a, b *workflow.Workflow, s Scheme, p Preselect) (matching.Weights, PairStats) {
-	return weightMatrixModules(a.Modules, b.Modules, s, p)
+	return weightMatrixModules(a.Modules, b.Modules, s, p, nil)
 }
 
 // WeightMatrixFor computes the similarity matrix between two explicit module
 // sequences (used for path-wise comparison, where the sequences are the
 // modules along two paths).
 func WeightMatrixFor(a, b []*workflow.Module, s Scheme, p Preselect) (matching.Weights, PairStats) {
-	return weightMatrixModules(a, b, s, p)
+	return weightMatrixModules(a, b, s, p, nil)
 }
 
-func weightMatrixModules(ma, mb []*workflow.Module, s Scheme, p Preselect) (matching.Weights, PairStats) {
+func weightMatrixModules(ma, mb []*workflow.Module, s Scheme, p Preselect, memo *SimMemo) (matching.Weights, PairStats) {
 	stats := PairStats{Total: len(ma) * len(mb)}
 	w := make(matching.Weights, len(ma))
 	for i, x := range ma {
@@ -134,7 +134,7 @@ func weightMatrixModules(ma, mb []*workflow.Module, s Scheme, p Preselect) (matc
 				continue
 			}
 			stats.Compared++
-			w[i][j] = s.Similarity(x, y)
+			w[i][j] = s.SimilarityMemo(x, y, memo)
 		}
 	}
 	return w, stats

@@ -239,7 +239,16 @@ func Duplicates(ctx context.Context, repo Corpus, m measures.Measure, threshold 
 			if err := ctx.Err(); err != nil {
 				return err
 			}
-			s, err := m.Compare(a, wfs[j])
+			// Measures are mathematically symmetric but not always
+			// bit-symmetric (summation order inside the matcher differs), so
+			// the pair is evaluated in ID order: the score is a function of
+			// the unordered pair, independent of corpus insertion order or of
+			// which shard of a scatter-gather scan evaluates it.
+			x, y := a, wfs[j]
+			if y.ID < x.ID {
+				x, y = y, x
+			}
+			s, err := m.Compare(x, y)
 			if err != nil {
 				skipped.Add(1)
 				continue

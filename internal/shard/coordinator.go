@@ -1,0 +1,345 @@
+package shard
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/cluster"
+	"repro/internal/corpus"
+	"repro/internal/search"
+	"repro/internal/workflow"
+)
+
+// Coordinator implements the read/write surface of a single engine over N
+// shards: it routes mutation batches to the owning shards with all-or-
+// nothing validation (prepare on every touched shard before any commit),
+// fans reads out via search.Batched, and merges per-shard results
+// deterministically.
+//
+// Concurrency model: writers are serialized by applyMu; the commit section
+// (WAL append + in-memory commit on every touched shard) additionally holds
+// the write half of viewMu, while readers capture a View — every shard's pin
+// — under the read half. A View is therefore always a commit-atomic frontier
+// of the generation vector: readers never observe half a cross-shard batch.
+type Coordinator struct {
+	ring   *Ring
+	shards []Shard
+
+	applyMu sync.Mutex   // serializes cross-shard Apply transactions
+	viewMu  sync.RWMutex // W: commit section; R: View capture
+}
+
+// NewCoordinator builds a coordinator over the given shards (in ring
+// order). At least one shard is required.
+func NewCoordinator(shards []Shard) (*Coordinator, error) {
+	ring, err := NewRing(len(shards))
+	if err != nil {
+		return nil, err
+	}
+	return &Coordinator{ring: ring, shards: shards}, nil
+}
+
+// Shards returns the shard count.
+func (c *Coordinator) Shards() int { return len(c.shards) }
+
+// Ring returns the coordinator's partitioning ring.
+func (c *Coordinator) Ring() *Ring { return c.ring }
+
+// Shard returns the i-th shard (tests and stats).
+func (c *Coordinator) Shard(i int) Shard { return c.shards[i] }
+
+// Infos reports every shard's stats, in shard order.
+func (c *Coordinator) Infos() []Info {
+	out := make([]Info, len(c.shards))
+	for i, s := range c.shards {
+		out[i] = s.Info()
+	}
+	return out
+}
+
+// WarmLoad re-seeds every shard's cache from persisted warm entries.
+func (c *Coordinator) WarmLoad(sig string, epoch uint64) int {
+	n := 0
+	for _, s := range c.shards {
+		n += s.WarmLoad(sig, epoch)
+	}
+	return n
+}
+
+// Close closes every shard, returning the first error.
+func (c *Coordinator) Close(warm *WarmSpec) error {
+	var firstErr error
+	for _, s := range c.shards {
+		if err := s.Close(warm); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// View is a commit-atomic read frontier: one pin per shard, captured
+// together. All reads of one engine operation run against a single View.
+type View struct {
+	pins []Pin
+	ring *Ring
+}
+
+// View captures the current read frontier.
+func (c *Coordinator) View() View {
+	c.viewMu.RLock()
+	defer c.viewMu.RUnlock()
+	pins := make([]Pin, len(c.shards))
+	for i, s := range c.shards {
+		pins[i] = s.Pin()
+	}
+	return View{pins: pins, ring: c.ring}
+}
+
+// Pins returns the per-shard pins in shard order.
+func (v View) Pins() []Pin { return v.pins }
+
+// Generations returns the view's generation vector, indexed by shard.
+func (v View) Generations() []uint64 {
+	out := make([]uint64, len(v.pins))
+	for i, p := range v.pins {
+		out[i] = p.Generation()
+	}
+	return out
+}
+
+// AggregateGeneration is the sum of the generation vector — a monotonic
+// scalar (every commit bumps at least one shard) for callers that want the
+// single-engine shape; it equals the plain generation at one shard.
+func (v View) AggregateGeneration() uint64 {
+	var sum uint64
+	for _, p := range v.pins {
+		sum += p.Generation()
+	}
+	return sum
+}
+
+// Size is the total workflow count across the view.
+func (v View) Size() int {
+	n := 0
+	for _, p := range v.pins {
+		n += p.Size()
+	}
+	return n
+}
+
+// Owner returns the pin owning the given workflow ID.
+func (v View) Owner(id string) Pin { return v.pins[v.ring.Owner(id)] }
+
+// Get resolves a workflow by ID from its owning shard's pin.
+func (v View) Get(id string) *workflow.Workflow { return v.Owner(id).Get(id) }
+
+// Union returns all workflows of the view sorted by ID — the deterministic
+// global order for whole-corpus operations (clustering). Sharding does not
+// preserve global insertion order, so ID order is the documented corpus
+// order of a sharded engine.
+func (v View) Union() []*workflow.Workflow {
+	out := make([]*workflow.Workflow, 0, v.Size())
+	for _, p := range v.pins {
+		out = append(out, p.Workflows()...)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Apply routes a mutation batch to the owning shards with all-or-nothing
+// semantics: every touched shard validates its sub-batch (prepare) before
+// any shard commits, so a batch that fails validation anywhere leaves every
+// shard's generation and contents untouched. On success the sub-batches
+// commit under the view write lock — readers observe the whole cross-shard
+// batch or none of it — and the post-commit generation vector is returned.
+//
+// Caveat (documented limitation, not a code path): the commit phase appends
+// to per-shard logs without a coordinator-level transaction record, so a
+// crash or storage failure in the middle of the commit loop can leave a
+// prefix of the touched shards committed. Validation failures — the only
+// errors a well-formed deployment sees — are always atomic.
+func (c *Coordinator) Apply(ops []corpus.Op) ([]uint64, error) {
+	c.applyMu.Lock()
+	defer c.applyMu.Unlock()
+
+	split := make([][]corpus.Op, len(c.shards))
+	for _, op := range ops {
+		owner := c.ring.Owner(op.ID)
+		split[owner] = append(split[owner], op)
+	}
+	// Prepare: validate every touched shard before committing to any.
+	// applyMu guarantees no interleaved writer, so a passing validation
+	// stays valid through the commit phase below.
+	for i, sub := range split {
+		if len(sub) == 0 {
+			continue
+		}
+		if err := c.shards[i].Validate(sub); err != nil {
+			return nil, fmt.Errorf("shard %d: %w", i, err)
+		}
+	}
+	// Commit: apply every sub-batch under the view write lock, so readers
+	// never capture a frontier with half the batch.
+	c.viewMu.Lock()
+	for i, sub := range split {
+		if len(sub) == 0 {
+			continue
+		}
+		if _, err := c.shards[i].Commit(sub); err != nil {
+			c.viewMu.Unlock()
+			return nil, fmt.Errorf("shard %d: commit after cross-shard validation: %w (shards before it committed — generations are mixed; see storage logs)", i, err)
+		}
+	}
+	gens := make([]uint64, len(c.shards))
+	for i, s := range c.shards {
+		gens[i] = s.Info().Generation
+	}
+	c.viewMu.Unlock()
+	// Deferrable maintenance (log compaction) outside the read-blocking
+	// lock.
+	for i, sub := range split {
+		if len(sub) != 0 {
+			c.shards[i].Maintain()
+		}
+	}
+	return gens, nil
+}
+
+// Search fans the query out to every pin via search.Batched and merges the
+// per-shard top-k lists into the global top-k with single-engine
+// tie-breaking. Stats are summed across shards.
+func (c *Coordinator) Search(ctx context.Context, v View, prep *ScanPrep, q Query) ([]search.Result, ReadStats, error) {
+	per := make([][]search.Result, len(v.pins))
+	perStats := make([]ReadStats, len(v.pins))
+	err := search.Batched(ctx, len(v.pins), len(v.pins), 1, func(i int) error {
+		res, st, err := v.pins[i].Search(ctx, prep, q)
+		if err != nil {
+			return err
+		}
+		per[i], perStats[i] = res, st
+		return nil
+	})
+	if err != nil {
+		return nil, ReadStats{}, err
+	}
+	var stats ReadStats
+	for _, st := range perStats {
+		stats.add(st)
+	}
+	return MergeTopK(per, q.K), stats, nil
+}
+
+// pairBlock is one unit of the Duplicates scan: the executing pin's slice
+// against other's (other == nil for the intra-shard triangle).
+type pairBlock struct {
+	exec  Pin
+	other Pin
+}
+
+// blocks decomposes the view's global pair triangle into N intra-shard
+// triangles and N(N-1)/2 cross-shard rectangles. The executor of a cross
+// block alternates between its two shards so cache population spreads
+// instead of piling onto low shard indices.
+func (v View) blocks() []pairBlock {
+	var out []pairBlock
+	for i := range v.pins {
+		out = append(out, pairBlock{exec: v.pins[i]})
+		for j := i + 1; j < len(v.pins); j++ {
+			if (i+j)%2 == 0 {
+				out = append(out, pairBlock{exec: v.pins[i], other: v.pins[j]})
+			} else {
+				out = append(out, pairBlock{exec: v.pins[j], other: v.pins[i]})
+			}
+		}
+	}
+	return out
+}
+
+// Duplicates scans the view's global pair triangle — every intra-shard and
+// cross-shard block — for pairs scoring at or above threshold, fanning
+// blocks out via search.Batched (each block runs its own row pool of width
+// par, the per-shard worker budget). The merged list carries the exact
+// single-engine order; pairs are oriented A <= B by ID regardless of which
+// shard executed their block.
+func (c *Coordinator) Duplicates(ctx context.Context, v View, prep *ScanPrep, threshold float64, par int) ([]search.Pair, ReadStats, error) {
+	blocks := v.blocks()
+	perPairs := make([][]search.Pair, len(blocks))
+	perStats := make([]ReadStats, len(blocks))
+	err := search.Batched(ctx, len(blocks), len(v.pins), 1, func(i int) error {
+		b := blocks[i]
+		pairs, st, err := b.exec.PairsBlock(ctx, b.other, prep, threshold, par)
+		if err != nil {
+			return err
+		}
+		perPairs[i], perStats[i] = pairs, st
+		return nil
+	})
+	if err != nil {
+		return nil, ReadStats{}, err
+	}
+	var stats ReadStats
+	var out []search.Pair
+	for i := range blocks {
+		stats.add(perStats[i])
+		out = append(out, perPairs[i]...)
+	}
+	SortPairs(out)
+	return out, stats, nil
+}
+
+// unionMeasure scores arbitrary pairs of the view's union for matrix
+// construction, routing each pair through the cache of the shard owning the
+// lexicographically-smaller ID (matching the canonical cache-key
+// orientation) and through the scan's specialised measure.
+type unionMeasure struct {
+	v       View
+	prep    *ScanPrep
+	scorers []pairScorer // one per shard, so counters stay per-cache
+}
+
+func (um *unionMeasure) Name() string { return um.prep.Name }
+
+func (um *unionMeasure) Compare(a, b *workflow.Workflow) (float64, error) {
+	pa := um.v.Owner(a.ID)
+	pb := um.v.Owner(b.ID)
+	aProj := um.prep.For(pa).projOf(a, um.prep)
+	bProj := um.prep.For(pb).projOf(b, um.prep)
+	execID := pa.Shard()
+	if b.ID < a.ID {
+		execID = pb.Shard()
+	}
+	return um.scorers[execID].score(a, b, aProj, bProj, pa.Generation(), pb.Generation(), true)
+}
+
+// Matrix computes the full pairwise similarity matrix over the view's union
+// (in ID order) for clustering, reusing the cluster package's row-parallel
+// builder with a shard-aware cached measure. The aggregated cache counters
+// are returned alongside.
+func (c *Coordinator) Matrix(ctx context.Context, v View, prep *ScanPrep, par int) (*cluster.Matrix, ReadStats, error) {
+	um := &unionMeasure{v: v, prep: prep, scorers: make([]pairScorer, len(v.pins))}
+	for i := range um.scorers {
+		um.scorers[i].prep = prep
+		if local, ok := v.pins[i].(*localPin); ok {
+			um.scorers[i].cache = local.s.cache
+		}
+	}
+	mat, err := cluster.BuildMatrix(ctx, unionCorpus(v.Union()), um, par)
+	if err != nil {
+		return nil, ReadStats{}, err
+	}
+	var stats ReadStats
+	for i := range um.scorers {
+		um.scorers[i].fill(&stats)
+	}
+	stats.Skipped = mat.Skipped
+	n := len(mat.IDs)
+	stats.Scored = n*(n-1)/2 - mat.Skipped
+	return mat, stats, nil
+}
+
+// unionCorpus adapts a workflow slice to search.Corpus.
+type unionCorpus []*workflow.Workflow
+
+func (u unionCorpus) Workflows() []*workflow.Workflow { return u }

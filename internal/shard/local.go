@@ -1,0 +1,432 @@
+package shard
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/corpus"
+	"repro/internal/index"
+	"repro/internal/scorecache"
+	"repro/internal/search"
+	"repro/internal/storage"
+	"repro/internal/workflow"
+)
+
+// LocalConfig configures one in-process shard.
+type LocalConfig struct {
+	// MinShared > 0 gives the shard an inverted label index with that
+	// candidate threshold.
+	MinShared int
+	// CacheSize > 0 gives the shard its own pairwise score cache.
+	CacheSize int
+	// Concurrency bounds the shard's refine workers (0 = GOMAXPROCS).
+	Concurrency int
+	// Dir, when non-empty, backs the shard with its own storage directory
+	// (mutation log + snapshots); boot recovers it.
+	Dir string
+	// Storage tunes the shard's store; ignored without Dir.
+	Storage storage.Options
+	// Seed populates a shard with no recovered state at generation 0 (and
+	// persists it as the baseline snapshot when the shard is durable).
+	// Seeding a shard that recovered state is an error.
+	Seed []*workflow.Workflow
+}
+
+// Local is the in-process Shard implementation: it owns its slice of the
+// corpus as a snapshot-versioned corpus.Repository, its inverted label
+// index, its score cache, and (optionally) its own durable store.
+type Local struct {
+	id          int
+	repo        *corpus.Repository
+	idx         atomic.Pointer[index.Index]
+	minShared   int
+	concurrency int
+	cache       *scorecache.Cache
+	store       *storage.Store
+	warnf       func(format string, args ...any)
+
+	rebuilds    atomic.Int64
+	warmEntries int
+
+	closeMu sync.Mutex
+	closed  bool
+}
+
+// NewLocal builds (and, when cfg.Dir is set, recovers) one shard.
+func NewLocal(id int, cfg LocalConfig) (*Local, error) {
+	repo, err := corpus.NewRepository()
+	if err != nil {
+		return nil, err
+	}
+	s := &Local{
+		id:          id,
+		repo:        repo,
+		minShared:   cfg.MinShared,
+		concurrency: cfg.Concurrency,
+		warnf:       cfg.Storage.Warnf,
+	}
+	if s.warnf == nil {
+		s.warnf = func(string, ...any) {}
+	}
+	if cfg.CacheSize > 0 {
+		s.cache = scorecache.New(cfg.CacheSize)
+	}
+	if cfg.Dir != "" {
+		store, wfs, gen, err := storage.Open(cfg.Dir, cfg.Storage)
+		if err != nil {
+			return nil, fmt.Errorf("shard %d: %w", id, err)
+		}
+		if gen > 0 || len(wfs) > 0 {
+			if len(cfg.Seed) > 0 {
+				store.Close()
+				return nil, fmt.Errorf("shard %d: directory %s holds state at generation %d; refusing to seed over it", id, cfg.Dir, gen)
+			}
+			if err := repo.Restore(gen, wfs...); err != nil {
+				store.Close()
+				return nil, fmt.Errorf("shard %d: %w", id, err)
+			}
+		} else if len(cfg.Seed) > 0 {
+			if err := s.seed(cfg.Seed); err != nil {
+				store.Close()
+				return nil, err
+			}
+			// Persist the seed as the baseline snapshot so the partition
+			// assignment itself survives a restart.
+			if err := store.Compact(0, cfg.Seed); err != nil {
+				store.Close()
+				return nil, fmt.Errorf("shard %d: persist seed: %w", id, err)
+			}
+		}
+		repo.SetCommitHook(func(gen uint64, ops []corpus.Op) error {
+			return store.Commit(gen, ops)
+		})
+		s.store = store
+	} else if len(cfg.Seed) > 0 {
+		if err := s.seed(cfg.Seed); err != nil {
+			return nil, err
+		}
+	}
+	if s.minShared > 0 {
+		s.rebuildIndex()
+		s.rebuilds.Store(0) // the initial build is not drift recovery
+	}
+	return s, nil
+}
+
+// seed installs the initial partition slice at generation 0.
+func (s *Local) seed(wfs []*workflow.Workflow) error {
+	if err := s.repo.Restore(0, wfs...); err != nil {
+		return fmt.Errorf("shard %d: seed: %w", s.id, err)
+	}
+	return nil
+}
+
+// ID implements Shard.
+func (s *Local) ID() int { return s.id }
+
+// Repository exposes the shard's repository for tests.
+func (s *Local) Repository() *corpus.Repository { return s.repo }
+
+// Validate implements Shard: the prepare phase of a cross-shard Apply.
+func (s *Local) Validate(ops []corpus.Op) error {
+	return s.repo.ValidateBatch(ops)
+}
+
+// Commit implements Shard: applies a coordinator-validated sub-batch and
+// maintains the inverted index incrementally, mirroring the single-engine
+// Apply path (full rebuild only on drift).
+func (s *Local) Commit(ops []corpus.Op) (uint64, error) {
+	gen, err := s.repo.ApplyBatch(ops)
+	if err != nil {
+		return 0, err
+	}
+	if idx := s.idx.Load(); idx != nil {
+		if idx.Generation() != gen-1 || idx.Apply(ops, gen) != nil {
+			s.rebuildIndex()
+			s.rebuilds.Add(1)
+		}
+	}
+	return gen, nil
+}
+
+// rebuildIndex rebuilds the inverted index from the current snapshot.
+func (s *Local) rebuildIndex() {
+	snap := s.repo.Snapshot()
+	idx := index.Build(snap)
+	idx.Parallelism = s.concurrency
+	idx.SetGeneration(snap.Generation())
+	s.idx.Store(idx)
+}
+
+// Maintain implements Shard: compacts the mutation log into a snapshot when
+// it has outgrown its thresholds. Runs outside the coordinator's commit
+// lock, so compaction I/O never blocks readers pinning new views.
+func (s *Local) Maintain() {
+	if s.store == nil || !s.store.ShouldCompact() {
+		return
+	}
+	snap := s.repo.Snapshot()
+	if err := s.store.Compact(snap.Generation(), snap.Workflows()); err != nil {
+		s.warnf("shard %d: snapshot compaction at generation %d failed: %v", s.id, snap.Generation(), err)
+	}
+}
+
+// Info implements Shard.
+func (s *Local) Info() Info {
+	info := Info{
+		ID:          s.id,
+		Generation:  s.repo.Generation(),
+		Workflows:   s.repo.Size(),
+		WarmEntries: s.warmEntries,
+	}
+	if idx := s.idx.Load(); idx != nil {
+		st := idx.Stats()
+		info.Index = &st
+		info.IndexRebuilds = int(s.rebuilds.Load())
+	}
+	if s.cache != nil {
+		st := s.cache.Stats()
+		info.Cache = &st
+	}
+	if s.store != nil {
+		st := s.store.Stats()
+		info.Storage = &st
+	}
+	return info
+}
+
+// WarmLoad implements Shard: re-seeds the shard's cache with its persisted
+// intra-shard pair scores, keyed under the current generation and the
+// boot-time projector epoch.
+func (s *Local) WarmLoad(sig string, epoch uint64) int {
+	if s.store == nil || s.cache == nil {
+		return 0
+	}
+	gen := s.repo.Generation()
+	packed, ok := PackGen(gen)
+	if !ok {
+		return 0
+	}
+	entries, ok := s.store.LoadScoreCache(gen, sig)
+	if !ok {
+		return 0
+	}
+	for _, ent := range entries {
+		s.cache.Put(scorecache.PairKey(ent.Measure, ent.A, ent.B, packed, epoch), ent.Score)
+	}
+	s.warmEntries = len(entries)
+	return s.warmEntries
+}
+
+// Close implements Shard: final snapshot checkpoint, warm-cache export for
+// the shard's own pairs, store release. Idempotent; a no-op for RAM-only
+// shards.
+func (s *Local) Close(warm *WarmSpec) error {
+	if s.store == nil {
+		return nil
+	}
+	s.closeMu.Lock()
+	defer s.closeMu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	snap := s.repo.Snapshot()
+	var firstErr error
+	if err := s.store.Checkpoint(snap.Generation(), snap.Workflows()); err != nil {
+		firstErr = err
+	}
+	if s.cache != nil && warm != nil {
+		if packed, ok := PackGen(snap.Generation()); ok {
+			exported := s.cache.Export(func(k scorecache.Key) bool {
+				return k.Gen == packed && k.Proj == warm.Epoch
+			})
+			if len(exported) > 0 {
+				entries := make([]storage.CachedScore, len(exported))
+				for i, ent := range exported {
+					entries[i] = storage.CachedScore{Measure: ent.Key.Measure, A: ent.Key.A, B: ent.Key.B, Score: ent.Score}
+				}
+				if err := s.store.SaveScoreCache(snap.Generation(), warm.Sig, entries); err != nil && firstErr == nil {
+					firstErr = err
+				}
+			}
+		}
+	}
+	if err := s.store.Close(); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	return firstErr
+}
+
+// Pin implements Shard.
+func (s *Local) Pin() Pin {
+	return &localPin{s: s, snap: s.repo.Snapshot(), idx: s.idx.Load()}
+}
+
+// localPin is a consistent read view of a Local shard: a pinned repository
+// snapshot plus the index as of pin time.
+type localPin struct {
+	s    *Local
+	snap *corpus.Snapshot
+	idx  *index.Index
+}
+
+func (p *localPin) Shard() int                       { return p.s.id }
+func (p *localPin) Generation() uint64               { return p.snap.Generation() }
+func (p *localPin) Size() int                        { return p.snap.Size() }
+func (p *localPin) Get(id string) *workflow.Workflow { return p.snap.Get(id) }
+func (p *localPin) Workflows() []*workflow.Workflow  { return p.snap.Workflows() }
+
+// searchMeasure adapts one shard's scan state to measures.Measure for the
+// index refine stage and the full-scan TopK: per candidate it routes the
+// pre-projected pair through the shard's cache and the scan's specialised
+// measure. Compare's first argument is always the query.
+type searchMeasure struct {
+	pin       *localPin
+	prep      *ScanPrep
+	pr        *Prepared
+	scorer    pairScorer
+	queryOrig *workflow.Workflow
+	queryProj *workflow.Workflow
+	queryGen  uint64
+	cacheable bool
+}
+
+func (sm *searchMeasure) Name() string { return sm.prep.Name }
+
+func (sm *searchMeasure) Compare(_, wf *workflow.Workflow) (float64, error) {
+	// Cache only snapshot-owned candidates (an index candidate captured
+	// across a compaction, or the query itself under IncludeQuery, is scored
+	// but never cached — same ownership rule as the single-engine cache).
+	cacheable := sm.cacheable && sm.pin.snap.Get(wf.ID) == wf
+	return sm.scorer.score(sm.queryOrig, wf, sm.queryProj, sm.pr.projOf(wf, sm.prep), sm.queryGen, sm.pin.Generation(), cacheable)
+}
+
+// Search implements Pin. The indexed filter-and-refine path is taken under
+// exactly the single-engine conditions (index current for the pinned
+// generation, no Exact/IncludeQuery/MinSimilarity); otherwise the pinned
+// slice is scanned fully. Both paths score through the shard's cache and the
+// scan's specialised measure.
+func (p *localPin) Search(ctx context.Context, prep *ScanPrep, q Query) ([]search.Result, ReadStats, error) {
+	sm := &searchMeasure{
+		pin:       p,
+		prep:      prep,
+		pr:        prep.For(p),
+		queryOrig: q.Query,
+		queryProj: prep.ProjectOne(q.Query),
+		queryGen:  q.QueryGen,
+		cacheable: q.Cacheable,
+	}
+	sm.scorer.prep = prep
+	sm.scorer.cache = p.s.cache
+	k := q.K
+	if k <= 0 {
+		k = 10
+	}
+	var stats ReadStats
+	if p.idx != nil && p.idx.Generation() == p.snap.Generation() &&
+		!q.Exact && !q.IncludeQuery && q.MinSimilarity == nil {
+		res, err := p.idx.TopK(ctx, q.Query, sm, k, p.s.minShared)
+		if err != nil {
+			return nil, ReadStats{}, err
+		}
+		stats.Scored = res.CandidateCount - res.Skipped
+		stats.Skipped = res.Skipped
+		stats.Pruned = res.Pruned
+		sm.scorer.fill(&stats)
+		return res.Results, stats, nil
+	}
+	results, skipped, err := search.TopK(ctx, q.Query, p.snap, sm, search.Options{
+		K:             k,
+		Parallelism:   q.Par,
+		IncludeQuery:  q.IncludeQuery,
+		MinSimilarity: q.MinSimilarity,
+	})
+	if err != nil {
+		return nil, ReadStats{}, err
+	}
+	stats.Skipped = skipped
+	stats.Scored = p.snap.Size() - skipped
+	if !q.IncludeQuery && p.snap.Get(q.Query.ID) != nil {
+		stats.Scored--
+	}
+	sm.scorer.fill(&stats)
+	return results, stats, nil
+}
+
+// PairsBlock implements Pin: the shard's own upper-triangle pair block
+// (other == nil), or the full cross block self × other. Rows are fanned out
+// with batch size 1 so uneven row lengths load-balance; results are
+// unsorted — the coordinator merges and applies the global deterministic
+// order.
+func (p *localPin) PairsBlock(ctx context.Context, other Pin, prep *ScanPrep, threshold float64, par int) ([]search.Pair, ReadStats, error) {
+	self := prep.For(p)
+	var scorer pairScorer
+	scorer.prep = prep
+	scorer.cache = p.s.cache
+	selfGen := p.Generation()
+
+	cross := self
+	otherGen := selfGen
+	if other != nil {
+		cross = prep.For(other)
+		otherGen = other.Generation()
+	}
+
+	var mu sync.Mutex
+	var out []search.Pair
+	var skipped, scored atomic.Int64
+	err := search.Batched(ctx, len(self.Orig), par, 1, func(i int) error {
+		a, aProj := self.Orig[i], self.Proj[i]
+		j0 := 0
+		if other == nil {
+			j0 = i + 1 // intra-shard: upper triangle only
+		}
+		var row []search.Pair
+		for j := j0; j < len(cross.Orig); j++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			b, bProj := cross.Orig[j], cross.Proj[j]
+			// Evaluate in ID order (see search.Duplicates): the score must be
+			// a function of the unordered pair, not of which shard's block
+			// the pair landed in.
+			x, xProj, xGen := a, aProj, selfGen
+			y, yProj, yGen := b, bProj, otherGen
+			if y.ID < x.ID {
+				x, xProj, xGen, y, yProj, yGen = y, yProj, yGen, x, xProj, xGen
+			}
+			s, err := scorer.score(x, y, xProj, yProj, xGen, yGen, true)
+			if err != nil {
+				skipped.Add(1)
+				continue
+			}
+			scored.Add(1)
+			if s < threshold {
+				continue
+			}
+			// Canonical orientation (A <= B by ID): block ownership must not
+			// leak into the output, so N-shard and M-shard scans emit
+			// identical pair lists.
+			aID, bID := a.ID, b.ID
+			if bID < aID {
+				aID, bID = bID, aID
+			}
+			row = append(row, search.Pair{A: aID, B: bID, Similarity: s})
+		}
+		if len(row) > 0 {
+			mu.Lock()
+			out = append(out, row...)
+			mu.Unlock()
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, ReadStats{}, err
+	}
+	stats := ReadStats{Scored: int(scored.Load()), Skipped: int(skipped.Load())}
+	scorer.fill(&stats)
+	return out, stats, nil
+}

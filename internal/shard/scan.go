@@ -1,0 +1,325 @@
+package shard
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/corpus"
+	"repro/internal/index"
+	"repro/internal/measures"
+	"repro/internal/module"
+	"repro/internal/scorecache"
+	"repro/internal/search"
+	"repro/internal/storage"
+	"repro/internal/workflow"
+)
+
+// ScanPrep carries one read operation's measure across shards: the resolved
+// measure, the projector epoch for cache keying, and — when the measure
+// supports it (measures.Specialisable) — a scan-specialised form that hoists
+// the importance projection out of the per-pair Compare and shares a memo
+// for repeated attribute comparisons across every shard's workers. The
+// specialised form returns bit-identical scores; only redundant per-pair
+// work (re-projecting the same workflow, re-running Levenshtein on the same
+// label pair) is removed, which is what makes the scatter-gather scan faster
+// than the legacy single-engine scan even before shards get their own cores.
+//
+// A ScanPrep is built once per read operation and is safe for concurrent use
+// by all shards of that operation.
+type ScanPrep struct {
+	// Name is the measure's canonical notation name (stats, cache keys).
+	Name string
+	// Epoch is the projector epoch the measure was resolved under.
+	Epoch uint64
+
+	inner   measures.Measure   // compares pre-projected workflows
+	project measures.Projector // nil when nothing was hoisted
+	memo    *module.SimMemo    // nil for non-specialisable measures
+
+	mu       sync.Mutex
+	prepared map[Pin]*Prepared
+}
+
+// NewScanPrep resolves m for a scatter-gather scan. epoch is the projector
+// epoch of the projection m was resolved with.
+func NewScanPrep(m measures.Measure, epoch uint64) *ScanPrep {
+	p := &ScanPrep{
+		Name:     m.Name(),
+		Epoch:    epoch,
+		inner:    m,
+		prepared: map[Pin]*Prepared{},
+	}
+	if sp, ok := m.(measures.Specialisable); ok {
+		p.memo = module.NewSimMemo()
+		p.project, p.inner = sp.Specialise(p.memo)
+	}
+	return p
+}
+
+// Prepared is one pin's slice of the corpus, pre-projected for the scan.
+type Prepared struct {
+	// Orig is the pin's workflows in repository order (snapshot-owned).
+	Orig []*workflow.Workflow
+	// Proj is the projected counterpart of Orig (the same slice when the
+	// scan's measure has no hoisted projection).
+	Proj   []*workflow.Workflow
+	byOrig map[*workflow.Workflow]*workflow.Workflow // nil without projection
+}
+
+// ProjOf returns the projected form of a workflow from the prepared slice,
+// falling back to projecting on the spot for pointers outside it (e.g. an
+// index candidate captured across a compaction).
+func (pr *Prepared) projOf(wf *workflow.Workflow, p *ScanPrep) *workflow.Workflow {
+	if pr.byOrig == nil {
+		return wf
+	}
+	if proj, ok := pr.byOrig[wf]; ok {
+		return proj
+	}
+	return p.ProjectOne(wf)
+}
+
+// For returns pin's prepared slice, building it on first use: each workflow
+// is projected exactly once per scan, instead of once per pair inside the
+// measure.
+func (p *ScanPrep) For(pin Pin) *Prepared {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if pr, ok := p.prepared[pin]; ok {
+		return pr
+	}
+	orig := pin.Workflows()
+	pr := &Prepared{Orig: orig, Proj: orig}
+	if p.project != nil {
+		proj := make([]*workflow.Workflow, len(orig))
+		byOrig := make(map[*workflow.Workflow]*workflow.Workflow, len(orig))
+		for i, wf := range orig {
+			proj[i] = p.project(wf)
+			byOrig[wf] = proj[i]
+		}
+		pr.Proj = proj
+		pr.byOrig = byOrig
+	}
+	p.prepared[pin] = pr
+	return pr
+}
+
+// ProjectOne applies the hoisted projection to a single workflow (the query
+// of a search); it is the identity when nothing was hoisted.
+func (p *ScanPrep) ProjectOne(wf *workflow.Workflow) *workflow.Workflow {
+	if p.project == nil {
+		return wf
+	}
+	return p.project(wf)
+}
+
+// Compare scores a pre-projected pair with the scan's specialised measure.
+func (p *ScanPrep) Compare(aProj, bProj *workflow.Workflow) (float64, error) {
+	return p.inner.Compare(aProj, bProj)
+}
+
+// MemoSize reports the number of memoized attribute comparisons (0 for
+// non-specialisable measures) — benchmark/debug visibility.
+func (p *ScanPrep) MemoSize() int {
+	if p.memo == nil {
+		return 0
+	}
+	return p.memo.Len()
+}
+
+// packPairGen builds the cache-key generation for a pair whose sides live on
+// shards at generations aGen and bGen: the two per-shard generations packed
+// into one uint64, ordered to match scorecache.PairKey's ID
+// canonicalization (the generation of the shard owning the
+// lexicographically-smaller ID lands in the high bits). ok is false when
+// either generation no longer fits in 32 bits — the pair is then simply not
+// cached rather than risking key collisions.
+func packPairGen(aID string, aGen uint64, bID string, bGen uint64) (uint64, bool) {
+	if bID < aID {
+		aGen, bGen = bGen, aGen
+	}
+	if aGen >= 1<<32 || bGen >= 1<<32 {
+		return 0, false
+	}
+	return aGen<<32 | bGen, true
+}
+
+// PackGen is packPairGen for an intra-shard pair (both sides at gen): the
+// keyspace of a shard's own pairs, used for warm-cache persistence filters.
+func PackGen(gen uint64) (uint64, bool) {
+	if gen >= 1<<32 {
+		return 0, false
+	}
+	return gen<<32 | gen, true
+}
+
+// pairScorer scores (origin, projected) pairs through a shard's score cache.
+// It is built per scan task; hit/miss counters accumulate into ReadStats.
+type pairScorer struct {
+	prep  *ScanPrep
+	cache *scorecache.Cache // nil disables caching
+	hits  atomic.Int64
+	miss  atomic.Int64
+}
+
+// score evaluates the pair (a at aGen, b at bGen), serving and populating
+// the cache when both sides are cacheable corpus-owned objects.
+func (ps *pairScorer) score(a, b, aProj, bProj *workflow.Workflow, aGen, bGen uint64, cacheable bool) (float64, error) {
+	if ps.cache == nil || !cacheable {
+		return ps.prep.Compare(aProj, bProj)
+	}
+	g, ok := packPairGen(a.ID, aGen, b.ID, bGen)
+	if !ok {
+		return ps.prep.Compare(aProj, bProj)
+	}
+	key := scorecache.PairKey(ps.prep.Name, a.ID, b.ID, g, ps.prep.Epoch)
+	if s, ok := ps.cache.Get(key); ok {
+		ps.hits.Add(1)
+		return s, nil
+	}
+	ps.miss.Add(1)
+	s, err := ps.prep.Compare(aProj, bProj)
+	if err != nil {
+		// Failures (e.g. GED timeouts) are not cached: the budget differs
+		// per call, so a later call may succeed.
+		return s, err
+	}
+	ps.cache.Put(key, s)
+	return s, nil
+}
+
+// fill copies the scorer's counters into stats.
+func (ps *pairScorer) fill(st *ReadStats) {
+	st.CacheHits += int(ps.hits.Load())
+	st.CacheMisses += int(ps.miss.Load())
+}
+
+// ReadStats aggregates one shard's (or one merged operation's) scan work.
+type ReadStats struct {
+	// Scored is the number of pairs evaluated or served from cache.
+	Scored int
+	// Skipped counts pairs the measure failed on (disregarded, as in the
+	// paper's GED-timeout treatment).
+	Skipped int
+	// Pruned counts workflows the inverted index filtered out unscored.
+	Pruned int
+	// CacheHits / CacheMisses are the scan's score-cache counters.
+	CacheHits   int
+	CacheMisses int
+}
+
+// add accumulates per-shard stats into a merged total.
+func (s *ReadStats) add(o ReadStats) {
+	s.Scored += o.Scored
+	s.Skipped += o.Skipped
+	s.Pruned += o.Pruned
+	s.CacheHits += o.CacheHits
+	s.CacheMisses += o.CacheMisses
+}
+
+// Query is one scatter-gather search request, fanned out to every pin.
+type Query struct {
+	// Query is the query workflow (resolved from its owner shard for
+	// SearchID, or caller-provided for ad-hoc queries).
+	Query *workflow.Workflow
+	// QueryGen is the generation of the shard owning Query's ID (cache
+	// keying); meaningful only when Cacheable.
+	QueryGen uint64
+	// Cacheable marks Query as the owner shard's own snapshot object, so
+	// query/corpus pair scores may enter and be served from the cache.
+	Cacheable bool
+	// K is the per-shard (and merged) result count.
+	K int
+	// Exact forces a full scan even on shards with an index.
+	Exact bool
+	// IncludeQuery keeps the query workflow in the results.
+	IncludeQuery bool
+	// MinSimilarity drops results at or below the threshold.
+	MinSimilarity *float64
+	// Par bounds each shard's scoring workers on the full-scan path.
+	Par int
+}
+
+// Shard is the boundary between the coordinator and one partition of the
+// corpus. The in-process implementation is Local; a future remote
+// implementation speaks the same contract over RPC, with Pin degenerating
+// to a generation token and ScanPrep to a measure descriptor.
+//
+// Reads go through Pin (a consistent point-in-time capture); writes go
+// through the two-phase Validate/Commit pair, driven by a Coordinator that
+// serializes writers across shards. Maintain runs deferrable upkeep
+// (snapshot compaction) outside the coordinator's commit lock.
+type Shard interface {
+	// ID is the shard's position in the ring ([0, N)).
+	ID() int
+	// Pin captures the shard's current state for a consistent read.
+	Pin() Pin
+	// Validate checks a sub-batch against current state without mutating
+	// anything — the prepare phase of a cross-shard Apply.
+	Validate(ops []corpus.Op) error
+	// Commit applies a validated sub-batch and returns the shard's new
+	// generation. Between a coordinator's Validate and Commit no other
+	// writer may intervene.
+	Commit(ops []corpus.Op) (uint64, error)
+	// Maintain performs deferrable maintenance (e.g. log compaction).
+	Maintain()
+	// Info reports the shard's current stats for aggregation.
+	Info() Info
+	// WarmLoad re-seeds the shard's score cache from persisted warm
+	// entries under the given projection signature and epoch, returning
+	// the number of entries restored.
+	WarmLoad(sig string, epoch uint64) int
+	// Close flushes durable state (final snapshot, warm cache under spec
+	// when non-nil) and releases resources. Idempotent.
+	Close(warm *WarmSpec) error
+}
+
+// Pin is a consistent point-in-time read view of one shard. Scans run
+// against the pin while later commits proceed; the view never tears.
+type Pin interface {
+	// Shard is the owning shard's ID.
+	Shard() int
+	// Generation is the shard generation this pin captures.
+	Generation() uint64
+	// Size is the number of workflows in the pinned slice.
+	Size() int
+	// Get returns the pinned workflow with the given ID, or nil.
+	Get(id string) *workflow.Workflow
+	// Workflows returns the pinned slice in repository order; callers must
+	// not modify it.
+	Workflows() []*workflow.Workflow
+	// Search scores q against the pinned slice and returns the shard-local
+	// top-k (merged globally by the coordinator).
+	Search(ctx context.Context, prep *ScanPrep, q Query) ([]search.Result, ReadStats, error)
+	// PairsBlock scans pairs against other's pinned slice (all pairs of
+	// self × other), or the shard's own upper-triangle block when other is
+	// nil, returning pairs scoring at or above threshold. The receiver's
+	// score cache serves the block.
+	PairsBlock(ctx context.Context, other Pin, prep *ScanPrep, threshold float64, par int) ([]search.Pair, ReadStats, error)
+}
+
+// WarmSpec identifies the projection configuration warm-cache entries are
+// persisted under (see the engine's projection signature and epoch).
+type WarmSpec struct {
+	Sig   string
+	Epoch uint64
+}
+
+// Info is one shard's stats snapshot, aggregated by the engine and exposed
+// per-shard by the service layer.
+type Info struct {
+	ID         int
+	Generation uint64
+	Workflows  int
+	// Index is nil for shards without an inverted index.
+	Index *index.Stats
+	// IndexRebuilds counts full index rebuilds (drift recovery).
+	IndexRebuilds int
+	// Cache is nil for shards without a score cache.
+	Cache *scorecache.Stats
+	// Storage is nil for RAM-only shards.
+	Storage *storage.Stats
+	// WarmEntries is the number of warm cache entries re-seeded at boot.
+	WarmEntries int
+}

@@ -1,0 +1,396 @@
+package shard
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/corpus"
+	"repro/internal/gen"
+	"repro/internal/measures"
+	"repro/internal/module"
+	"repro/internal/search"
+	"repro/internal/storage"
+	"repro/internal/workflow"
+)
+
+func testCorpus(t *testing.T, n int) *gen.Corpus {
+	t.Helper()
+	p := gen.Galaxy()
+	p.Workflows = n
+	p.Clusters = 8
+	c, err := gen.Generate(p, 23)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func msMeasure() measures.Measure {
+	return measures.NewStructural(measures.Config{
+		Topology:  measures.ModuleSets,
+		Scheme:    module.PLL(),
+		Normalize: true,
+	})
+}
+
+func TestRingOwnerDeterministicAndCovering(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 5, 8} {
+		ring, err := NewRing(n)
+		if err != nil {
+			t.Fatalf("NewRing(%d): %v", n, err)
+		}
+		counts := make([]int, n)
+		for i := 0; i < 5000; i++ {
+			id := fmt.Sprintf("wf-%04d", i)
+			owner := ring.Owner(id)
+			if owner < 0 || owner >= n {
+				t.Fatalf("ring(%d).Owner(%q) = %d out of range", n, id, owner)
+			}
+			if again := ring.Owner(id); again != owner {
+				t.Fatalf("ring(%d).Owner(%q) not deterministic: %d then %d", n, id, owner, again)
+			}
+			counts[owner]++
+		}
+		for s, c := range counts {
+			if c == 0 {
+				t.Errorf("ring(%d): shard %d owns no IDs out of 5000", n, s)
+			}
+		}
+		if n == 1 && counts[0] != 5000 {
+			t.Errorf("ring(1) must own everything, got %d", counts[0])
+		}
+	}
+	if _, err := NewRing(0); err == nil {
+		t.Error("NewRing(0) should fail")
+	}
+}
+
+func TestRingStableAcrossInstances(t *testing.T) {
+	a, _ := NewRing(4)
+	b, _ := NewRing(4)
+	for i := 0; i < 1000; i++ {
+		id := fmt.Sprintf("workflow/%d", i)
+		if a.Owner(id) != b.Owner(id) {
+			t.Fatalf("two rings with the same shard count disagree on %q", id)
+		}
+	}
+}
+
+func TestMergeTopKMatchesGlobalSort(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 50; trial++ {
+		nShards := 1 + r.Intn(6)
+		var all []search.Result
+		lists := make([][]search.Result, nShards)
+		for s := 0; s < nShards; s++ {
+			n := r.Intn(20)
+			for i := 0; i < n; i++ {
+				// Coarse similarity buckets force plenty of ties so the
+				// ID tie-break is actually exercised.
+				res := search.Result{
+					ID:         fmt.Sprintf("wf-%02d-%02d", s, i),
+					Similarity: float64(r.Intn(5)) / 4,
+				}
+				lists[s] = append(lists[s], res)
+				all = append(all, res)
+			}
+			sort.Slice(lists[s], func(i, j int) bool { return resultBetter(lists[s][i], lists[s][j]) })
+		}
+		sort.Slice(all, func(i, j int) bool { return resultBetter(all[i], all[j]) })
+		k := 1 + r.Intn(15)
+		got := MergeTopK(lists, k)
+		want := all
+		if len(want) > k {
+			want = want[:k]
+		}
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: merge returned %d results, want %d", trial, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: merged[%d] = %+v, want %+v", trial, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestLayoutMarkerRoundTrip(t *testing.T) {
+	root := t.TempDir()
+	if _, ok, err := ReadMarker(root); err != nil || ok {
+		t.Fatalf("ReadMarker on empty dir = ok=%v err=%v, want absent", ok, err)
+	}
+	if err := CheckLayout(root, 4); err != nil {
+		t.Fatalf("CheckLayout on fresh dir: %v", err)
+	}
+	n, ok, err := ReadMarker(root)
+	if err != nil || !ok || n != 4 {
+		t.Fatalf("ReadMarker after CheckLayout = %d, %v, %v; want 4, true, nil", n, ok, err)
+	}
+	// Same count reopens fine; different count is refused with a clear error.
+	if err := CheckLayout(root, 4); err != nil {
+		t.Fatalf("CheckLayout same count: %v", err)
+	}
+	err = CheckLayout(root, 2)
+	if err == nil {
+		t.Fatal("CheckLayout with mismatched shard count should fail")
+	}
+	if !strings.Contains(err.Error(), "4 shards") || !strings.Contains(err.Error(), "-shards 4") {
+		t.Errorf("mismatch error should name the recorded count and remedy, got: %v", err)
+	}
+	has, err := DirHasState(root)
+	if err != nil || !has {
+		t.Fatalf("DirHasState with marker only = %v, %v; want true", has, err)
+	}
+}
+
+func TestCheckLayoutRefusesUnshardedDir(t *testing.T) {
+	root := t.TempDir()
+	store, _, _, err := storage.Open(root, storage.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wf := &workflow.Workflow{ID: "w1", Modules: []*workflow.Module{{Label: "step one"}}}
+	if err := store.Commit(1, []corpus.Op{{Kind: corpus.OpAdd, ID: "w1", Workflow: wf}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Close(); err != nil {
+		t.Fatal(err)
+	}
+	err = CheckLayout(root, 2)
+	if err == nil {
+		t.Fatal("CheckLayout over a flat unsharded corpus should fail")
+	}
+	if !strings.Contains(err.Error(), "unsharded") {
+		t.Errorf("error should say the directory is unsharded, got: %v", err)
+	}
+}
+
+// buildLocal seeds nShards in-memory shards from the generated corpus,
+// partitioned by the ring, and returns the coordinator.
+func buildLocal(t *testing.T, c *gen.Corpus, nShards int, dir string) *Coordinator {
+	t.Helper()
+	ring, err := NewRing(nShards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parts := make([][]*workflow.Workflow, nShards)
+	for _, wf := range c.Repo.Workflows() {
+		o := ring.Owner(wf.ID)
+		parts[o] = append(parts[o], wf)
+	}
+	shards := make([]Shard, nShards)
+	for i := range shards {
+		cfg := LocalConfig{MinShared: 2, CacheSize: 1 << 16, Seed: parts[i]}
+		if dir != "" {
+			cfg.Dir = ShardDir(dir, i)
+		}
+		s, err := NewLocal(i, cfg)
+		if err != nil {
+			t.Fatalf("shard %d: %v", i, err)
+		}
+		shards[i] = s
+	}
+	coord, err := NewCoordinator(shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { coord.Close(nil) })
+	return coord
+}
+
+func TestCoordinatorApplyAtomicity(t *testing.T) {
+	c := testCorpus(t, 60)
+	coord := buildLocal(t, c, 3, "")
+	before := coord.View()
+	beforeGens := before.Generations()
+	beforeSize := before.Size()
+
+	// A batch touching several shards where one op is invalid (duplicate add)
+	// must leave every shard untouched.
+	existing := c.Repo.Workflows()[0]
+	ops := []corpus.Op{
+		{Kind: corpus.OpAdd, ID: "new-a", Workflow: &workflow.Workflow{ID: "new-a", Modules: []*workflow.Module{{Label: "alpha"}}}},
+		{Kind: corpus.OpAdd, ID: "new-b", Workflow: &workflow.Workflow{ID: "new-b", Modules: []*workflow.Module{{Label: "beta"}}}},
+		{Kind: corpus.OpAdd, ID: existing.ID, Workflow: existing},
+	}
+	if _, err := coord.Apply(ops); err == nil {
+		t.Fatal("Apply with an invalid op should fail")
+	}
+	after := coord.View()
+	afterGens := after.Generations()
+	for i := range beforeGens {
+		if afterGens[i] != beforeGens[i] {
+			t.Errorf("shard %d generation moved %d -> %d after failed Apply", i, beforeGens[i], afterGens[i])
+		}
+	}
+	if after.Size() != beforeSize {
+		t.Errorf("size moved %d -> %d after failed Apply", beforeSize, after.Size())
+	}
+	if after.Get("new-a") != nil || after.Get("new-b") != nil {
+		t.Error("failed Apply leaked workflows into shards")
+	}
+
+	// The valid prefix alone commits, bumping exactly the touched shards.
+	gens, err := coord.Apply(ops[:2])
+	if err != nil {
+		t.Fatalf("valid Apply: %v", err)
+	}
+	v := coord.View()
+	if v.Get("new-a") == nil || v.Get("new-b") == nil {
+		t.Fatal("committed workflows not visible")
+	}
+	bumped := 0
+	for i := range gens {
+		switch gens[i] {
+		case beforeGens[i]:
+		case beforeGens[i] + 1:
+			bumped++
+		default:
+			t.Errorf("shard %d generation jumped %d -> %d", i, beforeGens[i], gens[i])
+		}
+	}
+	if bumped == 0 {
+		t.Error("no shard generation advanced after successful Apply")
+	}
+	if got := v.AggregateGeneration(); got != sum(gens) {
+		t.Errorf("AggregateGeneration = %d, want %d", got, sum(gens))
+	}
+}
+
+func sum(v []uint64) uint64 {
+	var s uint64
+	for _, x := range v {
+		s += x
+	}
+	return s
+}
+
+func TestSearchEquivalenceAcrossShardCounts(t *testing.T) {
+	c := testCorpus(t, 80)
+	prep1 := NewScanPrep(msMeasure(), 0)
+	coord1 := buildLocal(t, c, 1, "")
+	v1 := coord1.View()
+
+	queries := c.Repo.Workflows()[:5]
+	for _, nShards := range []int{2, 3, 5} {
+		coordN := buildLocal(t, c, nShards, "")
+		vN := coordN.View()
+		prepN := NewScanPrep(msMeasure(), 0)
+		for _, q := range queries {
+			r1, _, err := coord1.Search(context.Background(), v1, prep1, Query{Query: q, K: 15})
+			if err != nil {
+				t.Fatal(err)
+			}
+			rN, _, err := coordN.Search(context.Background(), vN, prepN, Query{Query: q, K: 15})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(r1) != len(rN) {
+				t.Fatalf("%d shards, query %s: %d results vs %d at 1 shard", nShards, q.ID, len(rN), len(r1))
+			}
+			for i := range r1 {
+				if r1[i].ID != rN[i].ID || r1[i].Similarity != rN[i].Similarity {
+					t.Fatalf("%d shards, query %s, rank %d: got (%s, %g), want (%s, %g)",
+						nShards, q.ID, i, rN[i].ID, rN[i].Similarity, r1[i].ID, r1[i].Similarity)
+				}
+			}
+		}
+	}
+}
+
+func TestDuplicatesEquivalenceAndCrossShardPairs(t *testing.T) {
+	c := testCorpus(t, 60)
+	threshold := 0.5
+
+	coord1 := buildLocal(t, c, 1, "")
+	p1, _, err := coord1.Duplicates(context.Background(), coord1.View(), NewScanPrep(msMeasure(), 0), threshold, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p1) == 0 {
+		t.Fatal("expected duplicate pairs at threshold 0.5 in a clustered corpus")
+	}
+
+	coord4 := buildLocal(t, c, 4, "")
+	p4, _, err := coord4.Duplicates(context.Background(), coord4.View(), NewScanPrep(msMeasure(), 0), threshold, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p1) != len(p4) {
+		t.Fatalf("pair count differs: 1 shard %d vs 4 shards %d", len(p1), len(p4))
+	}
+	ring := coord4.Ring()
+	cross := 0
+	for i := range p1 {
+		if p1[i] != p4[i] {
+			t.Fatalf("pair %d differs: 1 shard %+v vs 4 shards %+v", i, p1[i], p4[i])
+		}
+		if ring.Owner(p4[i].A) != ring.Owner(p4[i].B) {
+			cross++
+		}
+	}
+	if cross == 0 {
+		t.Error("no cross-shard pair in the duplicate set; block decomposition untested")
+	}
+	t.Logf("%d pairs, %d cross-shard", len(p4), cross)
+}
+
+func TestLocalShardDurableRoundTrip(t *testing.T) {
+	c := testCorpus(t, 30)
+	dir := t.TempDir()
+	coord := buildLocal(t, c, 2, dir)
+	v := coord.View()
+	wantGens := v.Generations()
+	wantIDs := make([]string, 0, v.Size())
+	for _, wf := range v.Union() {
+		wantIDs = append(wantIDs, wf.ID)
+	}
+	if err := coord.Close(nil); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen without seeds: state must come back per shard.
+	shards := make([]Shard, 2)
+	for i := range shards {
+		s, err := NewLocal(i, LocalConfig{MinShared: 2, Dir: ShardDir(dir, i)})
+		if err != nil {
+			t.Fatalf("reopen shard %d: %v", i, err)
+		}
+		shards[i] = s
+	}
+	coord2, err := NewCoordinator(shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord2.Close(nil)
+	v2 := coord2.View()
+	gotGens := v2.Generations()
+	for i := range wantGens {
+		if gotGens[i] != wantGens[i] {
+			t.Errorf("shard %d generation %d after restart, want %d", i, gotGens[i], wantGens[i])
+		}
+	}
+	gotIDs := make([]string, 0, v2.Size())
+	for _, wf := range v2.Union() {
+		gotIDs = append(gotIDs, wf.ID)
+	}
+	if len(gotIDs) != len(wantIDs) {
+		t.Fatalf("restart lost workflows: %d vs %d", len(gotIDs), len(wantIDs))
+	}
+	for i := range wantIDs {
+		if gotIDs[i] != wantIDs[i] {
+			t.Fatalf("restart changed corpus: ID[%d] = %s, want %s", i, gotIDs[i], wantIDs[i])
+		}
+	}
+
+	// Seeding over recovered state is refused.
+	if _, err := NewLocal(0, LocalConfig{Dir: ShardDir(dir, 0), Seed: c.Repo.Workflows()[:1]}); err == nil {
+		t.Error("seeding a shard that recovered state should fail")
+	}
+	_ = filepath.Join // keep import if unused in future edits
+}

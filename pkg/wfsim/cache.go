@@ -21,16 +21,32 @@ type CacheStats = scorecache.Stats
 // stale, and a projector replacement (repository-knowledge refresh, manual
 // SetProjector) bumps the epoch, so scores computed under a different
 // importance projection are never served either.
+// With WithShards(n), size is the total budget: each shard gets its own
+// cache of size/n entries (or the default capacity per shard when
+// size <= 0), serving that shard's intra- and cross-shard pair scores.
 func WithScoreCache(size int) Option {
 	return func(e *Engine) error {
-		e.cache = scorecache.New(size)
+		e.cacheWanted = true
+		e.cacheSize = size
 		return nil
 	}
 }
 
-// CacheStats returns the cumulative statistics of the engine's score cache,
-// or zero statistics when the engine has none.
+// CacheStats returns the cumulative statistics of the engine's score cache —
+// summed across shards for a sharded engine — or zero statistics when the
+// engine has none.
 func (e *Engine) CacheStats() CacheStats {
+	if e.coord != nil {
+		var total CacheStats
+		for _, info := range e.coord.Infos() {
+			if info.Cache != nil {
+				total.Hits += info.Cache.Hits
+				total.Misses += info.Cache.Misses
+				total.Entries += info.Cache.Entries
+			}
+		}
+		return total
+	}
 	if e.cache == nil {
 		return CacheStats{}
 	}

@@ -14,7 +14,9 @@ import (
 	"repro/internal/repoknow"
 	"repro/internal/scorecache"
 	"repro/internal/search"
+	"repro/internal/shard"
 	"repro/internal/storage"
+	"repro/internal/workflow"
 )
 
 // Engine is the similarity-search facade over one workflow repository. It
@@ -35,10 +37,19 @@ type Engine struct {
 	reg            *Registry
 	idx            atomic.Pointer[index.Index]
 	cache          *scorecache.Cache
+	cacheWanted    bool // WithScoreCache was given; cache(s) built in New
+	cacheSize      int  // requested total capacity (<= 0 = default)
 	minShared      int
 	concurrency    int
 	defaultMeasure string
 	repoKnow       *repoKnowState
+
+	// WithShards(n > 1) replaces the single-repository data plane with a
+	// shard.Coordinator over n consistent-hash partitions; the legacy fields
+	// above (repo/idx/cache/store) stay nil-ish and every operation routes
+	// through coord. See sharded.go.
+	shardCount int
+	coord      *shard.Coordinator
 
 	storageDir  string        // WithStorage data directory ("" = RAM only)
 	storageCfg  storageConfig // WithStorage tuning
@@ -51,53 +62,59 @@ type Engine struct {
 }
 
 // repoKnowState derives importance projectors from repository snapshots
-// (WithRepositoryKnowledge). Projectors are keyed by generation: a read over
-// a pinned snapshot always projects against that snapshot's own module
-// frequencies, even while readers at other generations are in flight — no
-// reader can regress another reader's projection. Each built projector
-// carries a unique epoch for score-cache keying.
+// (WithRepositoryKnowledge). Projectors are keyed by the read frontier they
+// were built over — a generation for single-repository engines, a generation
+// vector for sharded ones — so a read over a pinned view always projects
+// against that view's own module frequencies, even while readers at other
+// frontiers are in flight; no reader can regress another reader's
+// projection. Each built projector carries a unique epoch for score-cache
+// keying.
 type repoKnowState struct {
 	threshold float64
 	mu        sync.Mutex
-	entries   map[uint64]*projEntry // generation -> projector, newest few kept
+	entries   map[string]*projEntry // frontier key -> projector, newest few kept
+	order     []string              // insertion order, for eviction
 	epochs    uint64
 	rebuilds  atomic.Int64
 }
 
-// projEntry is one generation's importance projector.
+// projEntry is one read frontier's importance projector.
 type projEntry struct {
-	gen     uint64
 	epoch   uint64
 	project measures.Projector
 }
 
-// entryFor returns the projector for snap's generation, building (and
-// counting) it on first use. A handful of recent generations stay cached so
-// overlapping reads across a mutation boundary don't rebuild per call.
-func (rk *repoKnowState) entryFor(snap *corpus.Snapshot) *projEntry {
-	gen := snap.Generation()
+// entry returns the projector for the given frontier key, building it from
+// workflows() (and counting the rebuild) on first use. A handful of recent
+// frontiers stay cached so overlapping reads across a mutation boundary
+// don't rebuild per call.
+func (rk *repoKnowState) entry(key string, workflows func() []*workflow.Workflow) *projEntry {
 	rk.mu.Lock()
 	defer rk.mu.Unlock()
-	if ent, ok := rk.entries[gen]; ok {
+	if ent, ok := rk.entries[key]; ok {
 		return ent
 	}
-	usage := repoknow.CollectUsage(snap.Workflows())
+	usage := repoknow.CollectUsage(workflows())
 	proj := repoknow.NewProjector(repoknow.NewFrequencyScorer(usage), rk.threshold)
 	rk.epochs++
-	ent := &projEntry{gen: gen, epoch: rk.epochs, project: proj.Project}
-	rk.entries[gen] = ent
-	for len(rk.entries) > 4 {
-		oldest := gen
-		for g := range rk.entries {
-			if g < oldest {
-				oldest = g
-			}
-		}
-		delete(rk.entries, oldest)
+	ent := &projEntry{epoch: rk.epochs, project: proj.Project}
+	rk.entries[key] = ent
+	rk.order = append(rk.order, key)
+	for len(rk.order) > 4 {
+		delete(rk.entries, rk.order[0])
+		rk.order = rk.order[1:]
 	}
 	rk.rebuilds.Add(1)
 	return ent
 }
+
+// entryFor is entry keyed by a single repository snapshot's generation.
+func (rk *repoKnowState) entryFor(snap *corpus.Snapshot) *projEntry {
+	return rk.entry(genKey(snap.Generation()), snap.Workflows)
+}
+
+// genKey formats a single-repository frontier key.
+func genKey(gen uint64) string { return fmt.Sprintf("g%d", gen) }
 
 // Option configures an Engine under construction.
 type Option func(*Engine) error
@@ -147,7 +164,7 @@ func WithRepositoryKnowledge(threshold float64) Option {
 		if threshold != threshold || threshold > 1 {
 			return fmt.Errorf("repository-knowledge threshold %v out of range (0, 1]: IDF scores never exceed 1, so every module would be projected away", threshold)
 		}
-		e.repoKnow = &repoKnowState{threshold: threshold, entries: map[uint64]*projEntry{}}
+		e.repoKnow = &repoKnowState{threshold: threshold, entries: map[string]*projEntry{}}
 		return nil
 	}
 }
@@ -225,6 +242,17 @@ func New(repo *Repository, opts ...Option) (*Engine, error) {
 	if _, err := e.reg.Parse(e.defaultMeasure); err != nil {
 		return nil, fmt.Errorf("invalid default measure: %w", err)
 	}
+	// A sharded engine has its own construction path: per-shard repositories,
+	// indexes, caches and stores, coordinated scatter-gather on top.
+	if e.shardCount > 1 {
+		if err := e.openSharded(); err != nil {
+			return nil, err
+		}
+		return e, nil
+	}
+	if e.cacheWanted {
+		e.cache = scorecache.New(e.cacheSize)
+	}
 	// Storage recovery runs first among the finalize steps, so the
 	// projector and the index below are built over the recovered state,
 	// not the empty repository the caller passed in.
@@ -255,22 +283,77 @@ func New(repo *Repository, opts ...Option) (*Engine, error) {
 // over mutating it directly: Apply keeps the inverted index maintained
 // incrementally, while direct mutation forces the next indexed search to
 // fall back to an exact scan until the index is rebuilt.
+//
+// For a sharded engine (WithShards) the returned repository is only the
+// construction-time seed: the live corpus is partitioned across the shards
+// and this object is neither read nor updated afterwards. Use Size,
+// Generations, Workflow and the read operations instead.
 func (e *Engine) Repository() *Repository { return e.repo }
 
 // Snapshot pins the current immutable view of the repository: the workflow
-// set and the generation number every read in this instant would see.
+// set and the generation number every read in this instant would see. For a
+// sharded engine it reflects only the construction-time seed repository (see
+// Repository); use Size and Generations for live sharded state.
 func (e *Engine) Snapshot() *Snapshot { return e.repo.Snapshot() }
 
 // Generation returns the repository's current generation. It starts at the
-// value the engine was built over and increases by one per Apply batch.
-func (e *Engine) Generation() uint64 { return e.repo.Generation() }
+// value the engine was built over and increases by one per Apply batch. For
+// a sharded engine it is the aggregate generation: the sum of the per-shard
+// vector, which every commit advances by at least one.
+func (e *Engine) Generation() uint64 {
+	if e.coord != nil {
+		return e.coord.View().AggregateGeneration()
+	}
+	return e.repo.Generation()
+}
+
+// Generations returns the per-shard generation vector (a one-element vector
+// for unsharded engines). The vector is captured atomically with respect to
+// commits: it never shows half a cross-shard Apply batch.
+func (e *Engine) Generations() []uint64 {
+	if e.coord != nil {
+		return e.coord.View().Generations()
+	}
+	return []uint64{e.repo.Generation()}
+}
+
+// Shards returns the engine's shard count (1 without WithShards).
+func (e *Engine) Shards() int {
+	if e.coord != nil {
+		return e.coord.Shards()
+	}
+	return 1
+}
+
+// Size returns the number of workflows in the corpus across all shards.
+func (e *Engine) Size() int {
+	if e.coord != nil {
+		return e.coord.View().Size()
+	}
+	return e.repo.Size()
+}
 
 // Registry returns the engine's measure registry, for registering custom
 // measures or listing the built-in notation after construction.
 func (e *Engine) Registry() *Registry { return e.reg }
 
-// Workflow returns the repository workflow with the given ID, or nil.
-func (e *Engine) Workflow(id string) *Workflow { return e.repo.Get(id) }
+// Workflow returns the repository workflow with the given ID, or nil. A
+// sharded engine resolves it from the owning shard.
+func (e *Engine) Workflow(id string) *Workflow {
+	if e.coord != nil {
+		return e.coord.View().Get(id)
+	}
+	return e.repo.Get(id)
+}
+
+// currentProjection resolves the engine's projection for its current read
+// frontier, whichever data plane is active.
+func (e *Engine) currentProjection() (measures.Projector, uint64) {
+	if e.coord != nil {
+		return e.projectionForView(e.coord.View())
+	}
+	return e.projectionFor(e.repo.Snapshot())
+}
 
 // ParseMeasure resolves a measure name in the paper's notation (see
 // Registry) with the engine's projector and GED budget.
@@ -278,7 +361,7 @@ func (e *Engine) ParseMeasure(name string) (Measure, error) {
 	if name == "" {
 		name = e.defaultMeasure
 	}
-	project, _ := e.projectionFor(e.repo.Snapshot())
+	project, _ := e.currentProjection()
 	deadline, beam := e.reg.GEDBudget()
 	return e.reg.parseResolved(name, deadline, beam, project)
 }
@@ -287,7 +370,7 @@ func (e *Engine) ParseMeasure(name string) (Measure, error) {
 // of structural measures) to a workflow, against the current repository
 // generation's module frequencies.
 func (e *Engine) Project(wf *Workflow) *Workflow {
-	project, _ := e.projectionFor(e.repo.Snapshot())
+	project, _ := e.currentProjection()
 	if project == nil {
 		return wf
 	}
@@ -345,8 +428,13 @@ type Stats struct {
 	CacheHits int
 	// CacheMisses counts cacheable pairs that had to be evaluated.
 	CacheMisses int
-	// Generation is the repository generation the call observed.
+	// Generation is the repository generation the call observed. For a
+	// sharded engine it is the aggregate generation (the sum of the
+	// per-shard vector), which is monotonic across commits.
 	Generation uint64
+	// Generations is the per-shard generation vector the call observed;
+	// nil for unsharded engines.
+	Generations []uint64
 	// Elapsed is the wall-clock duration of the call.
 	Elapsed time.Duration
 }
@@ -365,6 +453,9 @@ type Stats struct {
 func (e *Engine) Search(ctx context.Context, query *Workflow, opts SearchOptions) ([]Result, Stats, error) {
 	if query == nil {
 		return nil, Stats{}, fmt.Errorf("nil query workflow")
+	}
+	if e.coord != nil {
+		return e.searchView(ctx, query, e.coord.View(), opts)
 	}
 	return e.searchSnap(ctx, query, e.repo.Snapshot(), opts)
 }
@@ -423,6 +514,14 @@ func (e *Engine) searchSnap(ctx context.Context, query *Workflow, snap *corpus.S
 // concurrent Replace cannot make the call score stale query content under a
 // newer generation stamp.
 func (e *Engine) SearchID(ctx context.Context, queryID string, opts SearchOptions) ([]Result, Stats, error) {
+	if e.coord != nil {
+		v := e.coord.View()
+		query := v.Get(queryID)
+		if query == nil {
+			return nil, Stats{}, fmt.Errorf("query workflow %q not found", queryID)
+		}
+		return e.searchView(ctx, query, v, opts)
+	}
 	snap := e.repo.Snapshot()
 	query := snap.Get(queryID)
 	if query == nil {
@@ -453,13 +552,27 @@ func CompareMeasures() []string {
 // scoring failures are reported in the corresponding Score.Err so one GED
 // timeout does not hide the other measures.
 func (e *Engine) Compare(ctx context.Context, a, b *Workflow, measureNames ...string) ([]Score, error) {
+	if e.coord != nil {
+		scores, _, err := e.compareView(ctx, e.coord.View(), a, b, measureNames)
+		return scores, err
+	}
 	return e.compareSnap(ctx, e.repo.Snapshot(), a, b, measureNames)
 }
 
 // CompareIDs is Compare with the pair named by repository IDs, both resolved
-// from one pinned snapshot. It additionally returns that snapshot's
-// generation, so callers can correlate the scores with the mutation stream.
+// from one pinned snapshot (one pinned view for a sharded engine). It
+// additionally returns that snapshot's generation (aggregate generation for
+// a sharded engine), so callers can correlate the scores with the mutation
+// stream.
 func (e *Engine) CompareIDs(ctx context.Context, aID, bID string, measureNames ...string) ([]Score, uint64, error) {
+	if e.coord != nil {
+		v := e.coord.View()
+		a, b := v.Get(aID), v.Get(bID)
+		if a == nil || b == nil {
+			return nil, 0, fmt.Errorf("workflow %q or %q not found", aID, bID)
+		}
+		return e.compareView(ctx, v, a, b, measureNames)
+	}
 	snap := e.repo.Snapshot()
 	a, b := snap.Get(aID), snap.Get(bID)
 	if a == nil || b == nil {
@@ -506,6 +619,9 @@ type DuplicateOptions struct {
 // canonical measure name, the number of pairs scored and skipped, and the
 // wall-clock duration.
 func (e *Engine) Duplicates(ctx context.Context, threshold float64, opts DuplicateOptions) ([]Pair, Stats, error) {
+	if e.coord != nil {
+		return e.duplicatesView(ctx, e.coord.View(), threshold, opts)
+	}
 	snap := e.repo.Snapshot()
 	project, epoch := e.projectionFor(snap)
 	m, err := e.measureFor(ctx, opts.Measure, project)
@@ -551,8 +667,12 @@ type ClusterResult struct {
 	Clusters [][]string
 	// Skipped counts pairs the measure could not score (similarity 0).
 	Skipped int
-	// Generation is the repository generation of the snapshot clustered.
+	// Generation is the repository generation of the snapshot clustered
+	// (aggregate generation for a sharded engine).
 	Generation uint64
+	// Generations is the per-shard generation vector of the view clustered;
+	// nil for unsharded engines.
+	Generations []uint64
 }
 
 // Purity evaluates the clustering against a reference assignment of
@@ -611,6 +731,9 @@ func (r *ClusterResult) assignments(ref map[string]int) (found, reference cluste
 // paper's introduction. The underlying pair matrix is computed in parallel
 // and honors ctx cancellation.
 func (e *Engine) Cluster(ctx context.Context, opts ClusterOptions) (*ClusterResult, error) {
+	if e.coord != nil {
+		return e.clusterView(ctx, e.coord.View(), opts)
+	}
 	snap := e.repo.Snapshot()
 	project, epoch := e.projectionFor(snap)
 	m, err := e.measureFor(ctx, opts.Measure, project)

@@ -73,6 +73,17 @@ func (m Mutation) String() string {
 // Concurrent Apply calls are serialised; reads never block on a writer. An
 // empty batch is a no-op returning the current generation.
 func (e *Engine) Apply(ctx context.Context, muts ...Mutation) (uint64, error) {
+	if e.coord != nil {
+		gens, err := e.ApplyVector(ctx, muts...)
+		if err != nil {
+			return 0, err
+		}
+		var sum uint64
+		for _, g := range gens {
+			sum += g
+		}
+		return sum, nil
+	}
 	if err := ctx.Err(); err != nil {
 		return 0, err
 	}
@@ -81,17 +92,9 @@ func (e *Engine) Apply(ctx context.Context, muts ...Mutation) (uint64, error) {
 	if len(muts) == 0 {
 		return e.repo.Generation(), nil
 	}
-	ops := make([]corpus.Op, len(muts))
-	for i, m := range muts {
-		if m.op.Kind == 0 {
-			return 0, fmt.Errorf("wfsim: empty mutation at position %d", i)
-		}
-		if m.op.Workflow != nil {
-			if err := m.op.Workflow.Validate(); err != nil {
-				return 0, fmt.Errorf("wfsim: mutation %d (%s): %w", i, m, err)
-			}
-		}
-		ops[i] = m.op
+	ops, err := mutationOps(muts)
+	if err != nil {
+		return 0, err
 	}
 	gen, err := e.repo.ApplyBatch(ops)
 	if err != nil {
@@ -118,6 +121,54 @@ func (e *Engine) Apply(ctx context.Context, muts ...Mutation) (uint64, error) {
 	// thresholds; still under applyMu, so compactions never overlap.
 	e.maybeCompact()
 	return gen, nil
+}
+
+// mutationOps validates a batch's mutations and unwraps the corpus ops.
+func mutationOps(muts []Mutation) ([]corpus.Op, error) {
+	ops := make([]corpus.Op, len(muts))
+	for i, m := range muts {
+		if m.op.Kind == 0 {
+			return nil, fmt.Errorf("wfsim: empty mutation at position %d", i)
+		}
+		if m.op.Workflow != nil {
+			if err := m.op.Workflow.Validate(); err != nil {
+				return nil, fmt.Errorf("wfsim: mutation %d (%s): %w", i, m, err)
+			}
+		}
+		ops[i] = m.op
+	}
+	return ops, nil
+}
+
+// ApplyVector is Apply returning the post-batch per-shard generation vector
+// instead of the aggregate. On an unsharded engine the vector has one
+// element. The same all-or-nothing semantics hold: for a sharded engine,
+// every touched shard validates its sub-batch before any shard commits, so a
+// batch failing validation anywhere leaves every shard untouched.
+func (e *Engine) ApplyVector(ctx context.Context, muts ...Mutation) ([]uint64, error) {
+	if e.coord == nil {
+		gen, err := e.Apply(ctx, muts...)
+		if err != nil {
+			return nil, err
+		}
+		return []uint64{gen}, nil
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	e.applyMu.Lock()
+	defer e.applyMu.Unlock()
+	if e.storeClosed {
+		return nil, fmt.Errorf("wfsim: engine is closed")
+	}
+	if len(muts) == 0 {
+		return e.coord.View().Generations(), nil
+	}
+	ops, err := mutationOps(muts)
+	if err != nil {
+		return nil, err
+	}
+	return e.coord.Apply(ops)
 }
 
 // rebuildIndex rebuilds the inverted index from the current snapshot. It is
@@ -150,8 +201,27 @@ type IndexStats struct {
 }
 
 // IndexStats reports the index's maintenance counters; ok is false when the
-// engine was built without WithIndex.
+// engine was built without WithIndex. For a sharded engine the counters are
+// summed across the per-shard indexes (Vocabulary is the sum of per-shard
+// vocabularies, not the global distinct-label count, and Generation is the
+// aggregate generation); per-shard detail is in ShardStats.
 func (e *Engine) IndexStats() (stats IndexStats, ok bool) {
+	if e.coord != nil {
+		any := false
+		for _, info := range e.coord.Infos() {
+			if info.Index == nil {
+				continue
+			}
+			any = true
+			stats.Live += info.Index.Live
+			stats.Dead += info.Index.Dead
+			stats.Vocabulary += info.Index.Vocabulary
+			stats.Compactions += info.Index.Compactions
+			stats.Rebuilds += info.IndexRebuilds
+			stats.Generation += info.Index.Generation
+		}
+		return stats, any
+	}
 	idx := e.idx.Load()
 	if idx == nil {
 		return IndexStats{}, false

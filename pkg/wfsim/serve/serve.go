@@ -165,14 +165,15 @@ func (s *Server) contextFor(r *http.Request, deadlineMillis int64) (context.Cont
 // snapshot the call was served from; CacheHits/CacheMisses are the call's
 // score-cache counters.
 type statsPayload struct {
-	Measure     string  `json:"measure"`
-	Scored      int     `json:"scored"`
-	Skipped     int     `json:"skipped"`
-	Pruned      int     `json:"pruned,omitempty"`
-	CacheHits   int     `json:"cache_hits"`
-	CacheMisses int     `json:"cache_misses"`
-	Generation  uint64  `json:"generation"`
-	ElapsedMS   float64 `json:"elapsed_ms"`
+	Measure     string   `json:"measure"`
+	Scored      int      `json:"scored"`
+	Skipped     int      `json:"skipped"`
+	Pruned      int      `json:"pruned,omitempty"`
+	CacheHits   int      `json:"cache_hits"`
+	CacheMisses int      `json:"cache_misses"`
+	Generation  uint64   `json:"generation"`
+	Generations []uint64 `json:"generations,omitempty"`
+	ElapsedMS   float64  `json:"elapsed_ms"`
 }
 
 func toStatsPayload(st wfsim.Stats) statsPayload {
@@ -184,6 +185,7 @@ func toStatsPayload(st wfsim.Stats) statsPayload {
 		CacheHits:   st.CacheHits,
 		CacheMisses: st.CacheMisses,
 		Generation:  st.Generation,
+		Generations: st.Generations,
 		ElapsedMS:   float64(st.Elapsed) / float64(time.Millisecond),
 	}
 }
@@ -358,10 +360,11 @@ type clusterRequest struct {
 }
 
 type clusterResponse struct {
-	Measure    string     `json:"measure"`
-	Clusters   [][]string `json:"clusters"`
-	Skipped    int        `json:"skipped"`
-	Generation uint64     `json:"generation"`
+	Measure     string     `json:"measure"`
+	Clusters    [][]string `json:"clusters"`
+	Skipped     int        `json:"skipped"`
+	Generation  uint64     `json:"generation"`
+	Generations []uint64   `json:"generations,omitempty"`
 }
 
 func (s *Server) handleCluster(w http.ResponseWriter, r *http.Request) {
@@ -382,10 +385,11 @@ func (s *Server) handleCluster(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, clusterResponse{
-		Measure:    res.Measure,
-		Clusters:   res.Clusters,
-		Skipped:    res.Skipped,
-		Generation: res.Generation,
+		Measure:     res.Measure,
+		Clusters:    res.Clusters,
+		Skipped:     res.Skipped,
+		Generation:  res.Generation,
+		Generations: res.Generations,
 	})
 }
 
@@ -404,8 +408,12 @@ type batchRequest struct {
 }
 
 type batchResponse struct {
-	// Generation is the repository generation the batch committed under.
+	// Generation is the repository generation the batch committed under
+	// (the aggregate generation for a sharded engine).
 	Generation uint64 `json:"generation"`
+	// Generations is the post-batch per-shard generation vector; omitted for
+	// unsharded engines.
+	Generations []uint64 `json:"generations,omitempty"`
 	// Ops is the number of mutations in the committed batch.
 	Ops int `json:"ops"`
 }
@@ -478,7 +486,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		}
 		muts[i] = m
 	}
-	gen, err := s.eng.Apply(r.Context(), muts...)
+	gens, err := s.eng.ApplyVector(r.Context(), muts...)
 	if err != nil {
 		// The batch was rejected atomically: repository, index and caches
 		// are untouched. ID conflicts (stale client state, retryable after
@@ -496,7 +504,14 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	s.batches.Add(1)
 	s.ops.Add(int64(len(ops)))
-	writeJSON(w, http.StatusOK, batchResponse{Generation: gen, Ops: len(ops)})
+	resp := batchResponse{Ops: len(ops)}
+	for _, g := range gens {
+		resp.Generation += g
+	}
+	if s.eng.Shards() > 1 {
+		resp.Generations = gens
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // --- workflow fetch, stats, health ---
@@ -512,11 +527,20 @@ func (s *Server) handleGetWorkflow(w http.ResponseWriter, r *http.Request) {
 }
 
 type statsResponse struct {
-	Generation        uint64              `json:"generation"`
-	Workflows         int                 `json:"workflows"`
+	// Generation is the engine's current generation (the aggregate, summed
+	// across shards, for a sharded engine).
+	Generation uint64 `json:"generation"`
+	// Shards and Generations describe a sharded engine: the shard count and
+	// the per-shard generation vector. Omitted for unsharded engines.
+	Shards      int      `json:"shards,omitempty"`
+	Generations []uint64 `json:"generations,omitempty"`
+	Workflows   int      `json:"workflows"`
+	// Index, Cache and Storage are cross-shard aggregates on a sharded
+	// engine; PerShard holds the per-shard breakdown.
 	Index             *wfsim.IndexStats   `json:"index,omitempty"`
 	Cache             wfsim.CacheStats    `json:"cache"`
 	Storage           *wfsim.StorageStats `json:"storage,omitempty"`
+	PerShard          []wfsim.ShardInfo   `json:"per_shard,omitempty"`
 	ProjectorRebuilds int                 `json:"projector_rebuilds"`
 	UptimeMS          float64             `json:"uptime_ms"`
 	Requests          int64               `json:"requests"`
@@ -525,16 +549,20 @@ type statsResponse struct {
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	snap := s.eng.Snapshot()
 	resp := statsResponse{
-		Generation:        snap.Generation(),
-		Workflows:         snap.Size(),
+		Generation:        s.eng.Generation(),
+		Workflows:         s.eng.Size(),
 		Cache:             s.eng.CacheStats(),
 		ProjectorRebuilds: s.eng.ProjectorRebuilds(),
 		UptimeMS:          float64(time.Since(s.started)) / float64(time.Millisecond),
 		Requests:          s.requests.Load(),
 		Batches:           s.batches.Load(),
 		OpsApplied:        s.ops.Load(),
+	}
+	if n := s.eng.Shards(); n > 1 {
+		resp.Shards = n
+		resp.Generations = s.eng.Generations()
+		resp.PerShard = s.eng.ShardStats()
 	}
 	if ist, ok := s.eng.IndexStats(); ok {
 		resp.Index = &ist
@@ -549,6 +577,6 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{
 		"status":     "ok",
 		"generation": s.eng.Generation(),
-		"workflows":  s.eng.Snapshot().Size(),
+		"workflows":  s.eng.Size(),
 	})
 }

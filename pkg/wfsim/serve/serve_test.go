@@ -630,3 +630,130 @@ func TestStatsExposesStorage(t *testing.T) {
 		t.Error("stats response carries a storage block without WithStorage")
 	}
 }
+
+// TestShardedService: a server over a sharded engine reports the per-shard
+// generation vector on batch commits and reads, and /v1/stats carries the
+// shard count plus per-shard blocks alongside the aggregates.
+func TestShardedService(t *testing.T) {
+	ts, eng := newTestServer(t, serve.Config{},
+		wfsim.WithShards(3), wfsim.WithIndex(1), wfsim.WithScoreCache(1024))
+	if eng.Shards() != 3 {
+		t.Fatalf("Shards() = %d, want 3", eng.Shards())
+	}
+
+	var batch struct {
+		Generation  uint64   `json:"generation"`
+		Generations []uint64 `json:"generations"`
+		Ops         int      `json:"ops"`
+	}
+	status := postJSON(t, ts.URL+"/v1/workflows:batch", map[string]any{
+		"ops": []map[string]any{
+			{"op": "add", "workflow": chainWorkflow("s1", "fetch_sequence", "align_genomes")},
+			{"op": "add", "workflow": chainWorkflow("s2", "fetch_sequence", "align_genomes")},
+			{"op": "add", "workflow": chainWorkflow("s3", "fetch_sequence", "align_genomes")},
+			{"op": "remove", "id": "w3"},
+		},
+	}, &batch)
+	if status != http.StatusOK {
+		t.Fatalf("batch status = %d", status)
+	}
+	if len(batch.Generations) != 3 {
+		t.Fatalf("batch generations = %v, want 3-element vector", batch.Generations)
+	}
+	var sum uint64
+	for _, g := range batch.Generations {
+		sum += g
+	}
+	if batch.Generation != sum || sum == 0 {
+		t.Errorf("batch generation %d != vector sum %d", batch.Generation, sum)
+	}
+
+	// A conflicting batch fails atomically across shards: the vector must
+	// not move even though the batch's first ops land on other shards.
+	status = postJSON(t, ts.URL+"/v1/workflows:batch", map[string]any{
+		"ops": []map[string]any{
+			{"op": "add", "workflow": chainWorkflow("s4", "render_plot")},
+			{"op": "add", "workflow": chainWorkflow("s1", "dup")},
+		},
+	}, nil)
+	if status != http.StatusConflict {
+		t.Fatalf("conflicting batch status = %d, want 409", status)
+	}
+	for i, g := range eng.Generations() {
+		if g != batch.Generations[i] {
+			t.Errorf("shard %d generation %d after failed batch, want %d", i, g, batch.Generations[i])
+		}
+	}
+
+	var sr struct {
+		Results []struct {
+			ID string `json:"id"`
+		} `json:"results"`
+		Stats struct {
+			Generation  uint64   `json:"generation"`
+			Generations []uint64 `json:"generations"`
+		} `json:"stats"`
+	}
+	status = postJSON(t, ts.URL+"/v1/search", map[string]any{"query_id": "s1", "k": 5}, &sr)
+	if status != http.StatusOK {
+		t.Fatalf("search status = %d", status)
+	}
+	if len(sr.Results) == 0 || len(sr.Stats.Generations) != 3 || sr.Stats.Generation != sum {
+		t.Errorf("sharded search = %+v, want results and a 3-element generation vector summing to %d", sr, sum)
+	}
+
+	var st struct {
+		Shards      int      `json:"shards"`
+		Generations []uint64 `json:"generations"`
+		Workflows   int      `json:"workflows"`
+		PerShard    []struct {
+			ID         int    `json:"id"`
+			Generation uint64 `json:"generation"`
+			Workflows  int    `json:"workflows"`
+		} `json:"per_shard"`
+		Index *struct {
+			Live int `json:"live"`
+		} `json:"index"`
+	}
+	resp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if st.Shards != 3 || len(st.Generations) != 3 || len(st.PerShard) != 3 {
+		t.Fatalf("sharded stats = %+v, want 3 shards with vector and per-shard blocks", st)
+	}
+	wfTotal := 0
+	for i, ps := range st.PerShard {
+		if ps.ID != i {
+			t.Errorf("per_shard[%d].id = %d", i, ps.ID)
+		}
+		wfTotal += ps.Workflows
+	}
+	if wfTotal != st.Workflows || st.Workflows != eng.Size() {
+		t.Errorf("per-shard workflows sum %d, aggregate %d, engine %d", wfTotal, st.Workflows, eng.Size())
+	}
+	if st.Index == nil || st.Index.Live != eng.Size() {
+		t.Errorf("aggregate index block = %+v, want live = %d", st.Index, eng.Size())
+	}
+
+	// Unsharded servers omit the shard fields.
+	ts2, _ := newTestServer(t, serve.Config{})
+	var raw map[string]json.RawMessage
+	resp, err = http.Get(ts2.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&raw); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	for _, key := range []string{"shards", "generations", "per_shard"} {
+		if _, ok := raw[key]; ok {
+			t.Errorf("unsharded stats response carries %q", key)
+		}
+	}
+}

@@ -1,0 +1,367 @@
+package wfsim
+
+import (
+	"context"
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/measures"
+	"repro/internal/scorecache"
+	"repro/internal/shard"
+	"repro/internal/storage"
+	"repro/internal/workflow"
+)
+
+// WithShards partitions the corpus across n engine shards by
+// consistent-hashed workflow ID. Each shard owns its slice of the corpus,
+// its inverted label index (WithIndex), its score cache (WithScoreCache) and
+// its own storage directory (WithStorage: shard-NNNN subdirectories under
+// the data directory, plus a layout marker recording n). The engine's
+// read/write surface is unchanged: reads fan out to every shard and merge
+// deterministically, Apply routes each mutation to its owning shard with
+// all-or-nothing validation across shards, and results are identical to a
+// single-shard engine up to the documented tie-breaking notes in the README.
+//
+// n = 1 (the default) keeps the single-repository engine and its flat
+// storage layout. A data directory initialised with one shard count refuses
+// to open with another — resharding on disk is not supported.
+func WithShards(n int) Option {
+	return func(e *Engine) error {
+		if n < 1 {
+			return fmt.Errorf("wfsim: shard count %d < 1", n)
+		}
+		e.shardCount = n
+		return nil
+	}
+}
+
+// openSharded is the WithShards(n > 1) construction path, the sharded
+// counterpart of the openStorage/index/projector finalize steps of New: it
+// checks the on-disk layout, builds or recovers every shard, and stands up
+// the coordinator the engine's operations route through.
+func (e *Engine) openSharded() error {
+	n := e.shardCount
+	ring, err := shard.NewRing(n)
+	if err != nil {
+		return err
+	}
+	if e.storageCfg.warnf == nil {
+		e.storageCfg.warnf = func(string, ...any) {}
+	}
+	durable := e.storageDir != ""
+	if durable {
+		if err := shard.CheckLayout(e.storageDir, n); err != nil {
+			return err
+		}
+		hasState := false
+		for i := 0; i < n && !hasState; i++ {
+			has, err := storage.DirHasState(shard.ShardDir(e.storageDir, i))
+			if err != nil {
+				return err
+			}
+			hasState = has
+		}
+		if hasState && e.repo.Size() > 0 {
+			return fmt.Errorf("storage directory %s holds sharded state; refusing to recover into a non-empty repository (preload only into a fresh data directory)", e.storageDir)
+		}
+	}
+	// Partition the seed repository by ring owner. For a recovering engine
+	// the repository is empty and every shard restores its own slice; the
+	// marker pins the shard count, so the recovered partition matches the
+	// ring.
+	parts := make([][]*workflow.Workflow, n)
+	for _, wf := range e.repo.Workflows() {
+		o := ring.Owner(wf.ID)
+		parts[o] = append(parts[o], wf)
+	}
+	perCache := 0
+	if e.cacheWanted {
+		total := e.cacheSize
+		if total <= 0 {
+			total = scorecache.DefaultSize
+		}
+		perCache = (total + n - 1) / n
+	}
+	shards := make([]shard.Shard, n)
+	closeBuilt := func() {
+		for _, s := range shards {
+			if s != nil {
+				s.Close(nil)
+			}
+		}
+	}
+	for i := range shards {
+		cfg := shard.LocalConfig{
+			MinShared:   e.minShared,
+			CacheSize:   perCache,
+			Concurrency: e.concurrency,
+			Seed:        parts[i],
+		}
+		if durable {
+			cfg.Dir = shard.ShardDir(e.storageDir, i)
+			cfg.Storage = storage.Options{
+				CompactBytes:   e.storageCfg.compactBytes,
+				CompactRecords: e.storageCfg.compactRecords,
+				NoSync:         e.storageCfg.noSync,
+				Warnf:          e.storageCfg.warnf,
+			}
+		}
+		s, err := shard.NewLocal(i, cfg)
+		if err != nil {
+			closeBuilt()
+			return err
+		}
+		shards[i] = s
+	}
+	coord, err := shard.NewCoordinator(shards)
+	if err != nil {
+		closeBuilt()
+		return err
+	}
+	e.coord = coord
+	// Finalize steps, mirroring the unsharded path: the initial
+	// repository-knowledge projector is built over the boot view, and the
+	// per-shard warm caches are re-seeded under its epoch.
+	if e.repoKnow != nil {
+		e.projectionForView(coord.View())
+	}
+	if durable && e.cacheWanted {
+		_, epoch := e.projectionForView(coord.View())
+		e.warmEntries = coord.WarmLoad(e.projectionSig(), epoch)
+	}
+	return nil
+}
+
+// vecKey formats a sharded frontier key from a generation vector.
+func vecKey(gens []uint64) string {
+	var b strings.Builder
+	b.WriteByte('v')
+	for i, g := range gens {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.FormatUint(g, 10))
+	}
+	return b.String()
+}
+
+// projectionForView resolves the importance projection a read over the view
+// must use, plus the epoch keying its cached scores — the sharded
+// counterpart of projectionFor. With repository knowledge the projector
+// belongs to the view's generation vector: module frequencies are collected
+// over the union of every shard's pinned slice, so the projection is
+// identical to a single-shard engine's at the same corpus state.
+func (e *Engine) projectionForView(v shard.View) (measures.Projector, uint64) {
+	if rk := e.repoKnow; rk != nil {
+		ent := rk.entry(vecKey(v.Generations()), v.Union)
+		return ent.project, ent.epoch
+	}
+	return e.reg.projectorState()
+}
+
+// fillRead copies coordinator scan stats into a Stats under the view's
+// generation stamps.
+func fillRead(stats *Stats, v shard.View, r shard.ReadStats) {
+	stats.Scored = r.Scored
+	stats.Skipped = r.Skipped
+	stats.Pruned = r.Pruned
+	stats.CacheHits = r.CacheHits
+	stats.CacheMisses = r.CacheMisses
+	stats.Generation = v.AggregateGeneration()
+	stats.Generations = v.Generations()
+}
+
+// searchView is Search over a pinned sharded view: the query fans out to
+// every shard and the per-shard top-k lists merge into the global top-k with
+// single-engine tie-breaking.
+func (e *Engine) searchView(ctx context.Context, query *Workflow, v shard.View, opts SearchOptions) ([]Result, Stats, error) {
+	project, epoch := e.projectionForView(v)
+	m, err := e.measureFor(ctx, opts.Measure, project)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	t0 := time.Now()
+	prep := shard.NewScanPrep(m, epoch)
+	q := shard.Query{
+		Query:         query,
+		K:             opts.K,
+		Exact:         opts.Exact,
+		IncludeQuery:  opts.IncludeQuery,
+		MinSimilarity: opts.MinSimilarity,
+		Par:           e.concurrency,
+	}
+	if owner := v.Owner(query.ID); owner.Get(query.ID) == query {
+		// The query is the owning shard's own snapshot object: its pair
+		// scores may enter and be served from the shard caches.
+		q.Cacheable = true
+		q.QueryGen = owner.Generation()
+	}
+	res, rstats, err := e.coord.Search(ctx, v, prep, q)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	stats := Stats{Measure: m.Name()}
+	fillRead(&stats, v, rstats)
+	stats.Elapsed = time.Since(t0)
+	return res, stats, nil
+}
+
+// compareView scores one pair with the view's projection.
+func (e *Engine) compareView(ctx context.Context, v shard.View, a, b *Workflow, measureNames []string) ([]Score, uint64, error) {
+	if a == nil || b == nil {
+		return nil, 0, fmt.Errorf("nil workflow in Compare")
+	}
+	project, _ := e.projectionForView(v)
+	if len(measureNames) == 0 {
+		measureNames = CompareMeasures()
+	}
+	out := make([]Score, 0, len(measureNames))
+	for _, name := range measureNames {
+		if err := ctx.Err(); err != nil {
+			return nil, 0, err
+		}
+		m, err := e.measureFor(ctx, name, project)
+		if err != nil {
+			return nil, 0, err
+		}
+		s, err := m.Compare(a, b)
+		out = append(out, Score{Measure: m.Name(), Similarity: s, Err: err})
+	}
+	return out, v.AggregateGeneration(), nil
+}
+
+// duplicatesView is Duplicates over a pinned sharded view: the global pair
+// triangle decomposes into per-shard triangles and cross-shard rectangles,
+// scanned in parallel and merged into the single-engine pair order.
+func (e *Engine) duplicatesView(ctx context.Context, v shard.View, threshold float64, opts DuplicateOptions) ([]Pair, Stats, error) {
+	project, epoch := e.projectionForView(v)
+	m, err := e.measureFor(ctx, opts.Measure, project)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	t0 := time.Now()
+	prep := shard.NewScanPrep(m, epoch)
+	pairs, rstats, err := e.coord.Duplicates(ctx, v, prep, threshold, e.concurrency)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	stats := Stats{Measure: m.Name()}
+	fillRead(&stats, v, rstats)
+	stats.Elapsed = time.Since(t0)
+	return pairs, stats, nil
+}
+
+// clusterView is Cluster over a pinned sharded view. The similarity matrix
+// spans the union of every shard's slice in ID order (a sharded corpus has
+// no global insertion order), scored through the per-shard caches.
+func (e *Engine) clusterView(ctx context.Context, v shard.View, opts ClusterOptions) (*ClusterResult, error) {
+	project, epoch := e.projectionForView(v)
+	m, err := e.measureFor(ctx, opts.Measure, project)
+	if err != nil {
+		return nil, err
+	}
+	minSim := 0.5
+	if opts.MinSimilarity != nil {
+		minSim = *opts.MinSimilarity
+	}
+	prep := shard.NewScanPrep(m, epoch)
+	mat, _, err := e.coord.Matrix(ctx, v, prep, e.concurrency)
+	if err != nil {
+		return nil, err
+	}
+	var c cluster.Clustering
+	if opts.SingleLinkage {
+		c = cluster.Components(mat, minSim)
+	} else {
+		c = cluster.Agglomerative(mat, minSim)
+	}
+	out := &ClusterResult{
+		Measure:     m.Name(),
+		Clusters:    make([][]string, c.K),
+		Skipped:     mat.Skipped,
+		Generation:  v.AggregateGeneration(),
+		Generations: v.Generations(),
+	}
+	for k, members := range c.Members() {
+		ids := make([]string, len(members))
+		for i, pos := range members {
+			ids[i] = mat.IDs[pos]
+		}
+		out.Clusters[k] = ids
+	}
+	return out, nil
+}
+
+// closeSharded is Close for a sharded engine: every shard checkpoints its
+// final snapshot and persists its warm intra-shard pair scores. A RAM-only
+// sharded engine has nothing to flush and stays open, like the unsharded
+// path.
+func (e *Engine) closeSharded() error {
+	if e.storageDir == "" {
+		return nil
+	}
+	e.applyMu.Lock()
+	defer e.applyMu.Unlock()
+	if e.storeClosed {
+		return nil
+	}
+	e.storeClosed = true
+	var warm *shard.WarmSpec
+	if e.cacheWanted {
+		_, epoch := e.projectionForView(e.coord.View())
+		warm = &shard.WarmSpec{Sig: e.projectionSig(), Epoch: epoch}
+	}
+	return e.coord.Close(warm)
+}
+
+// ShardInfo is one shard's stats block, as reported by ShardStats.
+type ShardInfo struct {
+	// ID is the shard's ring position.
+	ID int `json:"id"`
+	// Generation is the shard's own generation (one element of the vector).
+	Generation uint64 `json:"generation"`
+	// Workflows is the number of corpus workflows the shard owns.
+	Workflows int `json:"workflows"`
+	// Index is the shard's inverted-index block; nil without WithIndex.
+	Index *IndexStats `json:"index,omitempty"`
+	// Cache is the shard's score-cache block; nil without WithScoreCache.
+	Cache *CacheStats `json:"cache,omitempty"`
+	// Storage is the shard's durability block; nil without WithStorage.
+	Storage *StorageStats `json:"storage,omitempty"`
+}
+
+// ShardStats reports every shard's stats, in shard order; nil for an
+// unsharded engine (use IndexStats/CacheStats/StorageStats, which a sharded
+// engine also serves as cross-shard aggregates).
+func (e *Engine) ShardStats() []ShardInfo {
+	if e.coord == nil {
+		return nil
+	}
+	infos := e.coord.Infos()
+	out := make([]ShardInfo, len(infos))
+	for i, info := range infos {
+		si := ShardInfo{ID: info.ID, Generation: info.Generation, Workflows: info.Workflows}
+		if info.Index != nil {
+			si.Index = &IndexStats{
+				Live:        info.Index.Live,
+				Dead:        info.Index.Dead,
+				Vocabulary:  info.Index.Vocabulary,
+				Compactions: info.Index.Compactions,
+				Rebuilds:    info.IndexRebuilds,
+				Generation:  info.Index.Generation,
+			}
+		}
+		if info.Cache != nil {
+			st := *info.Cache
+			si.Cache = &st
+		}
+		if info.Storage != nil {
+			si.Storage = &StorageStats{Stats: *info.Storage, WarmCacheEntries: info.WarmEntries}
+		}
+		out[i] = si
+	}
+	return out
+}

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/corpus"
 	"repro/internal/scorecache"
+	"repro/internal/shard"
 	"repro/internal/storage"
 )
 
@@ -85,8 +86,34 @@ type StorageStats struct {
 }
 
 // StorageStats reports the durability layer's counters; ok is false when
-// the engine was built without WithStorage.
+// the engine was built without WithStorage. For a sharded engine the
+// counters are summed across the per-shard stores (Dir is the root data
+// directory); per-shard detail is in ShardStats.
 func (e *Engine) StorageStats() (stats StorageStats, ok bool) {
+	if e.coord != nil {
+		if e.storageDir == "" {
+			return StorageStats{}, false
+		}
+		stats.Dir = e.storageDir
+		for _, info := range e.coord.Infos() {
+			if info.Storage == nil {
+				continue
+			}
+			stats.LogBytes += info.Storage.LogBytes
+			stats.LogRecords += info.Storage.LogRecords
+			stats.SnapshotGeneration += info.Storage.SnapshotGeneration
+			stats.Compactions += info.Storage.Compactions
+			stats.Recovery.SnapshotLoaded = stats.Recovery.SnapshotLoaded || info.Storage.Recovery.SnapshotLoaded
+			stats.Recovery.SnapshotGeneration += info.Storage.Recovery.SnapshotGeneration
+			stats.Recovery.ReplayedRecords += info.Storage.Recovery.ReplayedRecords
+			stats.Recovery.ReplayedOps += info.Storage.Recovery.ReplayedOps
+			stats.Recovery.TornTailTruncated = stats.Recovery.TornTailTruncated || info.Storage.Recovery.TornTailTruncated
+			stats.Recovery.Generation += info.Storage.Recovery.Generation
+			stats.Recovery.Workflows += info.Storage.Recovery.Workflows
+			stats.WarmCacheEntries += info.WarmEntries
+		}
+		return stats, true
+	}
 	if e.store == nil {
 		return StorageStats{}, false
 	}
@@ -98,6 +125,14 @@ func (e *Engine) StorageStats() (stats StorageStats, ok bool) {
 func (e *Engine) openStorage() error {
 	if e.storageCfg.warnf == nil {
 		e.storageCfg.warnf = func(string, ...any) {}
+	}
+	// A directory initialised by a sharded engine must not be opened flat:
+	// the corpus lives in the shard subdirectories, and a flat log written
+	// alongside would fork the state.
+	if n, ok, err := shard.ReadMarker(e.storageDir); err != nil {
+		return err
+	} else if ok {
+		return fmt.Errorf("storage directory %s holds a sharded corpus (%d shards); reopen it with WithShards(%d) (wfsimd: -shards %d)", e.storageDir, n, n, n)
 	}
 	store, wfs, gen, err := storage.Open(e.storageDir, storage.Options{
 		CompactBytes:   e.storageCfg.compactBytes,
@@ -186,6 +221,9 @@ func (e *Engine) maybeCompact() {
 // storage-closed error; reads keep working from memory. Close is
 // idempotent and a no-op for engines without WithStorage.
 func (e *Engine) Close() error {
+	if e.coord != nil {
+		return e.closeSharded()
+	}
 	if e.store == nil {
 		return nil
 	}
@@ -223,8 +261,12 @@ func (e *Engine) Close() error {
 }
 
 // HasStoredState reports whether dir holds recoverable repository state (a
-// snapshot or at least one committed log record) — what a daemon checks
-// before allowing a corpus preload to target the directory.
+// snapshot or at least one committed log record, in a flat or sharded
+// layout) — what a daemon checks before allowing a corpus preload to target
+// the directory.
 func HasStoredState(dir string) (bool, error) {
+	if has, err := shard.DirHasState(dir); err != nil || has {
+		return has, err
+	}
 	return storage.DirHasState(dir)
 }

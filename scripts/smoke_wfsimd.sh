@@ -10,6 +10,12 @@
 # daemon, restart it over the same directory, and assert the pre-kill
 # generation and search result survive the restart.
 #
+# Phase 3 (sharded durability): the same kill-and-restart cycle with
+# -shards 4: ingest, assert the per-shard generation vector shows up in
+# stats, SIGTERM, restart with the same shard count and assert the vector
+# and the search hit survive; a restart with a different -shards value must
+# be refused.
+#
 # Run from the repository root: ./scripts/smoke_wfsimd.sh
 set -euo pipefail
 
@@ -87,4 +93,50 @@ echo "smoke: post-restart search: $OUT"
 echo "$OUT" | grep -q '"id":"b"' || { echo "smoke: pre-kill search hit b did not survive the restart" >&2; exit 1; }
 echo "$OUT" | grep -q '"generation":1' || { echo "smoke: post-restart search serves the wrong generation" >&2; exit 1; }
 echo "smoke: phase 2 (durable restart) OK"
+kill "$PID"; wait "$PID" 2>/dev/null || true; PID=""
+
+# ---- Phase 3: sharded durable ingest, SIGTERM, restart, verify ----
+SDATA="$WORK/data-sharded"
+mkdir -p "$SDATA"
+"$BIN" -addr "$ADDR" -index -cache 4096 -shards 4 -data "$SDATA" &
+PID=$!
+wait_healthy
+ingest_fixture
+STATS=$(curl -fsS "http://$ADDR/v1/stats")
+echo "smoke: sharded stats: $STATS"
+echo "$STATS" | grep -q '"shards":4' || { echo "smoke: stats do not report 4 shards" >&2; exit 1; }
+echo "$STATS" | grep -q '"generations":\[' || { echo "smoke: stats carry no generation vector" >&2; exit 1; }
+echo "$STATS" | grep -q '"per_shard":\[' || { echo "smoke: stats carry no per-shard blocks" >&2; exit 1; }
+VECTOR=$(echo "$STATS" | sed -n 's/.*"generations":\(\[[0-9,]*\]\).*/\1/p' | head -1)
+[ -n "$VECTOR" ] || { echo "smoke: could not extract generation vector" >&2; exit 1; }
+OUT=$(search_a)
+echo "$OUT" | grep -q '"id":"b"' || { echo "smoke: sharded search missing expected hit b" >&2; exit 1; }
+echo "$OUT" | grep -qF "\"generations\":$VECTOR" || {
+  echo "smoke: sharded search response does not stamp the generation vector $VECTOR" >&2; exit 1; }
+kill -TERM "$PID"
+wait "$PID" 2>/dev/null || true
+PID=""
+[ -f "$SDATA/shards.json" ] || { echo "smoke: sharded data directory has no shards.json marker" >&2; exit 1; }
+[ -d "$SDATA/shard-0000" ] || { echo "smoke: sharded data directory has no shard subdirectories" >&2; exit 1; }
+
+# A different shard count must be refused with a clear error.
+if "$BIN" -addr "$ADDR" -index -shards 2 -data "$SDATA" 2>"$WORK/mismatch.err"; then
+  echo "smoke: restart with a different shard count was not refused" >&2; exit 1
+fi
+grep -q "4 shards" "$WORK/mismatch.err" || {
+  echo "smoke: shard-count mismatch error does not name the recorded count:" >&2
+  cat "$WORK/mismatch.err" >&2; exit 1; }
+
+"$BIN" -addr "$ADDR" -index -cache 4096 -shards 4 -data "$SDATA" &
+PID=$!
+wait_healthy
+STATS=$(curl -fsS "http://$ADDR/v1/stats")
+echo "smoke: post-restart sharded stats: $STATS"
+echo "$STATS" | grep -qF "\"generations\":$VECTOR" || {
+  echo "smoke: restart lost the generation vector $VECTOR" >&2; exit 1; }
+echo "$STATS" | grep -q '"workflows":3' || { echo "smoke: sharded restart lost workflows" >&2; exit 1; }
+OUT=$(search_a)
+echo "smoke: post-restart sharded search: $OUT"
+echo "$OUT" | grep -q '"id":"b"' || { echo "smoke: sharded search hit b did not survive the restart" >&2; exit 1; }
+echo "smoke: phase 3 (sharded durable restart) OK"
 echo "smoke: OK"
