@@ -141,7 +141,7 @@ func BenchmarkFig10Retrieval(b *testing.B) {
 	s := setupBench(b)
 	var p10 float64
 	for i := 0; i < b.N; i++ {
-		f := experiments.Fig10(s)
+		f := experiments.Fig10(context.Background(), s)
 		p10 = f.Curves["MS_ip_te_pll"][eval.Related][9]
 	}
 	b.ReportMetric(p10, "MS_ip_te_pll-P@10-related")
@@ -153,7 +153,7 @@ func BenchmarkFig11Retrieval(b *testing.B) {
 	s := setupBench(b)
 	var bw, ms float64
 	for i := 0; i < b.N; i++ {
-		f := experiments.Fig11(s)
+		f := experiments.Fig11(context.Background(), s)
 		bw = f.Curves["BW"][eval.Related][9]
 		ms = f.Curves["MS_ip_te_pll"][eval.Related][9]
 	}

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -111,8 +112,9 @@ func main() {
 		writeCSV("fig9b", f9.Ensembles)
 		fmt.Printf("[fig9 took %v]\n\n", time.Since(t0).Round(time.Millisecond))
 	}
-	run("fig10", func() fmt.Stringer { return experiments.Fig10(setup) })
-	run("fig11", func() fmt.Stringer { return experiments.Fig11(setup) })
+	ctx := context.Background()
+	run("fig10", func() fmt.Stringer { return experiments.Fig10(ctx, setup) })
+	run("fig11", func() fmt.Stringer { return experiments.Fig11(ctx, setup) })
 	run("fig12", func() fmt.Stringer { return experiments.Fig12(setup) })
 	run("runtime", func() fmt.Stringer { return experiments.RuntimeStats(setup) })
 	run("ext-autoip", func() fmt.Stringer { return experiments.AutoProjection(setup) })

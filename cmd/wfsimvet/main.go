@@ -1,0 +1,93 @@
+// Command wfsimvet runs the repository's invariant analyzer suite
+// (internal/lint) over the module: canonical pair ordering, snapshot-pinned
+// reads, context flow, and generation-stamped responses. It is the lint
+// gate CI runs next to go vet.
+//
+// Usage:
+//
+//	wfsimvet [-c analyzers] [-suppressed] [-list] [packages]
+//
+// Packages default to ./... relative to the enclosing module. The exit
+// status is 1 when any unsuppressed finding remains, 2 on usage or load
+// errors. Findings are silenced site-by-site with
+//
+//	//wfsimvet:ignore <analyzer> <justification>
+//
+// on the flagged line or the line above; -suppressed lists the silenced
+// findings with their justifications.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	var (
+		selection      = flag.String("c", "", "comma-separated analyzer subset to run (default: all)")
+		listAnalyzers  = flag.Bool("list", false, "list the analyzers and exit")
+		showSuppressed = flag.Bool("suppressed", false, "also print suppressed findings")
+	)
+	flag.Parse()
+
+	if *listAnalyzers {
+		for _, a := range lint.All {
+			summary, _, _ := strings.Cut(a.Doc, "\n")
+			fmt.Printf("%-12s %s\n", a.Name, summary)
+		}
+		return
+	}
+
+	analyzers, err := lint.ByName(*selection)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "wfsimvet: %v\n", err)
+		os.Exit(2)
+	}
+
+	wd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "wfsimvet: %v\n", err)
+		os.Exit(2)
+	}
+	root, err := lint.ModuleRoot(wd)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "wfsimvet: %v\n", err)
+		os.Exit(2)
+	}
+
+	u, err := lint.Load(root, flag.Args()...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "wfsimvet: %v\n", err)
+		os.Exit(2)
+	}
+
+	diags, err := lint.RunAnalyzers(u, u.Targets, analyzers)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "wfsimvet: %v\n", err)
+		os.Exit(2)
+	}
+
+	failures, suppressed := 0, 0
+	for _, d := range diags {
+		if d.Suppressed {
+			suppressed++
+			if *showSuppressed {
+				fmt.Println(d)
+			}
+			continue
+		}
+		failures++
+		fmt.Println(d)
+	}
+	if suppressed > 0 && !*showSuppressed {
+		fmt.Fprintf(os.Stderr, "wfsimvet: %d suppressed finding(s); rerun with -suppressed to list them\n", suppressed)
+	}
+	if failures > 0 {
+		fmt.Fprintf(os.Stderr, "wfsimvet: %d finding(s)\n", failures)
+		os.Exit(1)
+	}
+}

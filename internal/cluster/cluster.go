@@ -18,6 +18,7 @@ import (
 
 	"repro/internal/measures"
 	"repro/internal/search"
+	"repro/internal/workflow"
 )
 
 // Matrix is a symmetric similarity matrix over a repository's workflows,
@@ -54,10 +55,7 @@ func BuildMatrix(ctx context.Context, repo search.Corpus, m measures.Measure, pa
 			// Evaluate in ID order so the cell value is a function of the
 			// unordered pair (see search.Duplicates): measures need not be
 			// bit-symmetric under operand swap.
-			x, y := wfs[i], wfs[j]
-			if y.ID < x.ID {
-				x, y = y, x
-			}
+			x, y := workflow.OrderPair(wfs[i], wfs[j])
 			s, err := m.Compare(x, y)
 			if err != nil {
 				skipped.Add(1)

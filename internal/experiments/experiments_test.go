@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"strings"
 	"sync"
 	"testing"
@@ -249,7 +250,7 @@ func TestRuntimeStatsShape(t *testing.T) {
 
 func TestFig10RetrievalShape(t *testing.T) {
 	s := quickSetup(t)
-	f := Fig10(s)
+	f := Fig10(context.Background(), s)
 	if len(f.Curves) != 6 {
 		t.Fatalf("curves = %d", len(f.Curves))
 	}
@@ -294,7 +295,7 @@ func TestFig10RetrievalShape(t *testing.T) {
 
 func TestFig11RetrievalShape(t *testing.T) {
 	s := quickSetup(t)
-	f := Fig11(s)
+	f := Fig11(context.Background(), s)
 	if len(f.Curves) != 7 {
 		t.Fatalf("curves = %d", len(f.Curves))
 	}

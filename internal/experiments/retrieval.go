@@ -36,8 +36,11 @@ type RetrievalResult struct {
 // measures: each measure retrieves its top-10 from the full corpus for every
 // query; the per-query result lists are merged; the merged pool is rated by
 // the panel (median aggregation); every measure's ranked list is then scored
-// by precision@k at each relevance threshold, averaged over queries.
-func RunRetrieval(s *Setup, id, title string, ms []measures.Measure) RetrievalResult {
+// by precision@k at each relevance threshold, averaged over queries. A
+// cancelled or expired context aborts the retrieval phase via panic (the
+// harness has no partial-result story), so callers that want cancellation
+// should recover at the figure boundary.
+func RunRetrieval(ctx context.Context, s *Setup, id, title string, ms []measures.Measure) RetrievalResult {
 	queries := retrievalQueries(s)
 	res := RetrievalResult{
 		ID:        id,
@@ -58,9 +61,9 @@ func RunRetrieval(s *Setup, id, title string, ms []measures.Measure) RetrievalRe
 		qwf := s.Taverna.Repo.Get(q)
 		var lists [][]search.Result
 		for _, m := range ms {
-			results, skipped, err := search.TopK(context.Background(), qwf, s.Taverna.Repo, m, search.Options{K: 10})
+			results, skipped, err := search.TopK(ctx, qwf, s.Taverna.Repo, m, search.Options{K: 10})
 			if err != nil {
-				panic(err) // only context errors are possible; Background never fires
+				panic(err) // only context errors are possible
 			}
 			perMeasure[m.Name()][q] = results
 			res.Skipped[m.Name()] += skipped
@@ -107,7 +110,7 @@ func retrievalQueries(s *Setup) []string {
 // Fig10 reproduces Figure 10: retrieval precision of simMS under the module
 // similarity schemes pw3, pll, plm, with and without repository knowledge
 // (np_ta vs ip_te), at the three relevance thresholds.
-func Fig10(s *Setup) RetrievalResult {
+func Fig10(ctx context.Context, s *Setup) RetrievalResult {
 	ms := []measures.Measure{
 		s.Structural(measures.ModuleSets, false, module.AllPairs, module.PW3()),
 		s.Structural(measures.ModuleSets, true, module.TypeEquivalence, module.PW3()),
@@ -116,14 +119,14 @@ func Fig10(s *Setup) RetrievalResult {
 		s.Structural(measures.ModuleSets, false, module.AllPairs, module.PLM()),
 		s.Structural(measures.ModuleSets, true, module.TypeEquivalence, module.PLM()),
 	}
-	return RunRetrieval(s, "fig10", "Retrieval precision@k: MS module schemes x {np_ta, ip_te}", ms)
+	return RunRetrieval(ctx, s, "fig10", "Retrieval precision@k: MS module schemes x {np_ta, ip_te}", ms)
 }
 
 // Fig11 reproduces Figure 11: retrieval precision of the structural (pll)
 // and annotational measures. GE runs with importance projection and a beam,
 // as full-corpus exact edit distance is unaffordable — the paper likewise
 // reports GE retrieval only on preprocessed graphs.
-func Fig11(s *Setup) RetrievalResult {
+func Fig11(ctx context.Context, s *Setup) RetrievalResult {
 	geCfg := s.StructuralConfig(measures.GraphEdit, true, module.TypeEquivalence, module.PLL())
 	geCfg.Project = s.Projector.Project
 	geCfg.GEDBeamWidth = s.Scale.GEDBeamRetrieval
@@ -136,7 +139,7 @@ func Fig11(s *Setup) RetrievalResult {
 		s.Structural(measures.PathSets, true, module.TypeEquivalence, module.PLL()),
 		measures.NewStructural(geCfg),
 	}
-	return RunRetrieval(s, "fig11", "Retrieval precision@k: structural vs annotational measures", ms)
+	return RunRetrieval(ctx, s, "fig11", "Retrieval precision@k: structural vs annotational measures", ms)
 }
 
 // String renders one precision table per threshold.

@@ -1,0 +1,78 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// CtxFlow enforces the engine's cancellation contract: context flows in
+// from the caller, it is never minted inside the library. Two rules:
+//
+//   - no context.Background() or context.TODO() in non-main, non-test
+//     package code — a fresh root context silently detaches the work from
+//     the caller's deadline and cancellation, which is how "cancelled"
+//     searches keep burning CPU;
+//   - exported functions and methods that accept a context.Context take it
+//     as the first parameter, the position callers and wrappers expect.
+//
+// Binaries (package main) and test files own their lifetimes and are
+// exempt.
+var CtxFlow = &Analyzer{
+	Name: "ctxflow",
+	Doc: `flag fresh root contexts in library code and misplaced ctx parameters
+
+Library code must thread the caller's context; context.Background()/TODO()
+detach work from cancellation. Exported signatures take ctx first.`,
+	Run: runCtxFlow,
+}
+
+func runCtxFlow(pass *Pass) error {
+	if pass.Pkg.Name() == "main" {
+		return nil
+	}
+	for _, file := range pass.Files {
+		if strings.HasSuffix(pass.Fset.Position(file.Pos()).Filename, "_test.go") {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr)
+				if !ok || usedPackage(pass, sel.X) != "context" {
+					return true
+				}
+				if name := sel.Sel.Name; name == "Background" || name == "TODO" {
+					pass.Reportf(n.Pos(), "context.%s() in library code detaches work from the caller's cancellation; thread a ctx parameter instead", name)
+				}
+			case *ast.FuncDecl:
+				checkCtxFirst(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkCtxFirst flags exported functions whose context.Context parameter is
+// not in first position.
+func checkCtxFirst(pass *Pass, fn *ast.FuncDecl) {
+	if !fn.Name.IsExported() || fn.Type.Params == nil {
+		return
+	}
+	idx := 0
+	for _, field := range fn.Type.Params.List {
+		isCtx := false
+		if tv, ok := pass.Info.Types[field.Type]; ok {
+			isCtx = namedType(tv.Type, "context", "Context")
+		}
+		n := len(field.Names)
+		if n == 0 {
+			n = 1 // unnamed parameter
+		}
+		if isCtx && idx > 0 {
+			pass.Reportf(field.Pos(), "%s takes context.Context at parameter %d; ctx must be the first parameter", fn.Name.Name, idx+1)
+			return
+		}
+		idx += n
+	}
+}

@@ -1,0 +1,114 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+const servePkg = "repro/pkg/wfsim/serve"
+
+// GenStamp enforces the HTTP read-result stamping contract in
+// pkg/wfsim/serve: every response that reports read results carries the
+// corpus generation (or per-shard generation vector) it was computed at, so
+// clients can correlate results across requests and detect mutations
+// between calls. Two rules:
+//
+//   - every struct type named *Response declares a Generation or
+//     Generations field, directly or inside one nested named struct of the
+//     same package (e.g. a shared stats payload);
+//   - writeJSON only serializes named serve types ending in Response or
+//     Payload — anonymous maps and raw domain values have no place to
+//     carry the stamp.
+var GenStamp = &Analyzer{
+	Name: "genstamp",
+	Doc: `flag serve responses without a generation stamp
+
+Every pkg/wfsim/serve response struct must carry Generation(s), and
+writeJSON must serialize named *Response/*Payload types, so read results
+are always tagged with the corpus generation they came from.`,
+	Run: runGenStamp,
+}
+
+func runGenStamp(pass *Pass) error {
+	if pass.Pkg.Path() != servePkg {
+		return nil
+	}
+	scope := pass.Pkg.Scope()
+	for _, name := range scope.Names() {
+		obj, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok || !strings.HasSuffix(name, "Response") {
+			continue
+		}
+		st, ok := obj.Type().Underlying().(*types.Struct)
+		if !ok {
+			continue
+		}
+		if !carriesGeneration(st, true) {
+			pass.Reportf(obj.Pos(), "response struct %s has no Generation/Generations field; read results must be stamped with the corpus generation", name)
+		}
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); !ok || id.Name != "writeJSON" || len(call.Args) != 3 {
+				return true
+			}
+			arg := call.Args[2]
+			tv, ok := pass.Info.Types[arg]
+			if !ok {
+				return true
+			}
+			if !isServeResponseType(pass, tv.Type) {
+				pass.Reportf(arg.Pos(), "writeJSON payload has type %s; serialize a named serve type ending in Response or Payload so it can carry the generation stamp", types.TypeString(tv.Type, types.RelativeTo(pass.Pkg)))
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// carriesGeneration reports whether st has a Generation or Generations
+// field, looking one level into named struct fields of the serve package
+// when nested is true.
+func carriesGeneration(st *types.Struct, nested bool) bool {
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if f.Name() == "Generation" || f.Name() == "Generations" {
+			return true
+		}
+		if !nested {
+			continue
+		}
+		t := f.Type()
+		if ptr, ok := t.(*types.Pointer); ok {
+			t = ptr.Elem()
+		}
+		if named, ok := t.(*types.Named); ok && named.Obj().Pkg() != nil && named.Obj().Pkg().Path() == servePkg {
+			if inner, ok := named.Underlying().(*types.Struct); ok && carriesGeneration(inner, false) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// isServeResponseType reports whether t is a named type of the serve
+// package whose name ends in Response or Payload.
+func isServeResponseType(pass *Pass, t types.Type) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != servePkg {
+		return false
+	}
+	return strings.HasSuffix(obj.Name(), "Response") || strings.HasSuffix(obj.Name(), "Payload")
+}

@@ -1,0 +1,74 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+const corpusPkg = "repro/internal/corpus"
+
+// snapshotScope lists the packages whose read paths must be snapshot-
+// pinned: the concurrent query layers, where interleaving a mutation
+// between two repository reads would mix state from different generations
+// inside one logical operation.
+var snapshotScope = map[string]bool{
+	"repro/internal/search":  true,
+	"repro/internal/cluster": true,
+	"repro/internal/shard":   true,
+	"repro/pkg/wfsim":        true,
+}
+
+// repoReadMethods are the corpus.Repository methods that read corpus state
+// and therefore must be reached through a pinned Snapshot. The remaining
+// surface is allowed directly: Snapshot and Generation are the pinning
+// primitives, and the mutation/lifecycle methods (ApplyBatch,
+// ValidateBatch, Restore, SetCommitHook, Add, Remove, Replace) are the
+// write path, which owns the repository lock.
+var repoReadMethods = map[string]bool{
+	"Get":       true,
+	"Size":      true,
+	"Workflows": true,
+	"IDs":       true,
+	"Validate":  true,
+	"Save":      true,
+	"SaveFile":  true,
+}
+
+// SnapshotPin enforces the snapshot-pinned read contract: inside the query
+// layers (internal/search, internal/cluster, internal/shard, pkg/wfsim),
+// corpus state may only be read via an immutable, generation-stamped
+// corpus.Snapshot — never directly off the mutable corpus.Repository. One
+// Snapshot() call pins one generation for the whole read, which is what
+// keeps a search result internally consistent and correctly stamped while
+// Apply batches land concurrently.
+var SnapshotPin = &Analyzer{
+	Name: "snapshotpin",
+	Doc: `flag direct corpus.Repository reads on snapshot-pinned read paths
+
+Query-layer packages must pin a corpus.Snapshot and read corpus state from
+it; reading the mutable Repository mid-operation can observe two different
+generations inside one result.`,
+	Run: runSnapshotPin,
+}
+
+func runSnapshotPin(pass *Pass) error {
+	if !snapshotScope[pass.Pkg.Path()] {
+		return nil
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			selection := pass.Info.Selections[sel]
+			if selection == nil || !repoReadMethods[sel.Sel.Name] {
+				return true
+			}
+			if namedType(selection.Recv(), corpusPkg, "Repository") {
+				pass.Reportf(sel.Sel.Pos(), "direct %s read off corpus.Repository; pin a generation with Snapshot() and read from the snapshot", sel.Sel.Name)
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,17 @@
+// Fixture: context misuse the ctxflow analyzer must flag in library code.
+package fixture
+
+import "context"
+
+func detached() error {
+	ctx := context.Background() // want `context\.Background\(\) in library code`
+	return ctx.Err()
+}
+
+func placeholder() error {
+	return context.TODO().Err() // want `context\.TODO\(\) in library code`
+}
+
+func Search(id string, ctx context.Context) error { // want `ctx must be the first parameter`
+	return ctx.Err()
+}

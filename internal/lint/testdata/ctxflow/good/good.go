@@ -1,0 +1,18 @@
+// Fixture: context handling the ctxflow analyzer must accept.
+package fixture
+
+import "context"
+
+// Exported entry points thread the caller's context, first.
+func Search(ctx context.Context, id string) error {
+	return run(ctx, id)
+}
+
+// Unexported helpers may put ctx anywhere (first is still the idiom).
+func run(ctx context.Context, id string) error {
+	_ = id
+	return ctx.Err()
+}
+
+// Exported functions without a context are fine.
+func Name() string { return "fixture" }

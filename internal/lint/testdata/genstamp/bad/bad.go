@@ -1,0 +1,19 @@
+// Fixture: unstamped responses the genstamp analyzer must flag when the
+// package is checked under the serve import path.
+package fixture
+
+import "net/http"
+
+type listResponse struct { // want `response struct listResponse has no Generation`
+	Items []string `json:"items"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {}
+
+func handleList(w http.ResponseWriter) {
+	writeJSON(w, http.StatusOK, listResponse{})
+}
+
+func handleHealth(w http.ResponseWriter) {
+	writeJSON(w, http.StatusOK, map[string]any{"status": "ok"}) // want `writeJSON payload has type map\[string\]any`
+}

@@ -1,0 +1,38 @@
+// Fixture: generation-stamped responses the genstamp analyzer must accept.
+package fixture
+
+import "net/http"
+
+// Directly stamped.
+type fetchResponse struct {
+	Generation uint64 `json:"generation"`
+}
+
+// Stamped with a per-shard generation vector.
+type batchResponse struct {
+	Generations []uint64 `json:"generations"`
+}
+
+// Stamped one level down, through a shared named payload.
+type statsPayload struct {
+	Generation uint64 `json:"generation"`
+}
+
+type searchResponse struct {
+	Stats statsPayload `json:"stats"`
+}
+
+// Not a Response type: the stamp rule does not apply, but writeJSON still
+// accepts it as a named Payload type.
+type errorPayload struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {}
+
+func handle(w http.ResponseWriter) {
+	writeJSON(w, http.StatusOK, searchResponse{})
+	writeJSON(w, http.StatusOK, &fetchResponse{})
+	writeJSON(w, http.StatusOK, batchResponse{})
+	writeJSON(w, http.StatusBadRequest, errorPayload{Error: "bad"})
+}

@@ -1,0 +1,20 @@
+// Fixture: direct repository reads the snapshotpin analyzer must flag when
+// the package is checked under a snapshot-pinned import path.
+package fixture
+
+import (
+	"repro/internal/corpus"
+	"repro/internal/workflow"
+)
+
+func size(repo *corpus.Repository) int {
+	return repo.Size() // want `direct Size read off corpus\.Repository`
+}
+
+func fetch(repo *corpus.Repository, id string) *workflow.Workflow {
+	return repo.Get(id) // want `direct Get read off corpus\.Repository`
+}
+
+func all(repo *corpus.Repository) []*workflow.Workflow {
+	return repo.Workflows() // want `direct Workflows read off corpus\.Repository`
+}

@@ -1,0 +1,17 @@
+// Fixture: snapshot-pinned reads the snapshotpin analyzer must accept.
+package fixture
+
+import (
+	"repro/internal/corpus"
+	"repro/internal/workflow"
+)
+
+func pinned(repo *corpus.Repository, id string) (*workflow.Workflow, int, uint64) {
+	snap := repo.Snapshot()
+	return snap.Get(id), snap.Size(), snap.Generation()
+}
+
+// The mutation path owns the repository lock and is allowed direct access.
+func mutate(repo *corpus.Repository, wf *workflow.Workflow) (uint64, error) {
+	return repo.ApplyBatch([]corpus.Op{{Kind: corpus.OpAdd, ID: wf.ID, Workflow: wf}})
+}

@@ -1,0 +1,29 @@
+// Fixture: the suppression directive convention, checked under a
+// snapshot-pinned import path so snapshotpin fires.
+package fixture
+
+import "repro/internal/corpus"
+
+// A justified directive on the line above suppresses the finding.
+func suppressedAbove(repo *corpus.Repository) int {
+	//wfsimvet:ignore snapshotpin boot-time read before any reader can exist
+	return repo.Size()
+}
+
+// A justified directive on the same line suppresses the finding.
+func suppressedInline(repo *corpus.Repository) int {
+	return repo.Size() //wfsimvet:ignore snapshotpin boot-time read before any reader can exist
+}
+
+// A directive without a justification is malformed: it suppresses nothing
+// and is itself reported.
+func bareDirective(repo *corpus.Repository) int {
+	//wfsimvet:ignore snapshotpin
+	return repo.Size()
+}
+
+// A directive for a different analyzer does not apply.
+func wrongAnalyzer(repo *corpus.Repository) int {
+	//wfsimvet:ignore pairorder reads are fine here
+	return repo.Size()
+}

@@ -248,9 +248,7 @@ func (s *Structural) graphEdit(a, b *workflow.Workflow) (float64, error) {
 	// Canonicalize the orientation: the maximum-weight module mapping can
 	// have multiple optima, and which one the matcher returns depends on
 	// argument order; fixing the order keeps the measure symmetric.
-	if a.ID > b.ID || (a.ID == b.ID && a.Size() > b.Size()) {
-		a, b = b, a
-	}
+	a, b = workflow.OrderPair(a, b)
 	g1, g2 := s.labeledGraphs(a, b)
 	var cost float64
 	var err error

@@ -244,10 +244,7 @@ func Duplicates(ctx context.Context, repo Corpus, m measures.Measure, threshold 
 			// the pair is evaluated in ID order: the score is a function of
 			// the unordered pair, independent of corpus insertion order or of
 			// which shard of a scatter-gather scan evaluates it.
-			x, y := a, wfs[j]
-			if y.ID < x.ID {
-				x, y = y, x
-			}
+			x, y := workflow.OrderPair(a, wfs[j])
 			s, err := m.Compare(x, y)
 			if err != nil {
 				skipped.Add(1)

@@ -307,7 +307,7 @@ func (um *unionMeasure) Compare(a, b *workflow.Workflow) (float64, error) {
 	aProj := um.prep.For(pa).projOf(a, um.prep)
 	bProj := um.prep.For(pb).projOf(b, um.prep)
 	execID := pa.Shard()
-	if b.ID < a.ID {
+	if !workflow.IDsInOrder(a.ID, b.ID) {
 		execID = pb.Shard()
 	}
 	return um.scorers[execID].score(a, b, aProj, bProj, pa.Generation(), pb.Generation(), true)

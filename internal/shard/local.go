@@ -175,10 +175,11 @@ func (s *Local) Maintain() {
 
 // Info implements Shard.
 func (s *Local) Info() Info {
+	snap := s.repo.Snapshot()
 	info := Info{
 		ID:          s.id,
-		Generation:  s.repo.Generation(),
-		Workflows:   s.repo.Size(),
+		Generation:  snap.Generation(),
+		Workflows:   snap.Size(),
 		WarmEntries: s.warmEntries,
 	}
 	if idx := s.idx.Load(); idx != nil {
@@ -395,7 +396,7 @@ func (p *localPin) PairsBlock(ctx context.Context, other Pin, prep *ScanPrep, th
 			// the pair landed in.
 			x, xProj, xGen := a, aProj, selfGen
 			y, yProj, yGen := b, bProj, otherGen
-			if y.ID < x.ID {
+			if !workflow.IDsInOrder(x.ID, y.ID) {
 				x, xProj, xGen, y, yProj, yGen = y, yProj, yGen, x, xProj, xGen
 			}
 			s, err := scorer.score(x, y, xProj, yProj, xGen, yGen, true)
@@ -410,10 +411,7 @@ func (p *localPin) PairsBlock(ctx context.Context, other Pin, prep *ScanPrep, th
 			// Canonical orientation (A <= B by ID): block ownership must not
 			// leak into the output, so N-shard and M-shard scans emit
 			// identical pair lists.
-			aID, bID := a.ID, b.ID
-			if bID < aID {
-				aID, bID = bID, aID
-			}
+			aID, bID := workflow.OrderIDs(a.ID, b.ID)
 			row = append(row, search.Pair{A: aID, B: bID, Similarity: s})
 		}
 		if len(row) > 0 {

@@ -136,7 +136,7 @@ func (p *ScanPrep) MemoSize() int {
 // either generation no longer fits in 32 bits — the pair is then simply not
 // cached rather than risking key collisions.
 func packPairGen(aID string, aGen uint64, bID string, bGen uint64) (uint64, bool) {
-	if bID < aID {
+	if !workflow.IDsInOrder(aID, bID) {
 		aGen, bGen = bGen, aGen
 	}
 	if aGen >= 1<<32 || bGen >= 1<<32 {

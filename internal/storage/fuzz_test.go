@@ -1,0 +1,96 @@
+package storage
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"io"
+	"testing"
+)
+
+// FuzzFrame drives the record framing (length prefix + CRC-32) from both
+// directions with one fuzz input:
+//
+//   - round trip: any payload must survive appendFrame/readFrame intact,
+//     with the documented byte count;
+//   - decode: the same bytes reinterpreted as a raw frame stream must
+//     either decode to checksum-valid frames or fail with io.EOF (clean
+//     end) or errTornFrame — never panic, never return a frame whose
+//     checksum was not verified, and never read past the declared length.
+func FuzzFrame(f *testing.F) {
+	f.Add([]byte(nil))
+	f.Add([]byte{})
+	f.Add([]byte("payload"))
+	// A valid frame: decodes to itself.
+	var valid bytes.Buffer
+	if _, err := appendFrame(&valid, []byte("seed")); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid.Bytes())
+	// A truncated frame: header promises more than the body delivers.
+	f.Add(valid.Bytes()[:frameHeaderSize+1])
+	// A corrupt checksum.
+	corrupt := bytes.Clone(valid.Bytes())
+	corrupt[4] ^= 0xff
+	f.Add(corrupt)
+	// A header claiming an absurd length.
+	huge := make([]byte, frameHeaderSize)
+	binary.BigEndian.PutUint32(huge[0:4], maxFramePayload+1)
+	f.Add(huge)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Direction 1: data as payload.
+		var buf bytes.Buffer
+		n, err := appendFrame(&buf, data)
+		if err != nil {
+			t.Fatalf("appendFrame(%d bytes): %v", len(data), err)
+		}
+		if n != int64(buf.Len()) || n != frameHeaderSize+int64(len(data)) {
+			t.Fatalf("appendFrame reported %d bytes, wrote %d, payload %d", n, buf.Len(), len(data))
+		}
+		back, err := readFrame(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("readFrame of fresh frame: %v", err)
+		}
+		if !bytes.Equal(back, data) {
+			t.Fatalf("round trip mutated payload: %d bytes in, %d out", len(data), len(back))
+		}
+		// A frame plus trailing garbage must still yield the frame first.
+		withTail := append(bytes.Clone(buf.Bytes()), 0x00)
+		if back, err = readFrame(bytes.NewReader(withTail)); err != nil || !bytes.Equal(back, data) {
+			t.Fatalf("frame with trailing byte: payload %v, err %v", back, err)
+		}
+
+		// Direction 2: data as a raw frame stream.
+		r := bytes.NewReader(data)
+		for {
+			payload, err := readFrame(r)
+			if errors.Is(err, io.EOF) {
+				if r.Len() != 0 {
+					t.Fatalf("io.EOF with %d bytes unread", r.Len())
+				}
+				break
+			}
+			if err != nil {
+				if !errors.Is(err, errTornFrame) {
+					t.Fatalf("readFrame on arbitrary bytes: %v (want io.EOF or errTornFrame)", err)
+				}
+				break
+			}
+			// A decoded frame must match the bytes it claims to come from:
+			// length and checksum in the header both verified.
+			pos := len(data) - r.Len() // consumed, including this frame
+			start := pos - len(payload) - frameHeaderSize
+			if start < 0 {
+				t.Fatalf("decoded %d payload bytes but only consumed %d", len(payload), pos)
+			}
+			if n := binary.BigEndian.Uint32(data[start : start+4]); int(n) != len(payload) {
+				t.Fatalf("header declares %d bytes, decoded %d", n, len(payload))
+			}
+			if want := binary.BigEndian.Uint32(data[start+4 : start+8]); crc32.ChecksumIEEE(payload) != want {
+				t.Fatalf("decoded frame fails its own checksum: %08x", want)
+			}
+		}
+	})
+}

@@ -1,0 +1,40 @@
+package workflow
+
+// Pair-order canonicalization. Similarity measures are mathematically
+// symmetric but not always bit-symmetric: summation order inside the module
+// matcher, tie-breaking among equally-optimal mappings, and floating-point
+// accumulation can all depend on operand order. Every pairwise scoring path
+// therefore evaluates the pair in one canonical orientation — smaller ID
+// first — so a score is a function of the unordered pair, independent of
+// corpus insertion order or of which shard of a scatter-gather scan happens
+// to evaluate it. This is what makes N-shard reads bit-identical to 1-shard
+// reads, and what keeps score-cache keys (scorecache.PairKey) collision-free
+// across orientations.
+//
+// These helpers are the blessed canonicalization points. The wfsimvet
+// pairorder analyzer rejects ad-hoc ID comparisons at scoring call sites;
+// route new pair-ordering code through OrderPair, OrderIDs or IDsInOrder.
+
+// OrderPair returns the pair in canonical scoring order: the workflow with
+// the smaller ID first, ties (same ID, e.g. an ad-hoc Compare of two
+// versions of one workflow) broken by smaller module count first. The
+// returned pointers alias the arguments.
+func OrderPair(a, b *Workflow) (*Workflow, *Workflow) {
+	if a.ID > b.ID || (a.ID == b.ID && a.Size() > b.Size()) {
+		return b, a
+	}
+	return a, b
+}
+
+// OrderIDs returns the ID pair in canonical (ascending) order.
+func OrderIDs(a, b string) (string, string) {
+	if b < a {
+		return b, a
+	}
+	return a, b
+}
+
+// IDsInOrder reports whether the ID pair (a, b) is already canonically
+// ordered. Callers that must swap more than the pair itself (projections,
+// generations) branch on this instead of comparing IDs ad hoc.
+func IDsInOrder(a, b string) bool { return a <= b }

@@ -1,0 +1,44 @@
+package workflow
+
+import "testing"
+
+func pairWF(id string, modules int) *Workflow {
+	w := &Workflow{ID: id}
+	for i := 0; i < modules; i++ {
+		w.Modules = append(w.Modules, &Module{ID: "m", Label: "l"})
+	}
+	return w
+}
+
+func TestOrderPair(t *testing.T) {
+	a, b := pairWF("a", 1), pairWF("b", 2)
+	if x, y := OrderPair(a, b); x != a || y != b {
+		t.Error("ordered pair was reordered")
+	}
+	if x, y := OrderPair(b, a); x != a || y != b {
+		t.Error("reversed pair was not canonicalized")
+	}
+	// Same ID: smaller module count first.
+	small, big := pairWF("same", 1), pairWF("same", 3)
+	if x, y := OrderPair(big, small); x != small || y != big {
+		t.Error("same-ID pair not ordered by size")
+	}
+	if x, y := OrderPair(small, big); x != small || y != big {
+		t.Error("ordered same-ID pair was reordered")
+	}
+}
+
+func TestOrderIDs(t *testing.T) {
+	if a, b := OrderIDs("z", "a"); a != "a" || b != "z" {
+		t.Errorf("OrderIDs(z, a) = (%s, %s)", a, b)
+	}
+	if a, b := OrderIDs("a", "z"); a != "a" || b != "z" {
+		t.Errorf("OrderIDs(a, z) = (%s, %s)", a, b)
+	}
+}
+
+func TestIDsInOrder(t *testing.T) {
+	if !IDsInOrder("a", "b") || !IDsInOrder("a", "a") || IDsInOrder("b", "a") {
+		t.Error("IDsInOrder disagrees with lexicographic order")
+	}
+}

@@ -330,7 +330,7 @@ func (e *Engine) Size() int {
 	if e.coord != nil {
 		return e.coord.View().Size()
 	}
-	return e.repo.Size()
+	return e.repo.Snapshot().Size()
 }
 
 // Registry returns the engine's measure registry, for registering custom
@@ -343,7 +343,7 @@ func (e *Engine) Workflow(id string) *Workflow {
 	if e.coord != nil {
 		return e.coord.View().Get(id)
 	}
-	return e.repo.Get(id)
+	return e.repo.Snapshot().Get(id)
 }
 
 // currentProjection resolves the engine's projection for its current read

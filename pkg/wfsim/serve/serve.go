@@ -516,6 +516,14 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 
 // --- workflow fetch, stats, health ---
 
+// workflowResponse wraps a fetched workflow with the generation it was read
+// at, so a client interleaving fetches with mutations can tell which state
+// it observed.
+type workflowResponse struct {
+	Workflow   *wfsim.Workflow `json:"workflow"`
+	Generation uint64          `json:"generation"`
+}
+
 func (s *Server) handleGetWorkflow(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	wf := s.eng.Workflow(id)
@@ -523,7 +531,7 @@ func (s *Server) handleGetWorkflow(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, "workflow %q not found", id)
 		return
 	}
-	writeJSON(w, http.StatusOK, wf)
+	writeJSON(w, http.StatusOK, workflowResponse{Workflow: wf, Generation: s.eng.Generation()})
 }
 
 type statsResponse struct {
@@ -573,10 +581,16 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
+type healthzResponse struct {
+	Status     string `json:"status"`
+	Generation uint64 `json:"generation"`
+	Workflows  int    `json:"workflows"`
+}
+
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{
-		"status":     "ok",
-		"generation": s.eng.Generation(),
-		"workflows":  s.eng.Size(),
+	writeJSON(w, http.StatusOK, healthzResponse{
+		Status:     "ok",
+		Generation: s.eng.Generation(),
+		Workflows:  s.eng.Size(),
 	})
 }

@@ -247,13 +247,20 @@ func TestRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	var wf wfsim.Workflow
-	if err := json.NewDecoder(resp.Body).Decode(&wf); err != nil {
+	var wfResp struct {
+		Workflow   wfsim.Workflow `json:"workflow"`
+		Generation uint64         `json:"generation"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&wfResp); err != nil {
 		t.Fatal(err)
 	}
 	resp.Body.Close()
+	wf := wfResp.Workflow
 	if resp.StatusCode != http.StatusOK || wf.ID != "w4" || len(wf.Modules) != 2 {
 		t.Errorf("workflow fetch: status %d, wf %+v", resp.StatusCode, wf)
+	}
+	if wfResp.Generation == 0 {
+		t.Error("workflow fetch carries no generation stamp")
 	}
 	resp, err = http.Get(ts.URL + "/v1/workflows/no-such-id")
 	if err != nil {

@@ -64,7 +64,7 @@ func (e *Engine) openSharded() error {
 			}
 			hasState = has
 		}
-		if hasState && e.repo.Size() > 0 {
+		if hasState && e.repo.Snapshot().Size() > 0 {
 			return fmt.Errorf("storage directory %s holds sharded state; refusing to recover into a non-empty repository (preload only into a fresh data directory)", e.storageDir)
 		}
 	}
@@ -73,7 +73,7 @@ func (e *Engine) openSharded() error {
 	// marker pins the shard count, so the recovered partition matches the
 	// ring.
 	parts := make([][]*workflow.Workflow, n)
-	for _, wf := range e.repo.Workflows() {
+	for _, wf := range e.repo.Snapshot().Workflows() {
 		o := ring.Owner(wf.ID)
 		parts[o] = append(parts[o], wf)
 	}

@@ -145,7 +145,7 @@ func (e *Engine) openStorage() error {
 	}
 	switch {
 	case gen > 0 || len(wfs) > 0:
-		if e.repo.Generation() != 0 || e.repo.Size() != 0 {
+		if e.repo.Generation() != 0 || e.repo.Snapshot().Size() != 0 {
 			store.Close()
 			return fmt.Errorf("storage directory %s holds state at generation %d; refusing to recover into a non-empty repository (preload only into a fresh data directory)", e.storageDir, gen)
 		}
@@ -153,7 +153,7 @@ func (e *Engine) openStorage() error {
 			store.Close()
 			return err
 		}
-	case e.repo.Size() > 0 || e.repo.Generation() > 0:
+	case e.repo.Snapshot().Size() > 0 || e.repo.Generation() > 0:
 		// Fresh directory under a pre-populated repository: persist the
 		// initial contents as the baseline snapshot, so the preload itself
 		// survives a restart.
