@@ -19,7 +19,9 @@ func cmdImport(args []string) error {
 	format := fs.String("format", "t2flow", "input format: t2flow or galaxy")
 	out := fs.String("out", "corpus.json", "output corpus file")
 	inline := fs.Bool("inline", true, "inline nested subworkflows")
-	fs.Parse(args)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 	if fs.NArg() == 0 {
 		return fmt.Errorf("import: no input files given")
 	}
@@ -37,10 +39,10 @@ func cmdImport(args []string) error {
 		case "galaxy":
 			wf, err = wfsim.ParseGalaxy(f)
 		default:
-			f.Close()
+			f.Close() //wfsimvet:ignore errpath read-only handle; the unknown-format error wins
 			return fmt.Errorf("import: unknown format %q", *format)
 		}
-		f.Close()
+		f.Close() //wfsimvet:ignore errpath read-only handle; no buffered writes to lose
 		if err != nil {
 			return fmt.Errorf("import %s: %w", filepath.Base(path), err)
 		}
@@ -79,7 +81,9 @@ func cmdExport(args []string) error {
 	format := fs.String("format", "t2flow", "output format: t2flow or galaxy")
 	dir := fs.String("dir", ".", "output directory")
 	ids := fs.String("ids", "", "comma-separated workflow IDs (default: all)")
-	fs.Parse(args)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	repo, err := wfsim.LoadRepository(*corpusPath)
 	if err != nil {
@@ -113,7 +117,7 @@ func cmdExport(args []string) error {
 		case "galaxy":
 			err = wfsim.WriteGalaxy(f, wf)
 		default:
-			f.Close()
+			f.Close() //wfsimvet:ignore errpath nothing was written on this branch; the unknown-format error wins
 			return fmt.Errorf("export: unknown format %q", *format)
 		}
 		if cerr := f.Close(); err == nil {
@@ -137,7 +141,9 @@ func cmdCluster(args []string) error {
 	method := fs.String("method", "agglomerative", "clustering method: agglomerative or components")
 	limit := fs.Int("limit", 10, "max clusters to print")
 	timeout := fs.Duration("timeout", 0, "whole-clustering deadline (0 = none)")
-	fs.Parse(args)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	eng, err := newEngine(*corpusPath)
 	if err != nil {

@@ -106,7 +106,9 @@ func cmdGen(args []string) error {
 	seed := fs.Int64("seed", 1, "generation seed")
 	out := fs.String("out", "corpus.json", "output file")
 	n := fs.Int("n", 0, "override workflow count (0 = profile default)")
-	fs.Parse(args)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	var p wfsim.Profile
 	switch *profile {
@@ -140,7 +142,9 @@ func cmdCompare(args []string) error {
 	a := fs.String("a", "", "first workflow ID")
 	b := fs.String("b", "", "second workflow ID")
 	measureName := fs.String("measure", "", "measure name (default: a representative set)")
-	fs.Parse(args)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	eng, err := newEngine(*corpusPath)
 	if err != nil {
@@ -180,7 +184,9 @@ func cmdSearch(args []string) error {
 	minShared := fs.Int("min-shared", 1, "index filter knob: min shared canonical labels (implies -index when > 1)")
 	cacheSize := fs.Int("cache", 0, "pairwise score cache capacity (0 = no cache)")
 	repeat := fs.Int("repeat", 1, "run the search N times (shows cache warm-up)")
-	fs.Parse(args)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	var opts []wfsim.Option
 	if *useIndex || *minShared > 1 {
@@ -228,7 +234,9 @@ func cmdDupes(args []string) error {
 	timeout := fs.Duration("timeout", 0, "whole-scan deadline (0 = none)")
 	cacheSize := fs.Int("cache", 0, "pairwise score cache capacity (0 = no cache)")
 	repeat := fs.Int("repeat", 1, "run the scan N times (shows cache warm-up)")
-	fs.Parse(args)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	var opts []wfsim.Option
 	if *cacheSize > 0 {
@@ -266,7 +274,9 @@ func cmdDupes(args []string) error {
 // cmdMeasures lists the measure notation the registry resolves.
 func cmdMeasures(args []string) error {
 	fs := flag.NewFlagSet("measures", flag.ExitOnError)
-	fs.Parse(args)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 	reg := wfsim.NewRegistry()
 	fmt.Println("annotation and structural measures (paper notation):")
 	for _, name := range reg.Builtin() {

@@ -21,7 +21,9 @@ func cmdAdd(args []string) error {
 	corpusPath := fs.String("corpus", "corpus.json", "corpus file")
 	format := fs.String("format", "t2flow", "input format: t2flow or galaxy")
 	out := fs.String("out", "", "output corpus file (default: overwrite -corpus)")
-	fs.Parse(args)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 	if fs.NArg() == 0 {
 		return fmt.Errorf("add: no input files given")
 	}
@@ -43,10 +45,10 @@ func cmdAdd(args []string) error {
 		case "galaxy":
 			wf, err = wfsim.ParseGalaxy(f)
 		default:
-			f.Close()
+			f.Close() //wfsimvet:ignore errpath read-only handle; the unknown-format error wins
 			return fmt.Errorf("add: unknown format %q", *format)
 		}
-		f.Close()
+		f.Close() //wfsimvet:ignore errpath read-only handle; no buffered writes to lose
 		if err != nil {
 			return fmt.Errorf("add %s: %w", filepath.Base(path), err)
 		}
@@ -75,7 +77,9 @@ func cmdRm(args []string) error {
 	corpusPath := fs.String("corpus", "corpus.json", "corpus file")
 	ids := fs.String("ids", "", "comma-separated workflow IDs to remove")
 	out := fs.String("out", "", "output corpus file (default: overwrite -corpus)")
-	fs.Parse(args)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 	if *ids == "" {
 		return fmt.Errorf("rm: no -ids given")
 	}

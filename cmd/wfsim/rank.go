@@ -18,7 +18,9 @@ func cmdRank(args []string) error {
 	query := fs.String("query", "", "query workflow ID")
 	cands := fs.String("candidates", "", "comma-separated candidate workflow IDs")
 	measureNames := fs.String("measures", "BW,MS_ip_te_pll", "comma-separated measure names")
-	fs.Parse(args)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	eng, err := newEngine(*corpusPath)
 	if err != nil {

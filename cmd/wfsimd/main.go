@@ -71,7 +71,9 @@ func run(args []string) error {
 	concurrency := fs.Int("concurrency", 0, "scoring worker-pool width (0 = GOMAXPROCS)")
 	defaultDeadline := fs.Duration("default-deadline", 30*time.Second, "per-request deadline when the client sends none")
 	maxDeadline := fs.Duration("max-deadline", 2*time.Minute, "cap on client-requested deadlines")
-	fs.Parse(args)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	if *corpusPath != "" && *dataDir != "" {
 		// A preload into a directory that already recovered state would

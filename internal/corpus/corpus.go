@@ -176,7 +176,7 @@ func (r *Repository) Add(wf *workflow.Workflow) error {
 	if err := r.fireHookLocked([]Op{{Kind: OpAdd, ID: wf.ID, Workflow: wf}}); err != nil {
 		return err
 	}
-	_ = r.addLocked(wf) // validated above
+	_ = r.addLocked(wf) //wfsimvet:ignore errpath checkAddable above proved the add applies; the durable hook already committed it
 	r.invalidateLocked()
 	return nil
 }
@@ -191,7 +191,7 @@ func (r *Repository) Remove(id string) error {
 	if err := r.fireHookLocked([]Op{{Kind: OpRemove, ID: id}}); err != nil {
 		return err
 	}
-	_ = r.removeLocked(id) // validated above
+	_ = r.removeLocked(id) //wfsimvet:ignore errpath presence checked above; the durable hook already committed the remove
 	r.invalidateLocked()
 	return nil
 }
@@ -225,7 +225,7 @@ func (r *Repository) Replace(wf *workflow.Workflow) error {
 	if err := r.fireHookLocked([]Op{{Kind: OpReplace, ID: wf.ID, Workflow: wf}}); err != nil {
 		return err
 	}
-	_ = r.replaceLocked(wf) // validated above
+	_ = r.replaceLocked(wf) //wfsimvet:ignore errpath presence checked above; the durable hook already committed the replace
 	r.invalidateLocked()
 	return nil
 }
@@ -341,11 +341,11 @@ func (r *Repository) ApplyBatch(ops []Op) (uint64, error) {
 	for _, op := range ops {
 		switch op.Kind {
 		case OpAdd:
-			_ = r.addLocked(op.Workflow)
+			_ = r.addLocked(op.Workflow) //wfsimvet:ignore errpath validated against the staged overlay; failing here would tear the committed batch
 		case OpRemove:
-			_ = r.removeLocked(op.ID)
+			_ = r.removeLocked(op.ID) //wfsimvet:ignore errpath validated against the staged overlay; failing here would tear the committed batch
 		case OpReplace:
-			_ = r.replaceLocked(op.Workflow)
+			_ = r.replaceLocked(op.Workflow) //wfsimvet:ignore errpath validated against the staged overlay; failing here would tear the committed batch
 		}
 	}
 	return r.invalidateLocked(), nil

@@ -55,7 +55,7 @@ func BuildRankingStudy(c *gen.Corpus, numQueries int, panel []*Rater, seed int64
 			if wf.ID == q {
 				continue
 			}
-			s, _ := bw.Compare(qwf, wf)
+			s, _ := bw.Compare(qwf, wf) //wfsimvet:ignore errpath ranking protocol scores every candidate; an incomparable pair correctly ranks at 0
 			all = append(all, scored{wf.ID, s})
 		}
 		sort.Slice(all, func(i, j int) bool {

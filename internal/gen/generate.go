@@ -236,14 +236,14 @@ func (pr *prototype) instantiate(r *rand.Rand, id string, depth int, p Profile, 
 	// and i+2 depend on i, and i+3 (if any) joins them.
 	for i := 0; i+1 < len(ops); i++ {
 		if branch[i] && i+2 < len(ops) {
-			_ = wf.AddEdge(idxOf[i], idxOf[i+1])
-			_ = wf.AddEdge(idxOf[i], idxOf[i+2])
+			mustEdge(wf, idxOf[i], idxOf[i+1])
+			mustEdge(wf, idxOf[i], idxOf[i+2])
 			if i+3 < len(ops) {
-				_ = wf.AddEdge(idxOf[i+1], idxOf[i+3])
-				_ = wf.AddEdge(idxOf[i+2], idxOf[i+3])
+				mustEdge(wf, idxOf[i+1], idxOf[i+3])
+				mustEdge(wf, idxOf[i+2], idxOf[i+3])
 			}
 		} else {
-			_ = wf.AddEdge(idxOf[i], idxOf[i+1])
+			mustEdge(wf, idxOf[i], idxOf[i+1])
 		}
 	}
 
@@ -277,8 +277,8 @@ func (pr *prototype) instantiate(r *rand.Rand, id string, depth int, p Profile, 
 				break
 			}
 		}
-		_ = wf.AddEdge(e.From, si)
-		_ = wf.AddEdge(si, e.To)
+		mustEdge(wf, e.From, si)
+		mustEdge(wf, si, e.To)
 	}
 	for i, m := range wf.Modules {
 		if m.ID == "" || !strings.HasPrefix(m.ID, "shim") {
@@ -442,4 +442,13 @@ func min(a, b int) int {
 		return a
 	}
 	return b
+}
+
+// mustEdge wires an edge between modules the generator itself just created.
+// The indices are valid by construction, so a failure is a generator bug:
+// panic instead of discarding the error.
+func mustEdge(wf *workflow.Workflow, from, to int) {
+	if err := wf.AddEdge(from, to); err != nil {
+		panic(fmt.Sprintf("gen: internal edge %d->%d rejected: %v", from, to, err))
+	}
 }

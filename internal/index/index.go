@@ -305,6 +305,8 @@ func (idx *Index) Size() int {
 
 // candidatesLocked computes candidate positions under the caller's read
 // lock, skipping tombstones.
+//
+//wfsimvet:hotpath
 func (idx *Index) candidatesLocked(query *workflow.Workflow, minShared int) []int {
 	if minShared < 1 {
 		minShared = 1
@@ -377,6 +379,8 @@ type SearchResult struct {
 // batch sees either the whole batch or none of it; scoring itself runs
 // outside any lock. A cancelled or expired context aborts the refine stage
 // with the context's error.
+//
+//wfsimvet:hotpath
 func (idx *Index) TopK(ctx context.Context, query *workflow.Workflow, m measures.Measure, k, minShared int) (SearchResult, error) {
 	if k <= 0 {
 		k = 10

@@ -1,0 +1,515 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// This file is the suite's dataflow substrate: a per-function control-flow
+// graph with branch, loop, defer and return edges, plus a forward
+// "facts held at block entry" fixpoint and natural-loop detection. The
+// flow-sensitive analyzers (lockscope, errpath, hotalloc) are written
+// against it; a new analyzer gets path sensitivity by building a CFG per
+// function body and propagating its own fact set (see README, "writing a
+// new analyzer against the CFG layer").
+
+// A Block is one straight-line run of statements. Nodes holds the
+// statements (and, for conditionals, the condition expression) in execution
+// order; Succs are the possible successors. The synthetic Exit block of a
+// CFG has no nodes and collects every return edge and the fall-off-the-end
+// edge.
+type Block struct {
+	// Index is the block's position in CFG.Blocks (stable identity).
+	Index int
+	// Nodes are the block's AST nodes in execution order.
+	Nodes []ast.Node
+	// Succs are the blocks control can transfer to next.
+	Succs []*Block
+	// Panics marks a block terminated by a call to panic: control reaches
+	// Exit, but through stack unwinding rather than a normal return, so
+	// resource-balance checks (lockscope's release-on-every-path) skip it.
+	Panics bool
+}
+
+// A CFG is the control-flow graph of one function body. Defer statements
+// appear both in their block (they execute their argument expressions in
+// place) and in Defers (their deferred call runs at every function exit).
+type CFG struct {
+	Entry  *Block
+	Exit   *Block
+	Blocks []*Block
+	// Defers are the function's defer statements in source order. Whether a
+	// given defer has executed on a given path is path-dependent; analyzers
+	// that care (lockscope) model the registration as a fact.
+	Defers []*ast.DeferStmt
+}
+
+// BuildCFG constructs the control-flow graph of a function body. It does
+// not descend into nested function literals — each FuncLit body is its own
+// function with its own CFG (see FuncBodies).
+func BuildCFG(body *ast.BlockStmt) *CFG {
+	b := &cfgBuilder{}
+	b.cfg = &CFG{}
+	b.cfg.Entry = b.newBlock()
+	b.cfg.Exit = b.newBlock()
+	b.cur = b.cfg.Entry
+	b.stmt(body)
+	// Falling off the end of the body is a return.
+	b.edge(b.cur, b.cfg.Exit)
+	return b.cfg
+}
+
+// FuncBody is one analyzable function body: a declared function or a
+// function literal nested inside one.
+type FuncBody struct {
+	// Decl is the enclosing declared function (nil for file-level init
+	// expressions, which have no body and are not emitted).
+	Decl *ast.FuncDecl
+	// Lit is the function literal (nil when Body is Decl's own body).
+	Lit *ast.FuncLit
+	// Body is the function body to analyze.
+	Body *ast.BlockStmt
+}
+
+// FuncBodies enumerates every function body in the file — each declared
+// function and each function literal, innermost last — so analyzers can
+// build one CFG per body without double-walking nested literals.
+func FuncBodies(file *ast.File) []FuncBody {
+	var out []FuncBody
+	for _, decl := range file.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok || fd.Body == nil {
+			continue
+		}
+		out = append(out, FuncBody{Decl: fd, Body: fd.Body})
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			if lit, ok := n.(*ast.FuncLit); ok {
+				out = append(out, FuncBody{Decl: fd, Lit: lit, Body: lit.Body})
+			}
+			return true
+		})
+	}
+	return out
+}
+
+type cfgBuilder struct {
+	cfg *CFG
+	cur *Block
+	// breaks/continues are the innermost targets for unlabeled branch
+	// statements; labels maps a label name to its loop/switch targets.
+	breaks    []*Block
+	continues []*Block
+	labels    map[string]*labelTarget
+	// gotos are forward gotos waiting for their label's block.
+	gotos map[string][]*Block
+	// labelBlocks maps a label to the block its labeled statement starts in
+	// (goto target).
+	labelBlocks map[string]*Block
+}
+
+type labelTarget struct {
+	brk, cont *Block
+}
+
+func (b *cfgBuilder) newBlock() *Block {
+	blk := &Block{Index: len(b.cfg.Blocks)}
+	b.cfg.Blocks = append(b.cfg.Blocks, blk)
+	return blk
+}
+
+func (b *cfgBuilder) edge(from, to *Block) {
+	if from == nil || to == nil {
+		return
+	}
+	for _, s := range from.Succs {
+		if s == to {
+			return
+		}
+	}
+	from.Succs = append(from.Succs, to)
+}
+
+// add appends a node to the current block.
+func (b *cfgBuilder) add(n ast.Node) {
+	if b.cur != nil {
+		b.cur.Nodes = append(b.cur.Nodes, n)
+	}
+}
+
+// dead replaces the current block with an unreachable one, after a
+// terminating statement (return, branch, panic).
+func (b *cfgBuilder) dead() {
+	b.cur = b.newBlock()
+}
+
+func (b *cfgBuilder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		for _, st := range s.List {
+			b.stmt(st)
+		}
+	case *ast.IfStmt:
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		b.add(s.Cond)
+		condBlk := b.cur
+		join := b.newBlock()
+		thenBlk := b.newBlock()
+		b.edge(condBlk, thenBlk)
+		b.cur = thenBlk
+		b.stmt(s.Body)
+		b.edge(b.cur, join)
+		if s.Else != nil {
+			elseBlk := b.newBlock()
+			b.edge(condBlk, elseBlk)
+			b.cur = elseBlk
+			b.stmt(s.Else)
+			b.edge(b.cur, join)
+		} else {
+			b.edge(condBlk, join)
+		}
+		b.cur = join
+	case *ast.ForStmt:
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		head := b.newBlock()
+		body := b.newBlock()
+		post := b.newBlock()
+		join := b.newBlock()
+		b.edge(b.cur, head)
+		if s.Cond != nil {
+			head.Nodes = append(head.Nodes, s.Cond)
+			b.edge(head, join)
+		}
+		b.edge(head, body)
+		b.pushLoop(s, join, post)
+		b.cur = body
+		b.stmt(s.Body)
+		b.popLoop()
+		b.edge(b.cur, post)
+		b.cur = post
+		if s.Post != nil {
+			b.stmt(s.Post)
+		}
+		b.edge(b.cur, head)
+		b.cur = join
+	case *ast.RangeStmt:
+		head := b.newBlock()
+		body := b.newBlock()
+		join := b.newBlock()
+		b.add(s.X)
+		b.edge(b.cur, head)
+		b.edge(head, body)
+		b.edge(head, join) // a range over an empty container skips the body
+		b.pushLoop(s, join, head)
+		b.cur = body
+		b.stmt(s.Body)
+		b.popLoop()
+		b.edge(b.cur, head)
+		b.cur = join
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		if s.Tag != nil {
+			b.add(s.Tag)
+		}
+		b.switchBody(s, s.Body)
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		b.add(s.Assign)
+		b.switchBody(s, s.Body)
+	case *ast.SelectStmt:
+		b.add(s) // the select itself is the (blocking) node
+		head := b.cur
+		join := b.newBlock()
+		for _, clause := range s.Body.List {
+			cc := clause.(*ast.CommClause)
+			blk := b.newBlock()
+			b.edge(head, blk)
+			b.cur = blk
+			if cc.Comm != nil {
+				b.stmt(cc.Comm)
+			}
+			for _, st := range cc.Body {
+				b.stmt(st)
+			}
+			b.edge(b.cur, join)
+		}
+		if len(s.Body.List) == 0 {
+			b.edge(head, join)
+		}
+		b.cur = join
+	case *ast.LabeledStmt:
+		// The labeled statement begins a new block so gotos can target it.
+		head := b.newBlock()
+		b.edge(b.cur, head)
+		b.cur = head
+		if b.labelBlocks == nil {
+			b.labelBlocks = map[string]*Block{}
+		}
+		b.labelBlocks[s.Label.Name] = head
+		for _, pending := range b.gotos[s.Label.Name] {
+			b.edge(pending, head)
+		}
+		b.labelFor(s.Label.Name, s.Stmt)
+		b.stmt(s.Stmt)
+		delete(b.labels, s.Label.Name)
+	case *ast.BranchStmt:
+		b.add(s)
+		switch s.Tok {
+		case token.BREAK:
+			b.edge(b.cur, b.branchTarget(s, true))
+			b.dead()
+		case token.CONTINUE:
+			b.edge(b.cur, b.branchTarget(s, false))
+			b.dead()
+		case token.GOTO:
+			if tgt, ok := b.labelBlocks[s.Label.Name]; ok {
+				b.edge(b.cur, tgt)
+			} else {
+				if b.gotos == nil {
+					b.gotos = map[string][]*Block{}
+				}
+				b.gotos[s.Label.Name] = append(b.gotos[s.Label.Name], b.cur)
+			}
+			b.dead()
+		case token.FALLTHROUGH:
+			// Handled structurally by switchBody.
+		}
+	case *ast.ReturnStmt:
+		b.add(s)
+		b.edge(b.cur, b.cfg.Exit)
+		b.dead()
+	case *ast.DeferStmt:
+		b.add(s)
+		b.cfg.Defers = append(b.cfg.Defers, s)
+	case *ast.ExprStmt:
+		b.add(s)
+		if isPanicCall(s.X) {
+			b.cur.Panics = true
+			b.edge(b.cur, b.cfg.Exit)
+			b.dead()
+		}
+	case nil:
+		// nothing
+	default:
+		// Assignments, declarations, sends, go statements, inc/dec, empty
+		// statements: straight-line nodes.
+		b.add(s)
+	}
+}
+
+// switchBody builds the case blocks of a switch or type switch; stmt is the
+// switch statement itself (break target registration).
+func (b *cfgBuilder) switchBody(sw ast.Stmt, body *ast.BlockStmt) {
+	head := b.cur
+	join := b.newBlock()
+	b.breaks = append(b.breaks, join)
+	defer func() { b.breaks = b.breaks[:len(b.breaks)-1] }()
+	hasDefault := false
+	var caseBlocks []*Block
+	for _, clause := range body.List {
+		cc := clause.(*ast.CaseClause)
+		if cc.List == nil {
+			hasDefault = true
+		}
+		blk := b.newBlock()
+		caseBlocks = append(caseBlocks, blk)
+		b.edge(head, blk)
+	}
+	for i, clause := range body.List {
+		cc := clause.(*ast.CaseClause)
+		b.cur = caseBlocks[i]
+		for _, e := range cc.List {
+			b.add(e)
+		}
+		falls := false
+		for _, st := range cc.Body {
+			if br, ok := st.(*ast.BranchStmt); ok && br.Tok == token.FALLTHROUGH {
+				falls = true
+				continue
+			}
+			b.stmt(st)
+		}
+		if falls && i+1 < len(caseBlocks) {
+			b.edge(b.cur, caseBlocks[i+1])
+		} else {
+			b.edge(b.cur, join)
+		}
+	}
+	if !hasDefault {
+		b.edge(head, join)
+	}
+	b.cur = join
+}
+
+func (b *cfgBuilder) pushLoop(stmt ast.Stmt, brk, cont *Block) {
+	b.breaks = append(b.breaks, brk)
+	b.continues = append(b.continues, cont)
+	// Retroactively bind a pending label to this loop's targets.
+	for name, lt := range b.labels {
+		if lt.brk == nil {
+			b.labels[name] = &labelTarget{brk: brk, cont: cont}
+		}
+	}
+}
+
+func (b *cfgBuilder) popLoop() {
+	b.breaks = b.breaks[:len(b.breaks)-1]
+	b.continues = b.continues[:len(b.continues)-1]
+}
+
+// labelFor registers a label ahead of entering its statement, so the
+// loop/switch builder can bind break/continue targets to it.
+func (b *cfgBuilder) labelFor(name string, _ ast.Stmt) {
+	if b.labels == nil {
+		b.labels = map[string]*labelTarget{}
+	}
+	b.labels[name] = &labelTarget{}
+}
+
+// branchTarget resolves a break (brk=true) or continue statement to its
+// target block; unresolvable targets (malformed code) fall back to Exit.
+func (b *cfgBuilder) branchTarget(s *ast.BranchStmt, brk bool) *Block {
+	if s.Label != nil {
+		if lt, ok := b.labels[s.Label.Name]; ok && lt.brk != nil {
+			if brk {
+				return lt.brk
+			}
+			return lt.cont
+		}
+		return b.cfg.Exit
+	}
+	if brk {
+		if len(b.breaks) > 0 {
+			return b.breaks[len(b.breaks)-1]
+		}
+	} else if len(b.continues) > 0 {
+		return b.continues[len(b.continues)-1]
+	}
+	return b.cfg.Exit
+}
+
+func isPanicCall(e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	return ok && id.Name == "panic"
+}
+
+// FactSet is a set of named dataflow facts (what lockscope holds, what
+// errpath has seen). Sets are compared by membership.
+type FactSet map[string]bool
+
+func (f FactSet) clone() FactSet {
+	out := make(FactSet, len(f))
+	for k := range f {
+		out[k] = true
+	}
+	return out
+}
+
+func (f FactSet) equal(o FactSet) bool {
+	if len(f) != len(o) {
+		return false
+	}
+	for k := range f {
+		if !o[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// Forward propagates facts through the CFG to a fixpoint and returns the
+// set of facts holding at each block's entry. transfer maps a block and its
+// entry facts to its exit facts (it must not mutate the input set). The
+// join is union — "may" analysis: a fact holds at a block entry if it can
+// hold on some path reaching it, the conservative direction for
+// resource-leak checks.
+func (g *CFG) Forward(entry FactSet, transfer func(b *Block, in FactSet) FactSet) map[*Block]FactSet {
+	in := map[*Block]FactSet{g.Entry: entry.clone()}
+	work := []*Block{g.Entry}
+	for len(work) > 0 {
+		blk := work[0]
+		work = work[1:]
+		out := transfer(blk, in[blk])
+		for _, succ := range blk.Succs {
+			cur, ok := in[succ]
+			if !ok {
+				in[succ] = out.clone()
+				work = append(work, succ)
+				continue
+			}
+			merged := cur.clone()
+			for k := range out {
+				merged[k] = true
+			}
+			if !merged.equal(cur) {
+				in[succ] = merged
+				work = append(work, succ)
+			}
+		}
+	}
+	return in
+}
+
+// LoopBlocks returns the blocks that lie on some cycle of the CFG — the
+// bodies (and heads) of the function's loops, found via back edges on a
+// depth-first spanning tree and flood-filling each natural loop from its
+// back edge. Statements in these blocks execute a data-dependent number of
+// times; hotalloc flags per-iteration allocations in them.
+func (g *CFG) LoopBlocks() map[*Block]bool {
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := make([]int, len(g.Blocks))
+	inLoop := map[*Block]bool{}
+	type backEdge struct{ from, to *Block }
+	var backs []backEdge
+	var dfs func(b *Block)
+	dfs = func(b *Block) {
+		color[b.Index] = gray
+		for _, s := range b.Succs {
+			switch color[s.Index] {
+			case white:
+				dfs(s)
+			case gray:
+				backs = append(backs, backEdge{from: b, to: s})
+			}
+		}
+		color[b.Index] = black
+	}
+	dfs(g.Entry)
+	// For each back edge from→to, the natural loop is to plus every block
+	// that reaches from without passing through to (walked backwards).
+	preds := map[*Block][]*Block{}
+	for _, b := range g.Blocks {
+		for _, s := range b.Succs {
+			preds[s] = append(preds[s], b)
+		}
+	}
+	for _, be := range backs {
+		inLoop[be.to] = true
+		stack := []*Block{be.from}
+		for len(stack) > 0 {
+			b := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if inLoop[b] {
+				continue
+			}
+			inLoop[b] = true
+			stack = append(stack, preds[b]...)
+		}
+	}
+	return inLoop
+}

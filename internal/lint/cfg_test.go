@@ -1,0 +1,124 @@
+package lint_test
+
+import (
+	"go/parser"
+	"go/token"
+	"testing"
+
+	"repro/internal/lint"
+)
+
+// parseBodies parses a source snippet and returns its function bodies.
+func parseBodies(t *testing.T, src string) []lint.FuncBody {
+	t.Helper()
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "cfg_fixture.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return lint.FuncBodies(file)
+}
+
+// The CFG substrate is exercised indirectly by every flow-sensitive
+// analyzer; these tests pin its structural guarantees directly.
+
+func TestCFGLoopDetection(t *testing.T) {
+	bodies := parseBodies(t, `package p
+func sum(xs []int) int {
+	total := 0
+	for _, x := range xs {
+		if x < 0 {
+			continue
+		}
+		total += x
+	}
+	return total
+}
+func straight(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}`)
+	if len(bodies) != 2 {
+		t.Fatalf("got %d bodies, want 2", len(bodies))
+	}
+	withLoop := lint.BuildCFG(bodies[0].Body)
+	if len(withLoop.LoopBlocks()) == 0 {
+		t.Error("range loop produced no loop blocks")
+	}
+	noLoop := lint.BuildCFG(bodies[1].Body)
+	if n := len(noLoop.LoopBlocks()); n != 0 {
+		t.Errorf("straight-line function produced %d loop blocks, want 0", n)
+	}
+}
+
+func TestCFGForwardReachesExit(t *testing.T) {
+	bodies := parseBodies(t, `package p
+func f(cond bool, xs []int) int {
+	n := 0
+	if cond {
+		for _, x := range xs {
+			n += x
+		}
+	} else {
+		n = 1
+	}
+	return n
+}`)
+	cfg := lint.BuildCFG(bodies[0].Body)
+	in := cfg.Forward(lint.FactSet{"seed": true}, func(b *lint.Block, facts lint.FactSet) lint.FactSet {
+		return facts
+	})
+	exitFacts, ok := in[cfg.Exit]
+	if !ok {
+		t.Fatal("Exit block unreachable in forward fixpoint")
+	}
+	if !exitFacts["seed"] {
+		t.Error("entry fact did not propagate to Exit")
+	}
+}
+
+// An infinite loop has no normal edge to Exit: facts must not leak out of
+// it, and the builder must still terminate.
+func TestCFGInfiniteLoop(t *testing.T) {
+	bodies := parseBodies(t, `package p
+func spin(ch chan int) {
+	for {
+		<-ch
+	}
+}`)
+	cfg := lint.BuildCFG(bodies[0].Body)
+	in := cfg.Forward(lint.FactSet{}, func(b *lint.Block, facts lint.FactSet) lint.FactSet {
+		return facts
+	})
+	if _, ok := in[cfg.Exit]; ok {
+		t.Error("Exit reachable from a for{} loop with no break or return")
+	}
+	if len(cfg.LoopBlocks()) == 0 {
+		t.Error("for{} loop produced no loop blocks")
+	}
+}
+
+// A nested literal is its own body: the outer CFG must not contain the
+// literal's statements.
+func TestFuncBodiesSeparatesLiterals(t *testing.T) {
+	bodies := parseBodies(t, `package p
+func outer(run func(func())) {
+	run(func() {
+		for {
+		}
+	})
+}`)
+	if len(bodies) != 2 {
+		t.Fatalf("got %d bodies, want 2 (decl + literal)", len(bodies))
+	}
+	outer := lint.BuildCFG(bodies[0].Body)
+	if n := len(outer.LoopBlocks()); n != 0 {
+		t.Errorf("outer body sees %d loop blocks from the nested literal, want 0", n)
+	}
+	inner := lint.BuildCFG(bodies[1].Body)
+	if len(inner.LoopBlocks()) == 0 {
+		t.Error("literal body produced no loop blocks")
+	}
+}

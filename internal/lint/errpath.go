@@ -1,0 +1,488 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// ErrPath enforces the engine's error-flow contract:
+//
+//   - no error-returning call may be discarded — neither via a blank
+//     assignment (`_ = f()`, `x, _ := g()`) nor as a bare expression
+//     statement. Exempt: defer statements (deferred cleanup), calls in the
+//     body of an `if err != nil` error-propagation branch (the original
+//     error wins; cleanup there is best-effort by design), and the
+//     never-failing print/buffer families (fmt.Print*/Fprint*,
+//     bytes.Buffer, strings.Builder). Everything else either handles the
+//     error or carries a //wfsimvet:ignore errpath justification — the
+//     audit trail for every deliberately dropped error.
+//   - an error passed to fmt.Errorf must be wrapped with %w, not flattened
+//     through %v/%s: flattening breaks errors.Is/As at package boundaries
+//     (the serve layer's 409/400 mapping depends on the corpus sentinels
+//     surviving the storage and shard layers).
+//   - in internal/storage, an error assigned from a call must reach a use
+//     (a check, a return, an argument) on every CFG path before the
+//     function exits or the variable is reassigned. This is the
+//     commit-path guarantee: an fsync/close error that only flows down one
+//     branch can silently acknowledge a batch the log never made durable.
+var ErrPath = &Analyzer{
+	Name: "errpath",
+	Doc: `flag discarded errors, unwrapped error formatting, and error values dead on some path
+
+Every error-returning call is handled or carries a justified suppression;
+fmt.Errorf wraps error args with %w; in internal/storage an assigned error
+must be used on every CFG path before exit.`,
+	Run: runErrPath,
+}
+
+// lostErrPackages are the packages where the flow-sensitive
+// "error used on every path" check runs: the durability layer, where a
+// dropped fsync/rename/close error can acknowledge a batch that was never
+// made durable.
+var lostErrPackages = map[string]bool{
+	"repro/internal/storage": true,
+}
+
+func runErrPath(pass *Pass) error {
+	for _, file := range pass.Files {
+		if strings.HasSuffix(pass.Fset.Position(file.Pos()).Filename, "_test.go") {
+			continue
+		}
+		checkDiscards(pass, file)
+		checkErrorfWrap(pass, file)
+		if lostErrPackages[pass.Pkg.Path()] {
+			for _, fb := range FuncBodies(file) {
+				checkErrLiveness(pass, fb)
+			}
+		}
+	}
+	return nil
+}
+
+// checkDiscards flags blank-assigned and bare-call error discards.
+func checkDiscards(pass *Pass, file *ast.File) {
+	// parents maps each node to its parent so exemption contexts (defer,
+	// error-propagation branches) can be walked upward.
+	parents := map[ast.Node]ast.Node{}
+	var stack []ast.Node
+	ast.Inspect(file, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if len(stack) > 0 {
+			parents[n] = stack[len(stack)-1]
+		}
+		stack = append(stack, n)
+		return true
+	})
+
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			checkBlankErrAssign(pass, n)
+		case *ast.ExprStmt:
+			call, ok := ast.Unparen(n.X).(*ast.CallExpr)
+			if !ok || !callReturnsError(pass, call) {
+				return true
+			}
+			if exemptDiscard(pass, parents, n, call) {
+				return true
+			}
+			pass.Reportf(n.Pos(), "result of %s contains an error that is silently discarded; handle it or justify with //wfsimvet:ignore errpath", callName(pass, call))
+		}
+		return true
+	})
+}
+
+// checkBlankErrAssign flags `_ = f()` and `a, _ := g()` where the
+// blank-assigned position has type error.
+func checkBlankErrAssign(pass *Pass, as *ast.AssignStmt) {
+	// Multi-value form: x, _ := f() — one call, results positionally.
+	if len(as.Rhs) == 1 && len(as.Lhs) > 1 {
+		call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		sig, ok := pass.Info.Types[call.Fun].Type.(*types.Signature)
+		if !ok {
+			return
+		}
+		res := sig.Results()
+		for i, lhs := range as.Lhs {
+			if !isBlank(lhs) || i >= res.Len() {
+				continue
+			}
+			if isErrorType(res.At(i).Type()) {
+				pass.Reportf(as.Pos(), "error result of %s discarded into _; handle it or justify with //wfsimvet:ignore errpath", callName(pass, call))
+				return
+			}
+		}
+		return
+	}
+	// Parallel form: _ = f(), or _, _ = f(), g().
+	for i, lhs := range as.Lhs {
+		if !isBlank(lhs) || i >= len(as.Rhs) {
+			continue
+		}
+		rhs := as.Rhs[i]
+		tv, ok := pass.Info.Types[rhs]
+		if !ok {
+			continue
+		}
+		if isErrorType(tv.Type) {
+			if _, isCall := ast.Unparen(rhs).(*ast.CallExpr); isCall {
+				pass.Reportf(as.Pos(), "error result of %s discarded into _; handle it or justify with //wfsimvet:ignore errpath", callName(pass, ast.Unparen(rhs).(*ast.CallExpr)))
+			}
+		} else if tup, ok := tv.Type.(*types.Tuple); ok {
+			for j := 0; j < tup.Len(); j++ {
+				if isErrorType(tup.At(j).Type()) {
+					pass.Reportf(as.Pos(), "error result discarded into _; handle it or justify with //wfsimvet:ignore errpath")
+					return
+				}
+			}
+		}
+	}
+}
+
+// exemptDiscard reports whether a bare error-discarding call is in an
+// accepted context: a defer statement, the body of an `if err != nil`
+// error-propagation branch, or a call from the never-failing families.
+func exemptDiscard(pass *Pass, parents map[ast.Node]ast.Node, n ast.Node, call *ast.CallExpr) bool {
+	if neverFails(pass, call) {
+		return true
+	}
+	for cur := parents[n]; cur != nil; cur = parents[cur] {
+		switch p := cur.(type) {
+		case *ast.DeferStmt:
+			return true
+		case *ast.FuncLit:
+			// A literal's body is its own error-flow scope, except when the
+			// literal is itself deferred (defer func() { ... }()).
+			if ds, ok := parents[parentCall(parents, p)].(*ast.DeferStmt); ok && ds != nil {
+				return true
+			}
+			return false
+		case *ast.IfStmt:
+			// Inside the then-branch of `if <error> != nil`: an error is in
+			// flight; cleanup calls are best-effort by design.
+			if inThenBranch(p, n) && isErrNilCheck(pass, p.Cond) {
+				return true
+			}
+		case *ast.FuncDecl:
+			return false
+		}
+	}
+	return false
+}
+
+// parentCall returns the CallExpr directly invoking lit, if any.
+func parentCall(parents map[ast.Node]ast.Node, lit *ast.FuncLit) ast.Node {
+	call, ok := parents[lit].(*ast.CallExpr)
+	if ok && ast.Unparen(call.Fun) == lit {
+		return call
+	}
+	return nil
+}
+
+// inThenBranch reports whether n lies within the if statement's then block.
+func inThenBranch(ifs *ast.IfStmt, n ast.Node) bool {
+	return ifs.Body != nil && ifs.Body.Pos() <= n.Pos() && n.Pos() < ifs.Body.End()
+}
+
+// isErrNilCheck matches `x != nil` (either side) where x has type error.
+func isErrNilCheck(pass *Pass, cond ast.Expr) bool {
+	be, ok := ast.Unparen(cond).(*ast.BinaryExpr)
+	if !ok || be.Op != token.NEQ {
+		return false
+	}
+	for _, side := range []ast.Expr{be.X, be.Y} {
+		if tv, ok := pass.Info.Types[side]; ok && isErrorType(tv.Type) {
+			return true
+		}
+	}
+	return false
+}
+
+// neverFails recognizes the call families whose error results are nil by
+// documented contract (fmt print family, bytes.Buffer, strings.Builder,
+// hash.Hash writes): requiring justifications there would train people to
+// paste them.
+func neverFails(pass *Pass, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	name := sel.Sel.Name
+	if p := usedPackage(pass, sel.X); p != "" {
+		return p == "fmt" && strings.HasPrefix(name, "Print") ||
+			p == "fmt" && strings.HasPrefix(name, "Fprint")
+	}
+	tv, ok := pass.Info.Types[sel.X]
+	if !ok {
+		return false
+	}
+	if namedType(tv.Type, "bytes", "Buffer") || namedType(tv.Type, "strings", "Builder") {
+		return true
+	}
+	// "It never returns an error." — hash.Hash's Write contract.
+	if name == "Write" {
+		return namedType(tv.Type, "hash", "Hash") ||
+			namedType(tv.Type, "hash", "Hash32") || namedType(tv.Type, "hash", "Hash64")
+	}
+	return false
+}
+
+// checkErrorfWrap flags fmt.Errorf calls that pass an error argument
+// without a %w verb in a constant format string.
+func checkErrorfWrap(pass *Pass, file *ast.File) {
+	ast.Inspect(file, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok || usedPackage(pass, sel.X) != "fmt" || sel.Sel.Name != "Errorf" || len(call.Args) < 2 {
+			return true
+		}
+		hasErrArg := false
+		for _, arg := range call.Args[1:] {
+			if tv, ok := pass.Info.Types[arg]; ok && isErrorType(tv.Type) {
+				hasErrArg = true
+				break
+			}
+		}
+		if !hasErrArg {
+			return true
+		}
+		tv, ok := pass.Info.Types[call.Args[0]]
+		if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+			return true // dynamic format: cannot decide statically
+		}
+		if !strings.Contains(constant.StringVal(tv.Value), "%w") {
+			pass.Reportf(call.Pos(), "fmt.Errorf formats an error without %%w; flattening breaks errors.Is/As across package boundaries")
+		}
+		return true
+	})
+}
+
+// checkErrLiveness is the flow-sensitive storage check: every error-typed
+// variable assigned from a call must be used — checked, returned, or passed
+// on — on every CFG path before the function exits or the variable is
+// reassigned. The fact tracked per variable is "assigned, not yet used".
+func checkErrLiveness(pass *Pass, fb FuncBody) {
+	cfg := BuildCFG(fb.Body)
+	type def struct {
+		obj types.Object
+		pos token.Pos
+	}
+	// Walk every reachable block; for each error def, scan forward through
+	// the block and then flood successors looking for a path that reaches
+	// Exit without a use.
+	reachable := cfg.Forward(FactSet{}, func(b *Block, in FactSet) FactSet { return in })
+	reported := map[token.Pos]bool{}
+	for _, b := range cfg.Blocks {
+		if _, ok := reachable[b]; !ok {
+			continue
+		}
+		for i, n := range b.Nodes {
+			d, ok := errDef(pass, n)
+			if !ok {
+				continue
+			}
+			// Scan the rest of this block.
+			state := scanForUse(pass, b.Nodes[i+1:], d.obj, cfg)
+			if state != liveUnknown {
+				if state == liveLost {
+					reportLost(pass, reported, d.pos, d.obj)
+				}
+				continue
+			}
+			// Flood successors.
+			visited := map[*Block]bool{b: true}
+			stack := append([]*Block{}, b.Succs...)
+			lost := false
+			if len(b.Succs) == 0 {
+				lost = true // block falls off with no successor? (exit handled below)
+			}
+			for len(stack) > 0 && !lost {
+				nb := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				if visited[nb] {
+					continue
+				}
+				visited[nb] = true
+				if nb == cfg.Exit {
+					lost = true
+					break
+				}
+				switch scanForUse(pass, nb.Nodes, d.obj, cfg) {
+				case liveUsed, liveKilled:
+					continue // this path is satisfied
+				case liveLost:
+					lost = true
+				case liveUnknown:
+					if len(nb.Succs) == 0 {
+						continue
+					}
+					stack = append(stack, nb.Succs...)
+				}
+			}
+			if lost {
+				reportLost(pass, reported, d.pos, d.obj)
+			}
+		}
+	}
+}
+
+func reportLost(pass *Pass, reported map[token.Pos]bool, pos token.Pos, obj types.Object) {
+	if reported[pos] {
+		return
+	}
+	reported[pos] = true
+	pass.Reportf(pos, "error assigned to %s is not used on every path before the function exits; a dropped storage error can acknowledge a batch that was never made durable", obj.Name())
+}
+
+type liveState int
+
+const (
+	liveUnknown liveState = iota // neither used nor killed in these nodes
+	liveUsed                     // a use was found before any reassignment
+	liveKilled                   // reassigned before any use
+	liveLost                     // a return/exit passed without a use
+)
+
+// errDef recognizes an assignment of a call result to a named error
+// variable and returns the variable's object.
+func errDef(pass *Pass, n ast.Node) (struct {
+	obj types.Object
+	pos token.Pos
+}, bool) {
+	var zero struct {
+		obj types.Object
+		pos token.Pos
+	}
+	as, ok := n.(*ast.AssignStmt)
+	if !ok || len(as.Rhs) != 1 {
+		return zero, false
+	}
+	if _, isCall := ast.Unparen(as.Rhs[0]).(*ast.CallExpr); !isCall {
+		return zero, false
+	}
+	for _, lhs := range as.Lhs {
+		id, ok := ast.Unparen(lhs).(*ast.Ident)
+		if !ok || id.Name == "_" {
+			continue
+		}
+		obj := pass.Info.Defs[id]
+		if obj == nil {
+			obj = pass.Info.Uses[id]
+		}
+		if obj == nil || !isErrorType(obj.Type()) {
+			continue
+		}
+		zero.obj = obj
+		zero.pos = as.Pos()
+		return zero, true
+	}
+	return zero, false
+}
+
+// scanForUse scans a node list for the first use or kill of obj.
+func scanForUse(pass *Pass, nodes []ast.Node, obj types.Object, cfg *CFG) liveState {
+	for _, n := range nodes {
+		// A reassignment kills the obligation (the new def gets its own).
+		if as, ok := n.(*ast.AssignStmt); ok {
+			usedInRHS := false
+			for _, rhs := range as.Rhs {
+				if usesObj(pass, rhs, obj) {
+					usedInRHS = true
+				}
+			}
+			if usedInRHS {
+				return liveUsed
+			}
+			for _, lhs := range as.Lhs {
+				if id, ok := ast.Unparen(lhs).(*ast.Ident); ok {
+					if pass.Info.Defs[id] == obj || pass.Info.Uses[id] == obj {
+						return liveKilled
+					}
+				}
+			}
+			continue
+		}
+		if ret, ok := n.(*ast.ReturnStmt); ok {
+			for _, res := range ret.Results {
+				if usesObj(pass, res, obj) {
+					return liveUsed
+				}
+			}
+			return liveLost // returned without the error
+		}
+		if usesObj(pass, n, obj) {
+			return liveUsed
+		}
+	}
+	return liveUnknown
+}
+
+// usesObj reports whether the node references obj.
+func usesObj(pass *Pass, n ast.Node, obj types.Object) bool {
+	found := false
+	ast.Inspect(n, func(x ast.Node) bool {
+		if found {
+			return false
+		}
+		if id, ok := x.(*ast.Ident); ok && pass.Info.Uses[id] == obj {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+func isBlank(e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	return ok && id.Name == "_"
+}
+
+func isErrorType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	return types.Identical(t, types.Universe.Lookup("error").Type())
+}
+
+// callReturnsError reports whether any result of the call has type error.
+func callReturnsError(pass *Pass, call *ast.CallExpr) bool {
+	tv, ok := pass.Info.Types[call]
+	if !ok {
+		return false
+	}
+	if isErrorType(tv.Type) {
+		return true
+	}
+	if tup, ok := tv.Type.(*types.Tuple); ok {
+		for i := 0; i < tup.Len(); i++ {
+			if isErrorType(tup.At(i).Type()) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// callName renders a short name for the called function.
+func callName(pass *Pass, call *ast.CallExpr) string {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		return types.ExprString(fun)
+	}
+	return "call"
+}

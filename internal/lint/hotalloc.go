@@ -1,0 +1,171 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// hotPathDirective marks a function whose loops are allocation-audited.
+const hotPathDirective = "wfsimvet:hotpath"
+
+// HotAlloc flags per-iteration allocations inside the loops of functions
+// annotated //wfsimvet:hotpath — the per-pair scoring kernels in
+// internal/measures, the refine loops in internal/search and
+// internal/index, and internal/shard's scan kernels. The scan loops are
+// O(n²) in corpus size; one fmt.Sprintf per pair is ~50M allocations at a
+// 10k corpus, and the allocator (not the similarity math) becomes the
+// profile.
+//
+// Inside a loop (any CFG cycle) of an annotated function, or of a closure
+// nested in one, the analyzer rejects:
+//
+//   - fmt.Sprintf / Sprint / Sprintln / fmt.Errorf calls
+//   - string concatenation with + unless constant-folded
+//   - map and slice composite literals (struct literals and cap-guarded
+//     make are fine: the former can stay on the stack, the latter is the
+//     blessed way to pre-size)
+//   - function-literal (closure) allocation
+//
+// Hoist the allocation above the loop, or justify the site with
+// //wfsimvet:ignore hotalloc <reason>.
+var HotAlloc = &Analyzer{
+	Name: "hotalloc",
+	Doc: `flag per-iteration allocations in loops of //wfsimvet:hotpath functions
+
+Inside the loops of an annotated hot function (and its nested closures), no
+fmt.Sprintf-family call, non-constant string concatenation, map/slice
+literal, or closure allocation is allowed; hoist it or justify the site.`,
+	Run: runHotAlloc,
+}
+
+func runHotAlloc(pass *Pass) error {
+	for _, file := range pass.Files {
+		if strings.HasSuffix(pass.Fset.Position(file.Pos()).Filename, "_test.go") {
+			continue
+		}
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !isHotPath(fd) {
+				continue
+			}
+			// The declared body plus every closure nested in it: a hot
+			// function's inner loops often live in a worker callback.
+			checkHotBody(pass, fd.Body)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if lit, ok := n.(*ast.FuncLit); ok {
+					checkHotBody(pass, lit.Body)
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// isHotPath reports whether the declaration carries the hotpath directive in
+// its doc comment.
+func isHotPath(fd *ast.FuncDecl) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		text, ok := strings.CutPrefix(c.Text, "//")
+		if !ok {
+			continue
+		}
+		if strings.TrimSpace(text) == hotPathDirective {
+			return true
+		}
+	}
+	return false
+}
+
+// checkHotBody builds the body's CFG and flags allocations in its loop
+// blocks. Nested function literals are not descended into here — each gets
+// its own checkHotBody call (a literal inside a loop is itself flagged as a
+// per-iteration closure allocation).
+func checkHotBody(pass *Pass, body *ast.BlockStmt) {
+	cfg := BuildCFG(body)
+	loops := cfg.LoopBlocks()
+	for _, b := range cfg.Blocks {
+		if !loops[b] {
+			continue
+		}
+		for _, n := range b.Nodes {
+			flagAllocs(pass, n)
+		}
+	}
+}
+
+// flagAllocs walks one loop-resident node for allocation sites.
+func flagAllocs(pass *Pass, root ast.Node) {
+	ast.Inspect(root, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			pass.Reportf(n.Pos(), "closure allocated per iteration in a //wfsimvet:hotpath loop; hoist the function literal above the loop")
+			return false // its body is analyzed as its own hot body
+		case *ast.CallExpr:
+			if name, ok := sprintfFamily(pass, n); ok {
+				pass.Reportf(n.Pos(), "fmt.%s allocates per iteration in a //wfsimvet:hotpath loop; hoist the formatting out of the loop", name)
+			}
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD && isStringConcat(pass, n) {
+				pass.Reportf(n.Pos(), "string concatenation allocates per iteration in a //wfsimvet:hotpath loop; hoist it or use a preallocated buffer")
+				return false // one finding per concatenation chain
+			}
+		case *ast.CompositeLit:
+			if kind, ok := mapOrSliceLit(pass, n); ok {
+				pass.Reportf(n.Pos(), "%s literal allocates per iteration in a //wfsimvet:hotpath loop; hoist the allocation or reuse a buffer", kind)
+				return false
+			}
+		}
+		return true
+	})
+}
+
+// sprintfFamily matches the allocating fmt formatting entry points.
+func sprintfFamily(pass *Pass, call *ast.CallExpr) (string, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || usedPackage(pass, sel.X) != "fmt" {
+		return "", false
+	}
+	switch sel.Sel.Name {
+	case "Sprintf", "Sprint", "Sprintln", "Errorf", "Appendf":
+		return sel.Sel.Name, true
+	}
+	return "", false
+}
+
+// isStringConcat reports whether the + expression is a string concatenation
+// the compiler cannot constant-fold.
+func isStringConcat(pass *Pass, be *ast.BinaryExpr) bool {
+	tv, ok := pass.Info.Types[be]
+	if !ok {
+		return false
+	}
+	basic, ok := tv.Type.Underlying().(*types.Basic)
+	if !ok || basic.Info()&types.IsString == 0 {
+		return false
+	}
+	// Constant-folded concatenations ("a" + "b") cost nothing at run time.
+	return tv.Value == nil || tv.Value.Kind() != constant.String
+}
+
+// mapOrSliceLit reports whether the composite literal allocates a map or
+// slice (struct and array literals can live on the stack).
+func mapOrSliceLit(pass *Pass, cl *ast.CompositeLit) (string, bool) {
+	tv, ok := pass.Info.Types[cl]
+	if !ok {
+		return "", false
+	}
+	switch tv.Type.Underlying().(type) {
+	case *types.Map:
+		return "map", true
+	case *types.Slice:
+		return "slice", true
+	}
+	return "", false
+}

@@ -202,6 +202,9 @@ var All = []*Analyzer{
 	SnapshotPin,
 	CtxFlow,
 	GenStamp,
+	LockScope,
+	ErrPath,
+	HotAlloc,
 }
 
 // ByName resolves a comma-separated analyzer selection against All.

@@ -184,6 +184,73 @@ func TestGenStampFixtures(t *testing.T) {
 	}
 }
 
+func TestLockScopeFixtures(t *testing.T) {
+	if diags := checkFixture(t, lint.LockScope, "lockscope/bad", "repro/internal/scorecache"); len(diags) == 0 {
+		t.Error("bad fixture produced no findings")
+	}
+	checkFixture(t, lint.LockScope, "lockscope/good", "repro/internal/scorecache")
+}
+
+// Outside the lock-scoped packages the analyzer stays quiet: lock
+// discipline elsewhere is not its contract.
+func TestLockScopeScope(t *testing.T) {
+	u := universe(t)
+	pkg, err := u.CheckDir(filepath.Join("testdata", "lockscope/bad"), "repro/internal/other")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := lint.RunAnalyzers(u, []*lint.Package{pkg}, []*lint.Analyzer{lint.LockScope})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 0 {
+		t.Errorf("got %d findings outside the lock scope, want 0: %v", len(diags), diags)
+	}
+}
+
+func TestErrPathFixtures(t *testing.T) {
+	if diags := checkFixture(t, lint.ErrPath, "errpath/bad", "repro/internal/storage"); len(diags) == 0 {
+		t.Error("bad fixture produced no findings")
+	}
+	checkFixture(t, lint.ErrPath, "errpath/good", "repro/internal/storage")
+}
+
+// The CFG liveness rule is storage-only; the syntactic discard rules apply
+// everywhere. Under a non-storage path the liveness finding disappears and
+// the discard findings stay.
+func TestErrPathLivenessScope(t *testing.T) {
+	u := universe(t)
+	pkg, err := u.CheckDir(filepath.Join("testdata", "errpath/bad"), "repro/internal/other")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := lint.RunAnalyzers(u, []*lint.Package{pkg}, []*lint.Analyzer{lint.ErrPath})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var discards, liveness int
+	for _, d := range diags {
+		if strings.Contains(d.Message, "not used on every path") {
+			liveness++
+		} else {
+			discards++
+		}
+	}
+	if liveness != 0 {
+		t.Errorf("liveness rule fired outside internal/storage:\n%s", diagLines(diags))
+	}
+	if discards == 0 {
+		t.Error("discard rules did not fire outside internal/storage")
+	}
+}
+
+func TestHotAllocFixtures(t *testing.T) {
+	if diags := checkFixture(t, lint.HotAlloc, "hotalloc/bad", "repro/internal/fixture"); len(diags) == 0 {
+		t.Error("bad fixture produced no findings")
+	}
+	checkFixture(t, lint.HotAlloc, "hotalloc/good", "repro/internal/fixture")
+}
+
 // TestSuppression exercises the //wfsimvet:ignore convention: justified
 // directives (inline or line-above) suppress, bare or mismatched directives
 // do not, and bare directives are themselves reported.

@@ -1,0 +1,369 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// lockScopePackages are the concurrency-bearing packages whose lock
+// discipline the analyzer enforces: the shard coordinator, the mutable
+// corpus, the sharded score cache and the durability layer.
+var lockScopePackages = map[string]bool{
+	"repro/internal/shard":      true,
+	"repro/internal/corpus":     true,
+	"repro/internal/scorecache": true,
+	"repro/internal/storage":    true,
+}
+
+// LockScope enforces the engine's lock-scope contract on the CFG of every
+// function in the protected packages (internal/shard, internal/corpus,
+// internal/scorecache, internal/storage):
+//
+//   - a sync.Mutex/RWMutex acquired in a function must be released on every
+//     control-flow path out of it — either by a defer'd unlock (preferred)
+//     or by an explicit unlock on each path. Paths that exit via panic are
+//     exempt (unwinding, not a leak the caller can observe before dying).
+//   - no blocking operation while a lock is held: channel send/receive,
+//     select without a default case, time.Sleep, sync.WaitGroup.Wait, and
+//     direct I/O on *os.File or net connections. A lock held across an
+//     fsync turns every reader into a disk-latency victim; a lock held
+//     across a channel op can deadlock against the goroutine meant to
+//     drain it. Only the first blocking site per (function, lock) is
+//     reported, so one justified suppression covers a deliberately
+//     I/O-serializing mutex.
+//
+// Functions whose name ends in "Locked" are analyzed as entered with their
+// receiver's mutex fields already held (the repository's convention for
+// caller-locked helpers): their blocking operations are checked, but the
+// release obligation stays with the caller.
+var LockScope = &Analyzer{
+	Name: "lockscope",
+	Doc: `flag locks not released on every path and blocking calls under a held lock
+
+A held sync.Mutex/RWMutex must be released on every CFG path out of the
+function (defer preferred), and no channel op, select, sleep or direct
+file/network I/O may run while it is held.`,
+	Run: runLockScope,
+}
+
+const (
+	lockHeld     = "held:"    // acquired here; must be released on every path
+	lockDeferred = "defer:"   // a defer'd unlock covers the rest of the function
+	lockAssumed  = "assumed:" // held by the caller (xxxLocked convention)
+)
+
+func runLockScope(pass *Pass) error {
+	if !lockScopePackages[pass.Pkg.Path()] {
+		return nil
+	}
+	for _, file := range pass.Files {
+		if strings.HasSuffix(pass.Fset.Position(file.Pos()).Filename, "_test.go") {
+			continue
+		}
+		for _, fb := range FuncBodies(file) {
+			checkLockScope(pass, fb)
+		}
+	}
+	return nil
+}
+
+// lockState carries the per-function bookkeeping of one lockscope pass.
+type lockState struct {
+	pass *Pass
+	// acquiredAt maps a lock key to its first acquisition position, the
+	// anchor for release-obligation findings.
+	acquiredAt map[string]token.Pos
+	// blockingReported dedups blocking-op findings per lock key.
+	blockingReported map[string]bool
+	// comm holds select CommClause comm statements: the select itself is the
+	// blocking point (and only without a default), not the individual comm
+	// ops, which by selection are ready when they run.
+	comm map[ast.Node]bool
+}
+
+func checkLockScope(pass *Pass, fb FuncBody) {
+	cfg := BuildCFG(fb.Body)
+	st := &lockState{
+		pass:             pass,
+		acquiredAt:       map[string]token.Pos{},
+		blockingReported: map[string]bool{},
+		comm:             map[ast.Node]bool{},
+	}
+	ast.Inspect(fb.Body, func(n ast.Node) bool {
+		if sel, ok := n.(*ast.SelectStmt); ok {
+			for _, clause := range sel.Body.List {
+				if cc, ok := clause.(*ast.CommClause); ok && cc.Comm != nil {
+					st.comm[cc.Comm] = true
+				}
+			}
+		}
+		return true
+	})
+	entry := FactSet{}
+	// The xxxLocked convention: the function body runs under its receiver's
+	// mutexes, acquired by the caller. Only for the declared function itself
+	// — a closure inside it starts from the facts of wherever it runs, which
+	// the analyzer cannot know, so closures start clean.
+	if fb.Lit == nil && fb.Decl != nil && strings.HasSuffix(fb.Decl.Name.Name, "Locked") {
+		for _, key := range receiverMutexKeys(pass, fb.Decl) {
+			entry[lockAssumed+key] = true
+		}
+	}
+	transfer := func(b *Block, in FactSet) FactSet {
+		out := in.clone()
+		for _, n := range b.Nodes {
+			st.apply(n, out, false)
+		}
+		return out
+	}
+	in := cfg.Forward(entry, transfer)
+	// Reporting pass: re-walk each reached block with its fixpoint entry
+	// facts, now emitting diagnostics.
+	for _, b := range cfg.Blocks {
+		facts, ok := in[b]
+		if !ok {
+			continue // unreachable
+		}
+		out := facts.clone()
+		for _, n := range b.Nodes {
+			st.apply(n, out, true)
+		}
+		// Release obligation: a lock still plainly held on a normal edge to
+		// Exit was not released on this path.
+		if !b.Panics && hasSucc(b, cfg.Exit) {
+			for f := range out {
+				if key, ok := strings.CutPrefix(f, lockHeld); ok && !out[lockDeferred+key] {
+					pos := st.acquiredAt[key]
+					if pos == token.NoPos {
+						pos = fb.Body.Pos()
+					}
+					if !st.blockingReported["exit:"+key] {
+						st.blockingReported["exit:"+key] = true
+						pass.Reportf(pos, "%s is not released on every path out of the function; unlock on each return or defer the unlock", key)
+					}
+				}
+			}
+		}
+	}
+}
+
+func hasSucc(b, succ *Block) bool {
+	for _, s := range b.Succs {
+		if s == succ {
+			return true
+		}
+	}
+	return false
+}
+
+// apply updates facts for one node; when report is set it also emits
+// blocking-op diagnostics against the current fact set.
+func (st *lockState) apply(n ast.Node, facts FactSet, report bool) {
+	if st.comm[n] {
+		return // a select comm op is ready by selection; the select blocks
+	}
+	// Lock transitions first (a node can be both, e.g. `defer mu.Unlock()`).
+	switch n := n.(type) {
+	case *ast.DeferStmt:
+		if key, op, ok := lockCall(st.pass, n.Call); ok && (op == "Unlock" || op == "RUnlock") {
+			facts[lockDeferred+key] = true
+		}
+		return // a defer's call body runs at exit, not here
+	case *ast.ExprStmt:
+		st.applyExpr(n.X, facts, report)
+		return
+	case *ast.AssignStmt:
+		for _, rhs := range n.Rhs {
+			st.applyExpr(rhs, facts, report)
+		}
+		return
+	case *ast.ReturnStmt:
+		for _, res := range n.Results {
+			st.applyExpr(res, facts, report)
+		}
+		return
+	case *ast.SendStmt:
+		st.blocking(n.Pos(), "channel send", facts, report)
+		return
+	case *ast.SelectStmt:
+		if !selectHasDefault(n) {
+			st.blocking(n.Pos(), "select", facts, report)
+		}
+		return
+	case *ast.GoStmt:
+		return // the spawned body runs on its own goroutine
+	}
+	if e, ok := n.(ast.Expr); ok {
+		st.applyExpr(e, facts, report)
+	}
+}
+
+// applyExpr walks an expression for lock calls, channel receives and
+// blocking calls, without descending into function literals.
+func (st *lockState) applyExpr(e ast.Expr, facts FactSet, report bool) {
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false // its body has its own CFG
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				st.blocking(n.Pos(), "channel receive", facts, report)
+			}
+		case *ast.CallExpr:
+			if key, op, ok := lockCall(st.pass, n); ok {
+				switch op {
+				case "Lock", "RLock":
+					facts[lockHeld+key] = true
+					if _, seen := st.acquiredAt[key]; !seen {
+						st.acquiredAt[key] = n.Pos()
+					}
+				case "Unlock", "RUnlock":
+					delete(facts, lockHeld+key)
+					delete(facts, lockAssumed+key)
+				}
+				return true
+			}
+			if desc, ok := blockingCall(st.pass, n); ok {
+				st.blocking(n.Pos(), desc, facts, report)
+			}
+		}
+		return true
+	})
+}
+
+// blocking reports a blocking operation if any lock is currently held (or
+// assumed held), once per (function, lock).
+func (st *lockState) blocking(pos token.Pos, what string, facts FactSet, report bool) {
+	if !report {
+		return
+	}
+	for f := range facts {
+		var key string
+		switch {
+		case strings.HasPrefix(f, lockHeld):
+			key = strings.TrimPrefix(f, lockHeld)
+		case strings.HasPrefix(f, lockAssumed):
+			key = strings.TrimPrefix(f, lockAssumed)
+		default:
+			continue
+		}
+		if st.blockingReported[key] {
+			continue
+		}
+		st.blockingReported[key] = true
+		st.pass.Reportf(pos, "%s while %s is held; move the blocking operation outside the critical section", what, key)
+	}
+}
+
+// lockCall recognizes mu.Lock()/Unlock()/RLock()/RUnlock() on a
+// sync.Mutex or sync.RWMutex value and returns the lock's identity (the
+// receiver expression, e.g. "s.mu") and the operation. RLock/RUnlock get a
+// distinct identity suffix so read and write halves are tracked separately.
+func lockCall(pass *Pass, call *ast.CallExpr) (key, op string, ok bool) {
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	op = sel.Sel.Name
+	switch op {
+	case "Lock", "Unlock", "RLock", "RUnlock":
+	default:
+		return "", "", false
+	}
+	tv, has := pass.Info.Types[sel.X]
+	if !has {
+		return "", "", false
+	}
+	if !namedType(tv.Type, "sync", "Mutex") && !namedType(tv.Type, "sync", "RWMutex") {
+		return "", "", false
+	}
+	key = types.ExprString(sel.X)
+	if op == "RLock" || op == "RUnlock" {
+		key += " [read]"
+	}
+	return key, op, true
+}
+
+// blockingCall recognizes calls that can block: direct I/O on *os.File,
+// methods on net.Conn/net.Listener, time.Sleep and sync.WaitGroup.Wait.
+func blockingCall(pass *Pass, call *ast.CallExpr) (string, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	name := sel.Sel.Name
+	if p := usedPackage(pass, sel.X); p != "" {
+		if p == "time" && name == "Sleep" {
+			return "time.Sleep", true
+		}
+		if p == "net" && (strings.HasPrefix(name, "Dial") || name == "Listen") {
+			return "net." + name, true
+		}
+		return "", false
+	}
+	tv, has := pass.Info.Types[sel.X]
+	if !has {
+		return "", false
+	}
+	t := tv.Type
+	switch {
+	case namedType(t, "os", "File"):
+		switch name {
+		case "Sync", "Write", "WriteString", "WriteAt", "Read", "ReadAt", "Close", "Truncate", "ReadFrom":
+			return fmt.Sprintf("os.File.%s (%s.%s)", name, types.ExprString(sel.X), name), true
+		}
+	case namedType(t, "net", "Conn"), namedType(t, "net", "TCPConn"), namedType(t, "net", "Listener"):
+		return "network I/O (" + name + ")", true
+	case namedType(t, "sync", "WaitGroup") && name == "Wait":
+		return "sync.WaitGroup.Wait", true
+	}
+	return "", false
+}
+
+func selectHasDefault(s *ast.SelectStmt) bool {
+	for _, clause := range s.Body.List {
+		if cc, ok := clause.(*ast.CommClause); ok && cc.Comm == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// receiverMutexKeys lists the lock identities of every sync.Mutex/RWMutex
+// field reachable as <recv>.<field> on the function's receiver — the locks
+// a xxxLocked helper is entered holding.
+func receiverMutexKeys(pass *Pass, fd *ast.FuncDecl) []string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 || len(fd.Recv.List[0].Names) == 0 {
+		return nil
+	}
+	recvName := fd.Recv.List[0].Names[0].Name
+	if recvName == "_" {
+		return nil
+	}
+	tv, ok := pass.Info.Types[fd.Recv.List[0].Type]
+	if !ok {
+		return nil
+	}
+	t := tv.Type
+	if ptr, isPtr := t.(*types.Pointer); isPtr {
+		t = ptr.Elem()
+	}
+	st, ok := t.Underlying().(*types.Struct)
+	if !ok {
+		return nil
+	}
+	var keys []string
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if namedType(f.Type(), "sync", "Mutex") {
+			keys = append(keys, recvName+"."+f.Name())
+		}
+		if namedType(f.Type(), "sync", "RWMutex") {
+			keys = append(keys, recvName+"."+f.Name(), recvName+"."+f.Name()+" [read]")
+		}
+	}
+	return keys
+}

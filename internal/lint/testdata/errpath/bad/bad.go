@@ -1,0 +1,46 @@
+// Fixture: every finding the errpath analyzer must produce, checked under
+// the storage import path so the lost-error liveness rule is active.
+package fixture
+
+import (
+	"errors"
+	"fmt"
+	"os"
+)
+
+var errSentinel = errors.New("sentinel")
+
+func mayFail() error { return errSentinel }
+
+func twoValues() (int, error) { return 0, errSentinel }
+
+// Blank-assigning an error-returning call discards the error.
+func blankAssign() {
+	_ = mayFail() // want `error result of mayFail discarded into _`
+}
+
+// So does blanking the error position of a multi-value call.
+func blankTuple() int {
+	n, _ := twoValues() // want `error result of twoValues discarded into _`
+	return n
+}
+
+// A bare call statement discards it too.
+func bareCall() {
+	mayFail() // want `result of mayFail contains an error that is silently discarded`
+}
+
+// Flattening an error through %v breaks errors.Is/As for every caller.
+func flatten(err error) error {
+	return fmt.Errorf("load: %v", err) // want `fmt\.Errorf formats an error without %w`
+}
+
+// In storage, an error must be used on every CFG path: the fast path here
+// returns success even when the fsync failed.
+func lostOnOnePath(f *os.File, fast bool) error {
+	err := f.Sync() // want `error assigned to err is not used on every path`
+	if fast {
+		return nil
+	}
+	return err
+}

@@ -1,0 +1,90 @@
+// Fixture: error flow the errpath analyzer must accept, checked under the
+// storage import path so the liveness rule is active too.
+package fixture
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"os"
+)
+
+var errSentinel = errors.New("sentinel")
+
+func mayFail() error { return errSentinel }
+
+// Checking and wrapping with %w is the contract.
+func handled() error {
+	if err := mayFail(); err != nil {
+		return fmt.Errorf("handled: %w", err)
+	}
+	return nil
+}
+
+// Deferred cleanup may discard: the primary result already left the
+// function by the time the defer runs.
+func deferredClose(f *os.File) []byte {
+	defer f.Close()
+	buf := make([]byte, 16)
+	n, err := f.Read(buf)
+	if err != nil {
+		return nil
+	}
+	return buf[:n]
+}
+
+// Cleanup while an error is in flight is best-effort by design: the
+// original error wins.
+func cleanupInFlight(f *os.File) error {
+	if err := mayFail(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// The print, buffer and hash families never fail by documented contract.
+func printers(buf *bytes.Buffer) uint64 {
+	fmt.Println("status")
+	buf.WriteString("x")
+	h := fnv.New64a()
+	h.Write(buf.Bytes())
+	return h.Sum64()
+}
+
+// A dynamic format string cannot be decided statically and is not flagged.
+func dynamicFormat(format string, err error) error {
+	return fmt.Errorf(format, err)
+}
+
+// Used on every path: the liveness rule is satisfied even though one path
+// returns nil.
+func usedBothPaths(f *os.File, fast bool) error {
+	err := f.Sync()
+	if fast {
+		return err
+	}
+	if err != nil {
+		return fmt.Errorf("sync: %w", err)
+	}
+	return nil
+}
+
+// A reassignment opens a fresh obligation only after the previous error
+// was checked.
+func reassigned(f *os.File) error {
+	err := f.Sync()
+	if err != nil {
+		return err
+	}
+	err = f.Close()
+	return err
+}
+
+// Passing the error on (here: as a print argument) is a use.
+func logged(f *os.File) {
+	if err := f.Sync(); err != nil {
+		fmt.Println("sync failed:", err)
+	}
+}

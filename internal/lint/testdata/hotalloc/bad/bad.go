@@ -1,0 +1,65 @@
+// Fixture: every finding the hotalloc analyzer must produce.
+package fixture
+
+import "fmt"
+
+type item struct {
+	id    string
+	score float64
+}
+
+//wfsimvet:hotpath
+func formatInLoop(items []item) []string {
+	out := make([]string, 0, len(items))
+	for _, it := range items {
+		out = append(out, fmt.Sprintf("%s=%g", it.id, it.score)) // want `fmt\.Sprintf allocates per iteration`
+	}
+	return out
+}
+
+//wfsimvet:hotpath
+func concatInLoop(items []item) string {
+	s := ""
+	for _, it := range items {
+		s = s + it.id // want `string concatenation allocates per iteration`
+	}
+	return s
+}
+
+//wfsimvet:hotpath
+func mapLiteralInLoop(items []item) int {
+	n := 0
+	for range items {
+		m := map[string]int{} // want `map literal allocates per iteration`
+		n += len(m)
+	}
+	return n
+}
+
+//wfsimvet:hotpath
+func sliceLiteralInLoop(items []item) int {
+	n := 0
+	for range items {
+		sl := []int{1, 2} // want `slice literal allocates per iteration`
+		n += len(sl)
+	}
+	return n
+}
+
+//wfsimvet:hotpath
+func closureInLoop(items []item, apply func(func() float64)) {
+	for _, it := range items {
+		apply(func() float64 { return it.score }) // want `closure allocated per iteration`
+	}
+}
+
+// Loops inside a closure nested in a hot function are audited too.
+//
+//wfsimvet:hotpath
+func nestedClosure(items []item, run func(func())) {
+	run(func() {
+		for _, it := range items {
+			_ = fmt.Sprintf("%s", it.id) // want `fmt\.Sprintf allocates per iteration`
+		}
+	})
+}

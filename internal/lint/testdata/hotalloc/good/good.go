@@ -1,0 +1,70 @@
+// Fixture: allocation patterns the hotalloc analyzer must accept.
+package fixture
+
+import "fmt"
+
+type item struct {
+	id    string
+	score float64
+}
+
+// An unannotated function is not audited: formatting in its loop is fine.
+func notHot(items []item) []string {
+	var out []string
+	for _, it := range items {
+		out = append(out, fmt.Sprintf("%s", it.id))
+	}
+	return out
+}
+
+// Allocations hoisted above the loop are the intended shape.
+//
+//wfsimvet:hotpath
+func hoisted(items []item) []float64 {
+	scores := make([]float64, 0, len(items))
+	seen := map[string]bool{}
+	for _, it := range items {
+		if seen[it.id] {
+			continue
+		}
+		seen[it.id] = true
+		scores = append(scores, it.score)
+	}
+	return scores
+}
+
+// Struct values stay on the stack; a per-iteration struct is fine.
+//
+//wfsimvet:hotpath
+func structs(items []item) float64 {
+	best := item{}
+	for _, it := range items {
+		cand := item{id: it.id, score: it.score}
+		if cand.score > best.score {
+			best = cand
+		}
+	}
+	return best.score
+}
+
+// Constant-folded concatenation costs nothing at run time.
+//
+//wfsimvet:hotpath
+func constConcat(items []item) int {
+	n := 0
+	for range items {
+		s := "wf:" + "v1"
+		n += len(s)
+	}
+	return n
+}
+
+// A closure defined before the loop is allocated once.
+//
+//wfsimvet:hotpath
+func hoistedClosure(items []item, apply func(func(item) float64)) {
+	score := func(it item) float64 { return it.score }
+	for range items {
+		apply(score)
+	}
+}

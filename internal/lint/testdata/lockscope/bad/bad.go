@@ -1,0 +1,87 @@
+// Fixture: every finding the lockscope analyzer must produce, checked
+// under a lock-scoped import path.
+package fixture
+
+import (
+	"os"
+	"sync"
+	"time"
+)
+
+type guarded struct {
+	mu sync.Mutex
+	rw sync.RWMutex
+	n  int
+}
+
+// The lock leaks on the early return.
+func leakOnReturn(g *guarded, early bool) int {
+	g.mu.Lock() // want `g\.mu is not released on every path`
+	if early {
+		return 0
+	}
+	g.mu.Unlock()
+	return g.n
+}
+
+// A read lock is tracked separately and leaks here on every path.
+func leakRLock(g *guarded) int {
+	g.rw.RLock() // want `g\.rw \[read\] is not released on every path`
+	return g.n
+}
+
+// Sleeping while holding the lock stalls every other acquirer.
+func sleepUnderLock(g *guarded) {
+	g.mu.Lock()
+	time.Sleep(time.Millisecond) // want `time\.Sleep while g\.mu is held`
+	g.mu.Unlock()
+}
+
+// A channel send can block forever against the goroutine meant to drain it.
+func sendUnderLock(g *guarded, ch chan int) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	ch <- g.n // want `channel send while g\.mu is held`
+}
+
+// So can a receive.
+func recvUnderLock(g *guarded, ch chan int) int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return <-ch // want `channel receive while g\.mu is held`
+}
+
+// A select without a default blocks until some case is ready.
+func selectUnderLock(g *guarded, ch chan int) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	select { // want `select while g\.mu is held`
+	case v := <-ch:
+		g.n = v
+	}
+}
+
+// Direct file I/O under the lock turns readers into disk-latency victims.
+func syncUnderLock(g *guarded, f *os.File) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	f.Sync() // want `os\.File\.Sync .* while g\.mu is held`
+}
+
+// Waiting on a WaitGroup under the lock inverts the usual ordering.
+func waitUnderLock(g *guarded, wg *sync.WaitGroup) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	wg.Wait() // want `sync\.WaitGroup\.Wait while g\.mu is held`
+}
+
+type logFile struct {
+	mu sync.Mutex
+	f  *os.File
+}
+
+// A xxxLocked helper runs under its receiver's mutex by convention:
+// blocking inside is still blocking under the caller's lock.
+func (s *logFile) flushLocked() {
+	s.f.Sync() // want `os\.File\.Sync .* while s\.mu is held`
+}

@@ -1,0 +1,102 @@
+// Fixture: lock usage the lockscope analyzer must accept.
+package fixture
+
+import (
+	"os"
+	"sync"
+	"time"
+)
+
+type guarded struct {
+	mu sync.Mutex
+	rw sync.RWMutex
+	n  int
+}
+
+// A deferred unlock covers every path out.
+func deferred(g *guarded, early bool) int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if early {
+		return 0
+	}
+	return g.n
+}
+
+// An explicit unlock on each path is accepted too.
+func explicitBothPaths(g *guarded, early bool) int {
+	g.mu.Lock()
+	if early {
+		g.mu.Unlock()
+		return 0
+	}
+	n := g.n
+	g.mu.Unlock()
+	return n
+}
+
+// A read lock released by a deferred RUnlock.
+func readLocked(g *guarded) int {
+	g.rw.RLock()
+	defer g.rw.RUnlock()
+	return g.n
+}
+
+// A panic exit is stack unwinding, not a leaked lock.
+func panicPath(g *guarded, bad bool) {
+	g.mu.Lock()
+	if bad {
+		panic("invariant violated")
+	}
+	g.mu.Unlock()
+}
+
+// Blocking before acquisition and after release is the intended shape.
+func blockOutside(g *guarded, f *os.File) {
+	f.Sync()
+	g.mu.Lock()
+	g.n++
+	g.mu.Unlock()
+	time.Sleep(time.Millisecond)
+}
+
+// A select with a default never blocks, and a ready comm op is not a
+// blocking point.
+func selectDefault(g *guarded, ch chan int) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	select {
+	case v := <-ch:
+		g.n = v
+	default:
+	}
+}
+
+// A goroutine body runs outside the spawning critical section.
+func spawn(g *guarded, ch chan int) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	go func() {
+		ch <- 1
+	}()
+}
+
+// Acquire and release per iteration keeps no lock across the back edge.
+func perItem(g *guarded, items []int) {
+	for range items {
+		g.mu.Lock()
+		g.n++
+		g.mu.Unlock()
+	}
+}
+
+// Unlocking before the blocking call is exactly what lockscope wants.
+func unlockThenSync(g *guarded, f *os.File) error {
+	g.mu.Lock()
+	n := g.n
+	g.mu.Unlock()
+	if n > 0 {
+		return f.Sync()
+	}
+	return nil
+}

@@ -186,6 +186,8 @@ func (s *Structural) moduleSets(a, b *workflow.Workflow) float64 {
 // Path-pair scores are themselves Jaccard-normalized into [0,1] so that the
 // outer normalization nnsim / (|PS1| + |PS2| - nnsim) attains 1 exactly for
 // identical workflows (see DESIGN.md).
+//
+//wfsimvet:hotpath
 func (s *Structural) pathSets(a, b *workflow.Workflow) float64 {
 	pa := a.Paths(s.cfg.PathCap)
 	pb := b.Paths(s.cfg.PathCap)

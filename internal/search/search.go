@@ -135,6 +135,8 @@ func Batched(ctx context.Context, n, par, batch int, fn func(i int) error) error
 // treatment of incomputable pairs; the number of skipped pairs is returned.
 // A cancelled or expired context aborts the scan: TopK then returns nil
 // results and the context's error.
+//
+//wfsimvet:hotpath
 func TopK(ctx context.Context, query *workflow.Workflow, repo Corpus, m measures.Measure, opts Options) ([]Result, int, error) {
 	k := opts.K
 	if k <= 0 {
@@ -227,6 +229,8 @@ func PoolResults(lists ...[]Result) []string {
 // pair matrix with a row-per-task worker pool (batch size 1, so the uneven
 // row lengths load-balance). Pairs the measure fails on are skipped and
 // counted. A cancelled context aborts the scan with the context's error.
+//
+//wfsimvet:hotpath
 func Duplicates(ctx context.Context, repo Corpus, m measures.Measure, threshold float64, par int) ([]Pair, int, error) {
 	wfs := repo.Workflows()
 	var mu sync.Mutex

@@ -80,7 +80,7 @@ func NewLocal(id int, cfg LocalConfig) (*Local, error) {
 		}
 		if gen > 0 || len(wfs) > 0 {
 			if len(cfg.Seed) > 0 {
-				store.Close()
+				store.Close() //wfsimvet:ignore errpath abort path before any write; the refusal error wins
 				return nil, fmt.Errorf("shard %d: directory %s holds state at generation %d; refusing to seed over it", id, cfg.Dir, gen)
 			}
 			if err := repo.Restore(gen, wfs...); err != nil {
@@ -310,6 +310,8 @@ func (sm *searchMeasure) Compare(_, wf *workflow.Workflow) (float64, error) {
 // generation, no Exact/IncludeQuery/MinSimilarity); otherwise the pinned
 // slice is scanned fully. Both paths score through the shard's cache and the
 // scan's specialised measure.
+//
+//wfsimvet:hotpath
 func (p *localPin) Search(ctx context.Context, prep *ScanPrep, q Query) ([]search.Result, ReadStats, error) {
 	sm := &searchMeasure{
 		pin:       p,
@@ -362,6 +364,8 @@ func (p *localPin) Search(ctx context.Context, prep *ScanPrep, q Query) ([]searc
 // with batch size 1 so uneven row lengths load-balance; results are
 // unsorted — the coordinator merges and applies the global deterministic
 // order.
+//
+//wfsimvet:hotpath
 func (p *localPin) PairsBlock(ctx context.Context, other Pin, prep *ScanPrep, threshold float64, par int) ([]search.Pair, ReadStats, error) {
 	self := prep.For(p)
 	var scorer pairScorer

@@ -131,7 +131,7 @@ func magicPrefix(path string) []byte {
 	}
 	defer f.Close()
 	buf := make([]byte, len(walMagic))
-	n, _ := io.ReadFull(f, buf)
+	n, _ := io.ReadFull(f, buf) //wfsimvet:ignore errpath a short read just means the file is smaller than the magic, i.e. not a WAL
 	return buf[:n]
 }
 

@@ -111,15 +111,21 @@ func loadLatestSnapshot(dir string, warnf func(format string, args ...any)) (sna
 }
 
 // removeSnapshotsBefore deletes snapshot files older than keepGen, after a
-// newer snapshot has become durable.
-func removeSnapshotsBefore(dir string, keepGen uint64) {
+// newer snapshot has become durable. Pruning is best-effort — a survivor
+// snapshot costs disk, never correctness (recovery always prefers the
+// newest valid one) — but failures are surfaced through warnf so an
+// operator sees a filling disk before it matters.
+func removeSnapshotsBefore(dir string, keepGen uint64, warnf func(format string, args ...any)) {
 	gens, err := listSnapshots(dir)
 	if err != nil {
+		warnf("storage: listing snapshots for pruning: %v", err)
 		return
 	}
 	for _, gen := range gens {
 		if gen < keepGen {
-			_ = os.Remove(filepath.Join(dir, snapshotName(gen)))
+			if err := os.Remove(filepath.Join(dir, snapshotName(gen))); err != nil {
+				warnf("storage: pruning snapshot %s: %v", snapshotName(gen), err)
+			}
 		}
 	}
 }

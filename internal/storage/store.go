@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"sync"
@@ -101,6 +102,14 @@ type Store struct {
 	lastGen     uint64
 	closed      bool
 	recovery    RecoveryStats
+	// wedged is non-nil when a failed append could not be rolled back: the
+	// log has torn bytes at its tail that a later append would land behind,
+	// making every subsequent record invisible to recovery (readLog stops
+	// at the first torn frame). While wedged, Commit refuses — an explicit
+	// error to the writer instead of a silent loss at the next boot. A
+	// successful Compact rewrites the log from its valid records and clears
+	// the wedge.
+	wedged error
 }
 
 // Open opens (creating if needed) the data directory and recovers its
@@ -252,6 +261,9 @@ func (s *Store) Commit(gen uint64, ops []corpus.Op) error {
 	if s.closed {
 		return ErrClosed
 	}
+	if s.wedged != nil {
+		return s.wedged
+	}
 	if gen != s.lastGen+1 {
 		return fmt.Errorf("storage: commit generation %d does not follow %d", gen, s.lastGen)
 	}
@@ -259,14 +271,13 @@ func (s *Store) Commit(gen uint64, ops []corpus.Op) error {
 	if err != nil {
 		// The append may have partially written; truncate back so the torn
 		// bytes cannot shadow a later, successful record.
-		_ = s.f.Truncate(s.logBytes)
-		_, _ = s.f.Seek(s.logBytes, 0)
+		s.rollbackAppendLocked()
 		return fmt.Errorf("storage: append commit record: %w", err)
 	}
 	if !s.opts.NoSync {
+		//wfsimvet:ignore lockscope s.mu is the WAL's serialization point: the record must be durable before the next writer appends
 		if err := s.f.Sync(); err != nil {
-			_ = s.f.Truncate(s.logBytes)
-			_, _ = s.f.Seek(s.logBytes, 0)
+			s.rollbackAppendLocked()
 			return fmt.Errorf("storage: sync commit record: %w", err)
 		}
 	}
@@ -274,6 +285,21 @@ func (s *Store) Commit(gen uint64, ops []corpus.Op) error {
 	s.logRecords++
 	s.lastGen = gen
 	return nil
+}
+
+// rollbackAppendLocked restores the log tail after a failed append. If the
+// torn bytes cannot be removed, the store wedges: acknowledging a later
+// append behind them would hand the caller a durability promise that
+// recovery cannot keep.
+func (s *Store) rollbackAppendLocked() {
+	//wfsimvet:ignore lockscope rollback must run before s.mu is released or a concurrent Commit appends behind the torn bytes
+	if err := s.f.Truncate(s.logBytes); err != nil {
+		s.wedged = fmt.Errorf("storage: log wedged: failed append could not be rolled back (truncate: %w); compact to rewrite the log", err)
+		return
+	}
+	if _, err := s.f.Seek(s.logBytes, io.SeekStart); err != nil {
+		s.wedged = fmt.Errorf("storage: log wedged: failed append could not be rolled back (seek: %w); compact to rewrite the log", err)
+	}
 }
 
 // ShouldCompact reports whether the log has outgrown the configured
@@ -338,13 +364,19 @@ func (s *Store) compactLocked(gen uint64, wfs []*workflow.Workflow) error {
 	if err != nil {
 		return err
 	}
-	_ = s.f.Close()
+	//wfsimvet:ignore lockscope swapping the log handle must be atomic with the counters it serializes
+	if cerr := s.f.Close(); cerr != nil {
+		s.opts.Warnf("storage: close pre-compaction log handle: %v", cerr)
+	}
 	s.f = f
 	s.logBytes = size
 	s.logRecords = n
 	s.snapGen = gen
 	s.compactions++
-	removeSnapshotsBefore(s.dir, gen)
+	// The rewritten log has a clean tail built only from valid records, so
+	// a rollback wedge (torn tail that could not be truncated) is healed.
+	s.wedged = nil
+	removeSnapshotsBefore(s.dir, gen, s.opts.Warnf)
 	return nil
 }
 
@@ -372,6 +404,7 @@ func (s *Store) Close() error {
 		return nil
 	}
 	s.closed = true
+	//wfsimvet:ignore lockscope the closed flag and the handle close must be atomic so no Commit writes to a closed file
 	return s.f.Close()
 }
 

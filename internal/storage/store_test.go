@@ -4,6 +4,7 @@ import (
 	"os"
 	"path/filepath"
 	"reflect"
+	"strings"
 	"testing"
 
 	"repro/internal/corpus"
@@ -271,5 +272,56 @@ func TestCorruptSnapshotIsSkipped(t *testing.T) {
 	// is durable, so this state needs the external damage simulated here.)
 	if gen != 1 || !reflect.DeepEqual(ids(wfs), []string{"a"}) {
 		t.Fatalf("recovered %v at generation %d, want [a] at 1", ids(wfs), gen)
+	}
+}
+
+// TestWedgedStoreRefusesCommitsUntilCompact exercises the failed-append
+// rollback path: when the torn bytes of a failed append cannot be removed,
+// the store must refuse further commits (instead of acknowledging records
+// that recovery would never see behind the torn frame) until a compaction
+// rewrites the log from its valid records.
+func TestWedgedStoreRefusesCommitsUntilCompact(t *testing.T) {
+	dir := t.TempDir()
+	s, _, _ := mustOpen(t, dir, Options{})
+	if err := s.Commit(1, []corpus.Op{addOp(wf("a", "x"))}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Sabotage the log handle out from under the store: the next append
+	// fails, and so does the rollback truncate — the wedge condition.
+	if err := s.f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Commit(2, []corpus.Op{addOp(wf("b", "y"))}); err == nil {
+		t.Fatal("commit on a sabotaged log handle succeeded")
+	}
+
+	// The store is now wedged: every commit is refused with an explicit
+	// error naming the condition and the remedy, not a silent loss at the
+	// next boot.
+	err := s.Commit(2, []corpus.Op{addOp(wf("b", "y"))})
+	if err == nil {
+		t.Fatal("commit on a wedged store succeeded")
+	}
+	if !strings.Contains(err.Error(), "wedged") || !strings.Contains(err.Error(), "compact") {
+		t.Fatalf("wedged commit error should name the condition and remedy, got: %v", err)
+	}
+
+	// Compact rewrites the log from its valid records on a fresh handle,
+	// healing the wedge; commits resume from the last durable generation.
+	if err := s.Compact(1, []*workflow.Workflow{wf("a", "x")}); err != nil {
+		t.Fatalf("compact on wedged store: %v", err)
+	}
+	if err := s.Commit(2, []corpus.Op{addOp(wf("b", "y"))}); err != nil {
+		t.Fatalf("commit after healing compact: %v", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, wfs, gen := mustOpen(t, dir, Options{})
+	defer s2.Close()
+	if gen != 2 || !reflect.DeepEqual(ids(wfs), []string{"a", "b"}) {
+		t.Fatalf("recovered %v at generation %d, want [a b] at 2", ids(wfs), gen)
 	}
 }

@@ -147,8 +147,8 @@ func (w *Workflow) InducedSubgraph(keep []int) *Workflow {
 					}
 					visited[s] = true
 					if keepSet[s] {
-						_ = out.AddEdge(remap[u], remap[s])
-						continue // do not traverse through kept nodes
+						_ = out.AddEdge(remap[u], remap[s]) //wfsimvet:ignore errpath contraction can fold an edge into a duplicate or self-loop; dropping it is the contraction semantics
+						continue                            // do not traverse through kept nodes
 					}
 					next = append(next, s)
 				}

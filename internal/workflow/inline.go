@@ -79,7 +79,7 @@ func (w *Workflow) inlineOnce(resolve SubworkflowResolver) (*Workflow, bool) {
 			remap[j] = out.AddModule(nm)
 		}
 		for _, e := range child.Edges {
-			_ = out.AddEdge(remap[e.From], remap[e.To])
+			_ = out.AddEdge(remap[e.From], remap[e.To]) //wfsimvet:ignore errpath child edges remap within the child's own modules; duplicates are dropped by design
 		}
 		e := expansion{plain: -1}
 		for _, s := range child.Sources() {
@@ -110,7 +110,7 @@ func (w *Workflow) inlineOnce(resolve SubworkflowResolver) (*Workflow, bool) {
 	for _, e := range w.Edges {
 		for _, u := range outsOf(e.From) {
 			for _, v := range insOf(e.To) {
-				_ = out.AddEdge(u, v)
+				_ = out.AddEdge(u, v) //wfsimvet:ignore errpath expansion can fan an edge into a duplicate; dropping it is the inlining semantics
 			}
 		}
 	}

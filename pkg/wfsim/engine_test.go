@@ -3,7 +3,9 @@ package wfsim
 import (
 	"context"
 	"errors"
+	"os"
 	"runtime"
+	"strconv"
 	"testing"
 	"time"
 
@@ -25,11 +27,26 @@ func testCorpus(t testing.TB) *GeneratedCorpus {
 func testEngine(t testing.TB, opts ...Option) (*Engine, *GeneratedCorpus) {
 	t.Helper()
 	c := testCorpus(t)
-	eng, err := New(c.Repo, opts...)
+	eng, err := New(c.Repo, append(testShardOpts(t), opts...)...)
 	if err != nil {
 		t.Fatal(err)
 	}
 	return eng, c
+}
+
+// testShardOpts lets the nightly CI matrix re-run the engine tests against
+// the sharded coordinator: WFSIM_TEST_SHARDS=n prepends WithShards(n). A
+// test's own explicit options still win because they apply later.
+func testShardOpts(t testing.TB) []Option {
+	v := os.Getenv("WFSIM_TEST_SHARDS")
+	if v == "" {
+		return nil
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil || n < 1 {
+		t.Fatalf("WFSIM_TEST_SHARDS=%q: want a positive integer", v)
+	}
+	return []Option{WithShards(n)}
 }
 
 func TestNewValidates(t *testing.T) {

@@ -114,7 +114,7 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.WriteHeader(status)
 	enc := json.NewEncoder(w)
 	enc.SetEscapeHTML(false)
-	_ = enc.Encode(v)
+	_ = enc.Encode(v) //wfsimvet:ignore errpath status and headers are already on the wire; there is no channel left to report an encode failure on
 }
 
 func writeError(w http.ResponseWriter, status int, format string, args ...any) {

@@ -89,7 +89,7 @@ func (e *Engine) openSharded() error {
 	closeBuilt := func() {
 		for _, s := range shards {
 			if s != nil {
-				s.Close(nil)
+				s.Close(nil) //wfsimvet:ignore errpath best-effort unwind of partially built shards; the construction error wins
 			}
 		}
 	}

@@ -146,7 +146,7 @@ func (e *Engine) openStorage() error {
 	switch {
 	case gen > 0 || len(wfs) > 0:
 		if e.repo.Generation() != 0 || e.repo.Snapshot().Size() != 0 {
-			store.Close()
+			store.Close() //wfsimvet:ignore errpath abort path before any write; the refusal error wins
 			return fmt.Errorf("storage directory %s holds state at generation %d; refusing to recover into a non-empty repository (preload only into a fresh data directory)", e.storageDir, gen)
 		}
 		if err := e.repo.Restore(gen, wfs...); err != nil {
