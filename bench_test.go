@@ -390,9 +390,9 @@ func BenchmarkIncrementalInsert(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		wf := *template
+		wf := template.Clone()
 		wf.ID = fmt.Sprintf("bench-insert-%d", i)
-		if err := idx.Insert(&wf); err != nil {
+		if err := idx.Insert(wf); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -407,9 +407,9 @@ func BenchmarkIncrementalInsertDelete(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		wf := *template
+		wf := template.Clone()
 		wf.ID = fmt.Sprintf("bench-churn-%d", i)
-		if err := idx.Insert(&wf); err != nil {
+		if err := idx.Insert(wf); err != nil {
 			b.Fatal(err)
 		}
 		if !idx.Delete(wf.ID) {

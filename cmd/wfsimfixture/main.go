@@ -1,0 +1,62 @@
+// Command wfsimfixture writes test data directories for smoke and
+// migration testing. Its only mode today is -legacy: populate a data
+// directory in the pre-symbol-table storage format (snapshot magic
+// wfsimsn1, WAL magic wfsimwl1) holding the standard three-workflow smoke
+// fixture, so a server booted over the directory must take the
+// re-interning migration path.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/storage"
+	"repro/internal/workflow"
+)
+
+func fixtureWorkflow(id, title string, typ string, labels ...string) *workflow.Workflow {
+	w := workflow.New(id)
+	w.Annotations.Title = title
+	prev := -1
+	for i, label := range labels {
+		idx := w.AddModule(&workflow.Module{ID: fmt.Sprintf("m%d", i+1), Label: label, Type: typ})
+		if prev >= 0 {
+			if err := w.AddEdge(prev, idx); err != nil {
+				log.Fatalf("fixture %s: %v", id, err)
+			}
+		}
+		prev = idx
+	}
+	return w
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("wfsimfixture: ")
+	dir := flag.String("data", "", "data directory to populate (required)")
+	legacy := flag.Bool("legacy", true, "write the pre-symbol-table v1 layout")
+	flag.Parse()
+	if *dir == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if !*legacy {
+		log.Fatal("only -legacy fixtures are supported")
+	}
+	if entries, err := os.ReadDir(*dir); err == nil && len(entries) > 0 {
+		log.Fatalf("%s is not empty; refusing to overwrite", *dir)
+	}
+
+	// The smoke fixture: a and b share a module label, c is unrelated.
+	// a and b land in the snapshot; c arrives via a WAL tail record, so a
+	// boot exercises legacy decoding of both layouts.
+	a := fixtureWorkflow("a", "blast a", workflow.TypeWSDL, "fetch_sequence", "run_blast")
+	b := fixtureWorkflow("b", "blast b", workflow.TypeWSDL, "fetch_sequence", "plot_hits")
+	c := fixtureWorkflow("c", "imaging", workflow.TypeTool, "load_image", "segment_cells")
+	if err := storage.WriteLegacyFixture(*dir, 1, []*workflow.Workflow{a, b}, []*workflow.Workflow{c}); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote legacy-format fixture (3 workflows) to %s\n", *dir)
+}

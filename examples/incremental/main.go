@@ -56,11 +56,11 @@ func main() {
 	// best hit under a new ID, and drop one workflow. Reads in flight keep
 	// their pinned snapshot; the index is updated in O(labels), not rebuilt.
 	best := eng.Workflow(results[0].ID)
-	clone := *best
+	clone := best.Clone()
 	clone.ID = "clone-of-" + best.ID
 	removed := c.Repo.IDs()[1]
 	gen, err := eng.Apply(ctx,
-		wfsim.AddWorkflow(&clone),
+		wfsim.AddWorkflow(clone),
 		wfsim.RemoveWorkflow(removed),
 	)
 	if err != nil {

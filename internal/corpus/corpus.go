@@ -24,6 +24,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/symtab"
 	"repro/internal/workflow"
 )
 
@@ -82,6 +83,17 @@ type Repository struct {
 	gen       atomic.Uint64
 	snap      atomic.Pointer[Snapshot]
 	hook      CommitHook
+
+	// syms is the repository's symbol table: every ingested workflow is
+	// resolved against it (module labels, canonical labels, types, and
+	// the workflow's own ID are interned into dense uint32 symbols)
+	// before the commit hook fires and before the mutation becomes
+	// visible, so snapshot readers always observe resolved workflows and
+	// a write-ahead log can persist the symbol delta with the batch.
+	// Created lazily; shared across shards via AdoptSymtab. noIntern
+	// disables resolution (the string-baseline mode).
+	syms     *symtab.Table
+	noIntern bool
 }
 
 // CommitHook intercepts mutations inside the transaction boundary: it is
@@ -121,11 +133,74 @@ func NewRepository(wfs ...*workflow.Workflow) (*Repository, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	for _, wf := range wfs {
+		wf = r.resolveLocked(wf)
 		if err := r.addLocked(wf); err != nil {
 			return nil, err
 		}
 	}
 	return r, nil
+}
+
+// symsLocked returns the repository's symbol table, creating it lazily,
+// or nil when interning is disabled.
+func (r *Repository) symsLocked() *symtab.Table {
+	if r.noIntern {
+		return nil
+	}
+	if r.syms == nil {
+		r.syms = symtab.New()
+	}
+	return r.syms
+}
+
+// resolveLocked interns a workflow about to be ingested and returns the
+// repository-owned object. Normally that is wf itself, but a workflow
+// already resolved by a *different* symbol table is cloned first:
+// re-resolving it in place would rewrite its module IDs out from under
+// whoever owns that other table, silently corrupting their equal-ID fast
+// paths. The clone drops all derived state, so it re-resolves cleanly
+// against this repository's table. Resolve is a no-op with a nil table,
+// so the string-baseline mode flows through here unchanged.
+func (r *Repository) resolveLocked(wf *workflow.Workflow) *workflow.Workflow {
+	if wf == nil {
+		return nil
+	}
+	t := r.symsLocked()
+	if t == nil {
+		return wf
+	}
+	if ref := wf.SymtabRef(); ref != nil && ref != t {
+		wf = wf.Clone()
+	}
+	wf.Resolve(t)
+	return wf
+}
+
+// Symtab returns the repository's shared symbol table, creating it if
+// necessary. It returns nil when interning was disabled via
+// AdoptSymtab(nil).
+func (r *Repository) Symtab() *symtab.Table {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.symsLocked()
+}
+
+// AdoptSymtab installs a shared symbol table on an empty, never-mutated
+// repository — the boot path of sharded engines, where every shard's
+// repository must assign symbols from one table so cross-shard scans
+// compare IDs directly. The table may already hold symbols (e.g. seeded
+// by storage recovery); interning is idempotent, so re-resolving restores
+// the persisted IDs exactly. Passing nil disables interning altogether:
+// the string-baseline mode used by equivalence tests and benchmarks.
+func (r *Repository) AdoptSymtab(t *symtab.Table) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.workflows) != 0 || r.gen.Load() != 0 {
+		return fmt.Errorf("corpus: AdoptSymtab on non-empty repository (size %d, generation %d)", len(r.workflows), r.gen.Load())
+	}
+	r.syms = t
+	r.noIntern = t == nil
+	return nil
 }
 
 // addLocked is the single insertion path shared by NewRepository, Add and
@@ -173,6 +248,10 @@ func (r *Repository) Add(wf *workflow.Workflow) error {
 	if err := r.checkAddable(wf, r.byID); err != nil {
 		return fmt.Errorf("corpus: %w", err)
 	}
+	// Resolve before the hook so a write-ahead log sees the symbol delta
+	// this workflow contributes. The returned object (possibly a clone of
+	// a foreign-resolved input) is what gets logged and stored.
+	wf = r.resolveLocked(wf)
 	if err := r.fireHookLocked([]Op{{Kind: OpAdd, ID: wf.ID, Workflow: wf}}); err != nil {
 		return err
 	}
@@ -222,6 +301,7 @@ func (r *Repository) Replace(wf *workflow.Workflow) error {
 	if _, ok := r.byID[wf.ID]; !ok {
 		return fmt.Errorf("corpus: workflow %q %w (repository size %d)", wf.ID, ErrNotFound, len(r.workflows))
 	}
+	wf = r.resolveLocked(wf)
 	if err := r.fireHookLocked([]Op{{Kind: OpReplace, ID: wf.ID, Workflow: wf}}); err != nil {
 		return err
 	}
@@ -331,6 +411,15 @@ func (r *Repository) ApplyBatch(ops []Op) (uint64, error) {
 	if err := r.validateBatchLocked(ops); err != nil {
 		return 0, err
 	}
+	// Resolve incoming workflows before the hook so a write-ahead log
+	// sees the batch's symbol delta. Resolution may substitute a clone
+	// for a foreign-resolved input, so the ops are rewritten in place:
+	// the hook and the commit pass below must both see the owned object.
+	for i := range ops {
+		if ops[i].Kind == OpAdd || ops[i].Kind == OpReplace {
+			ops[i].Workflow = r.resolveLocked(ops[i].Workflow)
+		}
+	}
 	// The batch is fully validated: give the commit hook (e.g. a write-ahead
 	// log) its one chance to veto before any in-memory state changes.
 	if err := r.fireHookLocked(ops); err != nil {
@@ -369,7 +458,17 @@ func (r *Repository) Restore(gen uint64, wfs ...*workflow.Workflow) error {
 		}
 		byID[wf.ID] = wf
 	}
-	r.workflows = append([]*workflow.Workflow(nil), wfs...)
+	// Re-intern the recovered state in insertion order. When storage
+	// seeded the table from persisted symbols this is a pure no-op pass
+	// (IDs are already assigned); when recovering a pre-symbol layout it
+	// rebuilds the table deterministically from the corpus itself. An
+	// input resolved by a foreign table is replaced by its owned clone.
+	owned := make([]*workflow.Workflow, len(wfs))
+	for i, wf := range wfs {
+		owned[i] = r.resolveLocked(wf)
+		byID[owned[i].ID] = owned[i]
+	}
+	r.workflows = owned
 	r.byID = byID
 	r.gen.Store(gen)
 	r.snap.Store(nil)

@@ -2,6 +2,8 @@ package gen
 
 import (
 	"math"
+	"math/rand"
+	"sort"
 	"strings"
 	"testing"
 
@@ -286,4 +288,70 @@ func mean(xs []float64) float64 {
 		s += x
 	}
 	return s / float64(len(xs))
+}
+
+// The vocabulary draws behind mutations, shims and annotation words follow
+// a Zipf distribution: the head of a pool must dominate its tail, and every
+// element must remain reachable.
+func TestZipfPickSkewAndCoverage(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	const n, draws = 20, 20000
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		k := zipfPick(r, n)
+		if k < 0 || k >= n {
+			t.Fatalf("zipfPick out of range: %d", k)
+		}
+		counts[k]++
+	}
+	if counts[0] <= counts[n-1]*3 {
+		t.Errorf("head not dominant: counts[0]=%d counts[%d]=%d", counts[0], n-1, counts[n-1])
+	}
+	for i, c := range counts {
+		if c == 0 {
+			t.Errorf("pool element %d never drawn in %d draws", i, draws)
+		}
+	}
+	max := 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	if max != counts[0] {
+		t.Errorf("mode is not the first element: counts=%v", counts[:5])
+	}
+	// Degenerate pools stay total and consume the stream consistently.
+	if zipfPick(r, 1) != 0 || zipfPick(r, 0) != 0 {
+		t.Error("degenerate pool sizes must yield index 0")
+	}
+}
+
+// Zipf-skewed shim vocabulary shows up in generated corpora: the most
+// common canonical shim label is used far more often than the median one.
+func TestGeneratedShimLabelsSkewed(t *testing.T) {
+	c, err := Generate(smallProfile(), 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	freq := map[string]int{}
+	for _, wf := range c.Repo.Workflows() {
+		for _, m := range wf.Modules {
+			switch m.Type {
+			case workflow.TypeLocalWorker, workflow.TypeStringConst, workflow.TypeXMLSplitter, workflow.TypeXMLMerger:
+				freq[workflow.CanonicalLabel(m.Label)]++
+			}
+		}
+	}
+	if len(freq) < 3 {
+		t.Skipf("too few shim labels to measure skew: %d", len(freq))
+	}
+	counts := make([]int, 0, len(freq))
+	for _, n := range freq {
+		counts = append(counts, n)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(counts)))
+	if counts[0] < 2*counts[len(counts)/2] {
+		t.Errorf("shim label distribution not head-skewed: top=%d median=%d", counts[0], counts[len(counts)/2])
+	}
 }

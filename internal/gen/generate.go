@@ -215,7 +215,7 @@ func (pr *prototype) instantiate(r *rand.Rand, id string, depth int, p Profile, 
 				ops = append(ops[:i], ops[i+1:]...)
 				delete(branch, i)
 			}
-		case 3: // add an op from the domain pool
+		case 3: // add a uniformly random op from the domain pool
 			ops = insertOp(ops, pr.dom.operations[r.Intn(len(pr.dom.operations))], r)
 		case 4: // rewire: toggle a branch point
 			if len(ops) > 2 {
@@ -254,7 +254,9 @@ func (pr *prototype) instantiate(r *rand.Rand, id string, depth int, p Profile, 
 	}
 	for s := 0; s < nshims && wf.EdgeCount() > 0; s++ {
 		e := wf.Edges[r.Intn(len(wf.Edges))]
-		sh := shims[r.Intn(len(shims))]
+		// Shim vocabulary is Zipf-skewed: a few ubiquitous shims (string
+		// concatenation, list flattening) dominate real corpora.
+		sh := shims[zipfPick(r, len(shims))]
 		// Authors name their shim instances: about half carry a suffix or
 		// case variant, so strict label matching fails across workflows
 		// while edit distance still scores them close.
@@ -406,13 +408,13 @@ func (pr *prototype) annotate(r *rand.Rand, wf *workflow.Workflow, depth int, p 
 	noise := noiseWords()
 	if r.Float64() < p.TitleQuality {
 		titleWords := append([]string(nil), pr.topics[:min(2, len(pr.topics))]...)
-		titleWords = append(titleWords, noise[r.Intn(len(noise))])
+		titleWords = append(titleWords, noise[zipfPick(r, len(noise))])
 		if depth >= 2 {
-			titleWords = append(titleWords, noise[r.Intn(len(noise))])
+			titleWords = append(titleWords, noise[zipfPick(r, len(noise))])
 		}
 		wf.Annotations.Title = strings.Title(strings.Join(titleWords, " "))
 	} else {
-		wf.Annotations.Title = fmt.Sprintf("Unnamed %s %d", noise[r.Intn(len(noise))], r.Intn(100))
+		wf.Annotations.Title = fmt.Sprintf("Unnamed %s %d", noise[zipfPick(r, len(noise))], r.Intn(100))
 	}
 	wf.Annotations.Author = fmt.Sprintf("author%02d", r.Intn(40))
 
@@ -423,7 +425,7 @@ func (pr *prototype) annotate(r *rand.Rand, wf *workflow.Workflow, depth int, p 
 		for i := 0; i < 2; i++ {
 			op := pr.ops[r.Intn(len(pr.ops))]
 			fmt.Fprintf(&b, " It uses %s to process the %s data.",
-				strings.Join(op.labelWords, " "), noise[r.Intn(len(noise))])
+				strings.Join(op.labelWords, " "), noise[zipfPick(r, len(noise))])
 		}
 		wf.Annotations.Description = b.String()
 	}

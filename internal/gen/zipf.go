@@ -1,0 +1,42 @@
+package gen
+
+import (
+	"math"
+	"math/rand"
+)
+
+// zipfS is the skew exponent of the generator's vocabulary distribution.
+// Real repositories reuse a handful of popular operations, shims and topic
+// words far more often than the tail (myExperiment's service usage is
+// heavily head-skewed), so pool draws follow P(i) ∝ 1/(i+1)^zipfS instead
+// of a uniform pick. A mild exponent keeps the tail populated enough that
+// every pool element still appears in a corpus of realistic size.
+const zipfS = 1.1
+
+// zipfPick returns an index in [0, n) drawn Zipf-distributed from r. It
+// consumes exactly one value from the stream, so corpus generation stays a
+// deterministic function of (profile, seed).
+func zipfPick(r *rand.Rand, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	u := r.Float64() * zipfNorm(n)
+	for i := 0; i < n; i++ {
+		u -= math.Pow(float64(i+1), -zipfS)
+		if u <= 0 {
+			return i
+		}
+	}
+	return n - 1
+}
+
+// zipfNorm returns the normalisation constant sum_{i=1..n} i^-zipfS.
+// Pools are tens of elements, so the loop is cheaper than maintaining a
+// cache keyed by n.
+func zipfNorm(n int) float64 {
+	var s float64
+	for i := 1; i <= n; i++ {
+		s += math.Pow(float64(i), -zipfS)
+	}
+	return s
+}

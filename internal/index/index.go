@@ -31,8 +31,8 @@ import (
 
 	"repro/internal/corpus"
 	"repro/internal/measures"
-	"repro/internal/repoknow"
 	"repro/internal/search"
+	"repro/internal/symtab"
 	"repro/internal/workflow"
 )
 
@@ -44,16 +44,19 @@ type Source interface {
 
 // entry is one indexed workflow slot. Deleted entries stay in place as
 // tombstones (dead = true) until compaction renumbers the positions.
+// Labels are stored as canonical-label symbol IDs in the index's table.
 type entry struct {
 	wf     *workflow.Workflow
-	labels []string
+	labels []uint32
 	dead   bool
 }
 
-// Index is an inverted index from canonical module labels to workflows.
+// Index is an inverted index from canonical module labels — represented
+// as interned symbol IDs — to workflows.
 type Index struct {
 	mu          sync.RWMutex
-	posting     map[string][]int // canonical label -> entry positions
+	syms        *symtab.Table    // symbol space of the posting keys
+	posting     map[uint32][]int // canonical label symbol -> entry positions
 	entries     []entry          // position -> indexed workflow
 	byID        map[string]int   // live workflow ID -> position
 	dead        int              // tombstoned entries awaiting compaction
@@ -71,7 +74,7 @@ const compactionMinDead = 32
 // New returns an empty index ready for incremental Insert calls.
 func New() *Index {
 	return &Index{
-		posting: map[string][]int{},
+		posting: map[uint32][]int{},
 		byID:    map[string]int{},
 	}
 }
@@ -88,24 +91,41 @@ func Build(src Source) *Index {
 	return idx
 }
 
-// canonicalLabels returns the deduplicated canonical labels of a workflow.
-func canonicalLabels(wf *workflow.Workflow) []string {
-	seen := map[string]bool{}
-	var out []string
+// labelIDsLocked returns the deduplicated canonical-label symbol IDs of a
+// workflow in the index's symbol space. A workflow resolved by the same
+// table contributes its cached sorted label set with no canonicalization
+// at all; anything else (unresolved, or resolved by a foreign table) is
+// canonicalized and interned here. The first insert fixes the index's
+// table — adopting the repository's shared table when available — so one
+// index always speaks one ID space.
+func (idx *Index) labelIDsLocked(wf *workflow.Workflow) []uint32 {
+	if t := wf.SymtabRef(); t != nil && (idx.syms == nil || idx.syms == t) {
+		idx.syms = t
+		return wf.LabelSet()
+	}
+	if idx.syms == nil {
+		idx.syms = symtab.New()
+	}
+	seen := map[uint32]bool{}
+	var out []uint32
 	for _, m := range wf.Modules {
-		key := repoknow.CanonicalLabel(m.Label)
-		if key == "" || seen[key] {
+		key := workflow.CanonicalLabel(m.Label)
+		if key == "" {
 			continue
 		}
-		seen[key] = true
-		out = append(out, key)
+		id := idx.syms.Intern(key)
+		if seen[id] {
+			continue
+		}
+		seen[id] = true
+		out = append(out, id)
 	}
 	return out
 }
 
 func (idx *Index) insertLocked(wf *workflow.Workflow) {
 	pos := len(idx.entries)
-	labels := canonicalLabels(wf)
+	labels := idx.labelIDsLocked(wf)
 	idx.entries = append(idx.entries, entry{wf: wf, labels: labels})
 	idx.byID[wf.ID] = pos
 	for _, key := range labels {
@@ -231,7 +251,7 @@ func (idx *Index) maybeCompactLocked() {
 func (idx *Index) compactLocked() {
 	live := make([]entry, 0, len(idx.entries)-idx.dead)
 	idx.byID = make(map[string]int, len(idx.entries)-idx.dead)
-	idx.posting = make(map[string][]int, len(idx.posting))
+	idx.posting = make(map[uint32][]int, len(idx.posting))
 	for _, e := range idx.entries {
 		if e.dead {
 			continue
@@ -312,13 +332,7 @@ func (idx *Index) candidatesLocked(query *workflow.Workflow, minShared int) []in
 		minShared = 1
 	}
 	counts := map[int]int{}
-	seen := map[string]bool{}
-	for _, m := range query.Modules {
-		key := repoknow.CanonicalLabel(m.Label)
-		if key == "" || seen[key] {
-			continue
-		}
-		seen[key] = true
+	for _, key := range idx.queryLabelIDsLocked(query) {
 		for _, pos := range idx.posting[key] {
 			if idx.entries[pos].dead {
 				continue
@@ -338,6 +352,34 @@ func (idx *Index) candidatesLocked(query *workflow.Workflow, minShared int) []in
 		}
 		return out[i] < out[j]
 	})
+	return out
+}
+
+// queryLabelIDsLocked projects the query's deduplicated canonical labels
+// into the index's symbol space without interning: a label the table has
+// never seen cannot have postings, so it is skipped. A query resolved by
+// the index's own table short-circuits to its cached sorted label set.
+func (idx *Index) queryLabelIDsLocked(query *workflow.Workflow) []uint32 {
+	if idx.syms == nil {
+		return nil
+	}
+	if query.ResolvedBy(idx.syms) {
+		return query.LabelSet()
+	}
+	seen := map[uint32]bool{}
+	var out []uint32
+	for _, m := range query.Modules {
+		key := workflow.CanonicalLabel(m.Label)
+		if key == "" {
+			continue
+		}
+		id, ok := idx.syms.Lookup(key)
+		if !ok || seen[id] {
+			continue
+		}
+		seen[id] = true
+		out = append(out, id)
+	}
 	return out
 }
 

@@ -63,3 +63,28 @@ func nestedClosure(items []item, run func(func())) {
 		}
 	})
 }
+
+// Rendering a symbol pair to a string key defeats the point of interning:
+// the packed-integer memo key is the accepted shape.
+//
+//wfsimvet:hotpath
+func stringMemoKeyInLoop(memo map[string]float64, pairs [][2]uint32) float64 {
+	var sum float64
+	for _, p := range pairs {
+		sum += memo[fmt.Sprintf("%d:%d", p[0], p[1])] // want `fmt\.Sprintf allocates per iteration`
+	}
+	return sum
+}
+
+// Materialising a per-pair ID slice in the merge loop allocates; the
+// kernels walk their operands in place.
+//
+//wfsimvet:hotpath
+func idSliceInLoop(pairs [][2]uint32) int {
+	n := 0
+	for _, p := range pairs {
+		ids := []uint32{p[0], p[1]} // want `slice literal allocates per iteration`
+		n += len(ids)
+	}
+	return n
+}

@@ -1,7 +1,10 @@
 // Fixture: allocation patterns the hotalloc analyzer must accept.
 package fixture
 
-import "fmt"
+import (
+	"fmt"
+	"math/bits"
+)
 
 type item struct {
 	id    string
@@ -67,4 +70,59 @@ func hoistedClosure(items []item, apply func(func(item) float64)) {
 	for range items {
 		apply(score)
 	}
+}
+
+// The interned-kernel shapes must pass the gate allocation-free.
+
+// Sorted-merge intersection over symbol IDs: index arithmetic only.
+//
+//wfsimvet:hotpath
+func mergeIntersect(a, b []uint32) int {
+	n, i, j := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			n++
+			i++
+			j++
+		}
+	}
+	return n
+}
+
+// Word-parallel bitset AND+popcount over fixed-width summaries.
+//
+//wfsimvet:hotpath
+func popcountOverlap(xs, ys [][4]uint64) int {
+	n := 0
+	for i := range xs {
+		x, y := &xs[i], &ys[i]
+		n += bits.OnesCount64(x[0]&y[0]) +
+			bits.OnesCount64(x[1]&y[1]) +
+			bits.OnesCount64(x[2]&y[2]) +
+			bits.OnesCount64(x[3]&y[3])
+	}
+	return n
+}
+
+// ID-pair memo probes: a packed integer key per iteration, no boxing, no
+// string rendering.
+//
+//wfsimvet:hotpath
+func memoLookups(memo map[uint64]float64, pairs [][2]uint32) float64 {
+	var sum float64
+	for _, p := range pairs {
+		ida, idb := p[0], p[1]
+		if idb < ida {
+			ida, idb = idb, ida
+		}
+		if v, ok := memo[uint64(ida)<<32|uint64(idb)]; ok {
+			sum += v
+		}
+	}
+	return sum
 }

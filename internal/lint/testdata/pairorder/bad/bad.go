@@ -11,7 +11,7 @@ func scoreKey(measure string, a, b *workflow.Workflow, gen, proj uint64) scoreca
 	if a.ID > b.ID { // want `ad-hoc workflow ID ordering`
 		x, y = b, a
 	}
-	return scorecache.Key{Measure: measure, A: x.ID, B: y.ID, Gen: gen, Proj: proj} // want `raw scorecache.Key literal`
+	return scorecache.Key{Measure: measure, A: x.SymID(), B: y.SymID(), Gen: gen, Proj: proj} // want `raw scorecache.Key literal`
 }
 
 func firstOf(a, b *workflow.Workflow) *workflow.Workflow {

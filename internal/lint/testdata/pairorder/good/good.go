@@ -10,7 +10,7 @@ import (
 
 func scoreKey(measure string, a, b *workflow.Workflow, gen, proj uint64) scorecache.Key {
 	x, y := workflow.OrderPair(a, b)
-	return scorecache.PairKey(measure, x.ID, y.ID, gen, proj)
+	return scorecache.PairKey(measure, x.SymID(), y.SymID(), gen, proj)
 }
 
 // Comparator callbacks order lists, not score pairs: exempt.

@@ -1,0 +1,103 @@
+package measures
+
+import (
+	"repro/internal/workflow"
+)
+
+// Label-set similarity helpers over the canonical module-label sets of
+// two workflows. On the interned hot representation (both workflows
+// resolved by the same symbol table) they run as word-parallel kernels:
+// a 256-bit popcount prescreen rejects provably disjoint pairs and a
+// single sorted-merge pass counts the overlap. Unresolved workflows fall
+// back to canonical label string sets; the two paths count the same sets,
+// so every result is bit-identical to the string baseline.
+
+// LabelSets is the pure label-set measure: workflow similarity as the
+// Jaccard index (or containment coefficient) of the canonical module-label
+// sets, ignoring topology and module weights entirely. It is the cheapest
+// structural signal the engine has — on interned corpora a pair costs a
+// bitset prescreen plus one sorted merge — and serves as a registrable
+// custom measure (wfsim.Registry.Register) and as the reference workload
+// for label-set scan benchmarks.
+type LabelSets struct {
+	// Containment switches from Jaccard to |A ∩ B| / min(|A|, |B|).
+	Containment bool
+}
+
+// Name implements Measure ("LS", "LS-containment").
+func (l LabelSets) Name() string {
+	if l.Containment {
+		return "LS-containment"
+	}
+	return "LS"
+}
+
+// Compare implements Measure.
+func (l LabelSets) Compare(a, b *workflow.Workflow) (float64, error) {
+	if l.Containment {
+		return LabelContainment(a, b), nil
+	}
+	return LabelJaccard(a, b), nil
+}
+
+// LabelJaccard returns |A ∩ B| / |A ∪ B| over canonical label sets. Two
+// empty sets yield 0 (no evidence), mirroring textutil.SetJaccard.
+func LabelJaccard(a, b *workflow.Workflow) float64 {
+	na, nb, shared := labelOverlap(a, b)
+	union := na + nb - shared
+	if union == 0 {
+		return 0
+	}
+	return float64(shared) / float64(union)
+}
+
+// LabelContainment returns |A ∩ B| / min(|A|, |B|) over canonical label
+// sets — 1 when the smaller vocabulary is fully contained in the larger.
+// Either set empty yields 0.
+func LabelContainment(a, b *workflow.Workflow) float64 {
+	na, nb, shared := labelOverlap(a, b)
+	m := na
+	if nb < m {
+		m = nb
+	}
+	if m == 0 {
+		return 0
+	}
+	return float64(shared) / float64(m)
+}
+
+// LabelOverlap returns |A ∩ B| over canonical label sets.
+func LabelOverlap(a, b *workflow.Workflow) int {
+	_, _, shared := labelOverlap(a, b)
+	return shared
+}
+
+// labelOverlap returns the two set sizes and the overlap, taking the
+// merge/popcount kernel when both sides carry the same interned
+// representation and the string fallback otherwise.
+func labelOverlap(a, b *workflow.Workflow) (na, nb, shared int) {
+	if s := workflow.LabelOverlap(a, b); s >= 0 {
+		return len(a.LabelSet()), len(b.LabelSet()), s
+	}
+	sa, sb := canonLabelSet(a), canonLabelSet(b)
+	na, nb = len(sa), len(sb)
+	for k := range sa {
+		if sb[k] {
+			shared++
+		}
+	}
+	return na, nb, shared
+}
+
+// canonLabelSet builds the canonical label string set of an unresolved
+// workflow (the pre-intern representation).
+func canonLabelSet(w *workflow.Workflow) map[string]bool {
+	set := make(map[string]bool, len(w.Modules))
+	for _, m := range w.Modules {
+		key := workflow.CanonicalLabel(m.Label)
+		if key != "" {
+			set[key] = true
+		}
+	}
+	return set
+}

@@ -1,0 +1,89 @@
+package measures
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/symtab"
+	"repro/internal/workflow"
+)
+
+func labelWorkflow(id string, labels ...string) *workflow.Workflow {
+	w := workflow.New(id)
+	for i, l := range labels {
+		w.AddModule(&workflow.Module{
+			ID:    fmt.Sprintf("m%d", i),
+			Label: l,
+			Type:  workflow.TypeWSDL,
+		})
+	}
+	return w
+}
+
+func TestLabelSetValues(t *testing.T) {
+	a := labelWorkflow("a", "fetch_sequence", "run_blast", "plot_hits")
+	b := labelWorkflow("b", "Fetch Sequence", "run_blast", "align_reads", "trim_ends")
+
+	// Canonicalization folds case and separators: 2 shared of 3 vs 4.
+	if got := LabelOverlap(a, b); got != 2 {
+		t.Fatalf("LabelOverlap = %d, want 2", got)
+	}
+	if got, want := LabelJaccard(a, b), 2.0/5.0; got != want {
+		t.Errorf("LabelJaccard = %v, want %v", got, want)
+	}
+	if got, want := LabelContainment(a, b), 2.0/3.0; got != want {
+		t.Errorf("LabelContainment = %v, want %v", got, want)
+	}
+
+	empty := labelWorkflow("e")
+	if LabelJaccard(empty, empty) != 0 || LabelContainment(empty, a) != 0 {
+		t.Error("empty label sets must score 0, not NaN")
+	}
+}
+
+// The interned kernel (bitset prescreen + sorted merge) and the string
+// fallback must agree bit for bit on every pair, including pairs where only
+// one side is resolved (mixed pairs take the fallback).
+func TestLabelSetKernelMatchesStringFallback(t *testing.T) {
+	mk := func() []*workflow.Workflow {
+		return []*workflow.Workflow{
+			labelWorkflow("a", "fetch_sequence", "run_blast", "plot_hits"),
+			labelWorkflow("b", "Fetch Sequence", "RUN_BLAST", "align_reads"),
+			labelWorkflow("c", "segment_cells", "load_image"),
+			labelWorkflow("d"),
+			labelWorkflow("e", "fetch_sequence"),
+		}
+	}
+	plain := mk()
+	resolved := mk()
+	tab := symtab.New()
+	for _, w := range resolved {
+		w.Resolve(tab)
+	}
+	for _, m := range []Measure{LabelSets{}, LabelSets{Containment: true}} {
+		for i := range plain {
+			for j := range plain {
+				want, err := m.Compare(plain[i], plain[j])
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := m.Compare(resolved[i], resolved[j])
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got != want {
+					t.Errorf("%s(%s,%s): interned %v vs string %v",
+						m.Name(), plain[i].ID, plain[j].ID, got, want)
+				}
+				mixed, err := m.Compare(plain[i], resolved[j])
+				if err != nil {
+					t.Fatal(err)
+				}
+				if mixed != want {
+					t.Errorf("%s(%s,%s) mixed pair: %v vs string %v",
+						m.Name(), plain[i].ID, plain[j].ID, mixed, want)
+				}
+			}
+		}
+	}
+}

@@ -52,6 +52,19 @@ func value(m *workflow.Module, a Attribute) string {
 	return ""
 }
 
+// attrIDs returns the interned symbol IDs backing an attribute for both
+// modules. Only labels and types are interned; ok is false for every
+// other attribute. A zero ID means "unresolved" and decides nothing.
+func attrIDs(a, b *workflow.Module, attr Attribute) (uint32, uint32, bool) {
+	switch attr {
+	case AttrLabel:
+		return a.LabelID, b.LabelID, true
+	case AttrType:
+		return a.TypeID, b.TypeID, true
+	}
+	return 0, 0, false
+}
+
 // Comparator is a similarity function on attribute values, returning a value
 // in [0,1].
 type Comparator int
@@ -117,19 +130,7 @@ type Scheme struct {
 
 // Similarity computes the scheme's module similarity in [0,1].
 func (s Scheme) Similarity(a, b *workflow.Module) float64 {
-	var sum, wsum float64
-	for _, spec := range s.Specs {
-		va, vb := value(a, spec.Attr), value(b, spec.Attr)
-		if va == "" && vb == "" {
-			continue // attribute absent from both: no evidence either way
-		}
-		sum += spec.Weight * spec.Cmp.compare(va, vb)
-		wsum += spec.Weight
-	}
-	if wsum == 0 {
-		return 0
-	}
-	return sum / wsum
+	return s.SimilarityMemo(a, b, nil)
 }
 
 // PW0 is the paper's default scheme: uniform weights on all attributes,

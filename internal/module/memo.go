@@ -34,6 +34,9 @@ const (
 type simMemoShard struct {
 	mu sync.RWMutex
 	m  map[simMemoKey]float64
+	// ids memoizes by packed symbol-pair key for interned attributes:
+	// one integer probe instead of hashing two strings.
+	ids map[uint64]float64
 }
 
 type simMemoKey struct{ a, b string }
@@ -68,13 +71,47 @@ func (sm *SimMemo) editSimilarity(a, b string) float64 {
 	return v
 }
 
-// Len returns the number of memoized pairs (for tests and stats).
+// editSimilarityID returns the memoized Levenshtein similarity of two
+// interned attribute values. Both IDs must be nonzero and distinct (equal
+// IDs prove identical strings, decided by the caller without a lookup).
+// The key is the packed ordered ID pair; Levenshtein similarity is
+// symmetric, so canonicalizing by ID instead of string order returns the
+// same value as the string-keyed memo.
+//
+//wfsimvet:hotpath
+func (sm *SimMemo) editSimilarityID(ida, idb uint32, a, b string) float64 {
+	if ida > idb {
+		ida, idb = idb, ida
+		a, b = b, a
+	}
+	k := uint64(ida)<<32 | uint64(idb)
+	sh := &sm.shards[(ida^idb)%simMemoShards]
+	sh.mu.RLock()
+	v, ok := sh.ids[k]
+	sh.mu.RUnlock()
+	if ok {
+		return v
+	}
+	v = EditDistance.compare(a, b)
+	sh.mu.Lock()
+	if sh.ids == nil {
+		sh.ids = make(map[uint64]float64)
+	}
+	if len(sh.ids) < simMemoCap/simMemoShards {
+		sh.ids[k] = v
+	}
+	sh.mu.Unlock()
+	return v
+}
+
+// Len returns the number of memoized pairs (for tests and stats),
+// counting string-keyed and symbol-keyed entries.
 func (sm *SimMemo) Len() int {
 	n := 0
 	for i := range sm.shards {
 		sh := &sm.shards[i]
 		sh.mu.RLock()
-		n += len(sh.m)
+		n += len(sh.m) + len(sh.ids)
 		sh.mu.RUnlock()
 	}
 	return n
@@ -112,10 +149,41 @@ func (c Comparator) compareMemo(a, b string, memo *SimMemo) float64 {
 
 // SimilarityMemo computes the scheme's module similarity like Similarity,
 // memoizing EditDistance attribute comparisons in memo (which may be nil).
-// Scores are bit-identical to Similarity.
+// Interned attributes (labels, types) take a symbol fast path: IDs come
+// from one shared append-only table, so equal nonzero IDs prove the
+// strings identical (similarity 1 under every comparator) and distinct
+// nonzero IDs prove them different, which decides Exact outright and
+// routes EditDistance through the symbol-keyed memo. ExactFold still
+// compares the strings for distinct IDs — case-folded equality is not
+// symbol equality. Scores are bit-identical to Similarity on unresolved
+// modules.
+//
+//wfsimvet:hotpath
 func (s Scheme) SimilarityMemo(a, b *workflow.Module, memo *SimMemo) float64 {
 	var sum, wsum float64
 	for _, spec := range s.Specs {
+		if ida, idb, interned := attrIDs(a, b, spec.Attr); interned && ida != 0 && idb != 0 {
+			// Nonzero IDs prove both strings nonempty: the attribute
+			// is present and contributes its weight.
+			wsum += spec.Weight
+			if ida == idb {
+				sum += spec.Weight // identical strings: similarity 1
+				continue
+			}
+			switch spec.Cmp {
+			case Exact:
+				// distinct symbols: distinct strings, similarity 0
+			case ExactFold:
+				sum += spec.Weight * ExactFold.compare(value(a, spec.Attr), value(b, spec.Attr))
+			case EditDistance:
+				if memo != nil {
+					sum += spec.Weight * memo.editSimilarityID(ida, idb, value(a, spec.Attr), value(b, spec.Attr))
+				} else {
+					sum += spec.Weight * EditDistance.compare(value(a, spec.Attr), value(b, spec.Attr))
+				}
+			}
+			continue
+		}
 		va, vb := value(a, spec.Attr), value(b, spec.Attr)
 		if va == "" && vb == "" {
 			continue // attribute absent from both: no evidence either way

@@ -94,6 +94,9 @@ func (p Preselect) Allows(a, b *workflow.Module) bool {
 	case AllPairs:
 		return true
 	case TypeMatch:
+		if a.TypeID != 0 && b.TypeID != 0 {
+			return a.TypeID == b.TypeID
+		}
 		return a.Type == b.Type
 	case TypeEquivalence:
 		return ClassOf(a.Type) == ClassOf(b.Type)

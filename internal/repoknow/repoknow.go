@@ -24,17 +24,36 @@ type UsageStats struct {
 	// DocFreq counts, per canonicalized label, the number of distinct
 	// workflows containing it (document frequency).
 	DocFreq map[string]int
+	// DocFreqID mirrors DocFreq keyed by canonical label symbol ID. It
+	// is authoritative only when every scanned workflow carried a
+	// resolved hot representation (see idExact); FrequencyScorer falls
+	// back to the string-keyed DocFreq otherwise, so scores are always
+	// bit-identical to the string baseline.
+	DocFreqID map[uint32]int
 	// Workflows is the number of workflows scanned.
 	Workflows int
 	// Modules is the total number of modules scanned.
 	Modules int
+
+	// idExact records that all scanned workflows were resolved, making
+	// the symbol-keyed projection safe to consult.
+	idExact bool
 }
 
 // CollectUsage scans a set of workflows and tallies module usage.
 func CollectUsage(wfs []*workflow.Workflow) *UsageStats {
-	s := &UsageStats{ByType: map[string]int{}, ByLabel: map[string]int{}, DocFreq: map[string]int{}}
+	s := &UsageStats{
+		ByType:    map[string]int{},
+		ByLabel:   map[string]int{},
+		DocFreq:   map[string]int{},
+		DocFreqID: map[uint32]int{},
+		idExact:   true,
+	}
 	for _, wf := range wfs {
 		s.Workflows++
+		if !wf.Resolved() {
+			s.idExact = false
+		}
 		seen := map[string]bool{}
 		for _, m := range wf.Modules {
 			s.Modules++
@@ -46,6 +65,12 @@ func CollectUsage(wfs []*workflow.Workflow) *UsageStats {
 				s.DocFreq[key]++
 			}
 		}
+		// A resolved workflow's label set is exactly its deduplicated
+		// nonzero canonical label IDs, i.e. the document-frequency
+		// contribution in symbol space.
+		for _, id := range wf.LabelSet() {
+			s.DocFreqID[id]++
+		}
 	}
 	return s
 }
@@ -53,23 +78,9 @@ func CollectUsage(wfs []*workflow.Workflow) *UsageStats {
 // CanonicalLabel folds author-specific label styling away: lowercase, strip
 // non-alphanumeric characters, strip trailing digits (version suffixes such
 // as "split_string_2"). "getPathwaysByGenes" and "get_pathways_by_genes"
-// share a canonical form.
-func CanonicalLabel(label string) string {
-	b := make([]byte, 0, len(label))
-	for i := 0; i < len(label); i++ {
-		c := label[i]
-		switch {
-		case c >= 'a' && c <= 'z' || c >= '0' && c <= '9':
-			b = append(b, c)
-		case c >= 'A' && c <= 'Z':
-			b = append(b, c+'a'-'A')
-		}
-	}
-	for len(b) > 0 && b[len(b)-1] >= '0' && b[len(b)-1] <= '9' {
-		b = b[:len(b)-1]
-	}
-	return string(b)
-}
+// share a canonical form. It is defined in package workflow (where ingest
+// resolution needs it) and re-exported here for compatibility.
+func CanonicalLabel(label string) string { return workflow.CanonicalLabel(label) }
 
 // Scorer assigns each module an importance score in [0,1]; modules scoring
 // below a projector's threshold are removed by the projection.
@@ -108,10 +119,19 @@ func NewFrequencyScorer(stats *UsageStats) *FrequencyScorer {
 	return &FrequencyScorer{stats: stats}
 }
 
-// Score implements Scorer.
+// Score implements Scorer. When the statistics were collected over a
+// fully resolved corpus and the module carries a canonical label symbol,
+// the document frequency comes from the symbol-keyed projection — one
+// integer map probe instead of re-canonicalizing the label. Both paths
+// read the same counts, so scores are bit-identical.
+//
+//wfsimvet:hotpath
 func (f *FrequencyScorer) Score(m *workflow.Module) float64 {
 	if f.stats.Workflows == 0 {
 		return 1
+	}
+	if f.stats.idExact && m.CanonID != 0 {
+		return 1 - float64(f.stats.DocFreqID[m.CanonID])/float64(f.stats.Workflows)
 	}
 	df := float64(f.stats.DocFreq[CanonicalLabel(m.Label)]) / float64(f.stats.Workflows)
 	return 1 - df

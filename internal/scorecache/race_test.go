@@ -1,7 +1,6 @@
 package scorecache
 
 import (
-	"fmt"
 	"math/rand"
 	"runtime"
 	"sync"
@@ -20,9 +19,9 @@ import (
 // path and Get's recency update.
 func TestRaceEvictionVsGenerationBump(t *testing.T) {
 	c := New(64) // 4 entries per shard: constant eviction under the load below
-	ids := make([]string, 24)
+	ids := make([]uint32, 24)
 	for i := range ids {
-		ids[i] = fmt.Sprintf("wf-%02d", i)
+		ids[i] = uint32(i + 1)
 	}
 
 	var gen atomic.Uint64

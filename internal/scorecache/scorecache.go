@@ -5,11 +5,16 @@
 // precomputed-per-pair-work reuse follows the same logic that lets
 // approximate query engines bound response times on repeated queries.
 //
-// Entries are keyed by (measure, idA, idB, repository generation): a
+// Entries are keyed by (measure, symA, symB, repository generation),
+// where symA/symB are the interned symbol IDs of the workflow IDs: a
 // mutation batch bumps the generation, so stale scores for removed or
 // replaced workflows are never served and age out of the LRU naturally.
-// The cache is sharded to keep lock contention off the scoring worker
-// pools; each shard is an independent LRU.
+// Symbol keys make every probe two integer compares instead of two
+// string hashes; callers resolve IDs through the repository's shared
+// symbol table and must skip the cache for unresolved workflows (symbol
+// 0), which carry no stable identity. The cache is sharded to keep lock
+// contention off the scoring worker pools; each shard is an independent
+// LRU.
 package scorecache
 
 import (
@@ -18,24 +23,25 @@ import (
 	"sync/atomic"
 )
 
-// Key identifies one cached pairwise score. A and B are workflow IDs in
-// canonical (sorted) order — use PairKey to build keys. Gen is the
-// repository generation the score was computed under; Proj is the projector
-// epoch (bumped whenever the importance projection changes), so a score
-// computed under one projection configuration is never served under another
-// even within the same repository generation. Self-pairs (A == B) are
-// ordinary keys: the canonical ordering is a no-op and the cached score is
-// the measure's self-similarity.
+// Key identifies one cached pairwise score. A and B are the workflow-ID
+// symbols in canonical (numerically sorted) order — use PairKey to build
+// keys. Gen is the repository generation the score was computed under;
+// Proj is the projector epoch (bumped whenever the importance projection
+// changes), so a score computed under one projection configuration is
+// never served under another even within the same repository generation.
+// Self-pairs (A == B) are ordinary keys: the canonical ordering is a
+// no-op and the cached score is the measure's self-similarity.
 type Key struct {
 	Measure string
-	A, B    string
+	A, B    uint32
 	Gen     uint64
 	Proj    uint64
 }
 
-// PairKey builds a Key with the ID pair in canonical order, so (a,b) and
-// (b,a) hit the same entry — similarity is symmetric.
-func PairKey(measure, a, b string, gen, proj uint64) Key {
+// PairKey builds a Key with the symbol pair in canonical order, so (a,b)
+// and (b,a) hit the same entry — similarity is symmetric. Callers must
+// not build keys from unresolved workflows: symbol 0 identifies nothing.
+func PairKey(measure string, a, b uint32, gen, proj uint64) Key {
 	if b < a {
 		a, b = b, a
 	}
@@ -91,17 +97,14 @@ func (c *Cache) shardFor(k Key) *shard {
 		prime64  = 1099511628211
 	)
 	h := uint64(offset64)
-	hashString := func(s string) {
-		for i := 0; i < len(s); i++ {
-			h ^= uint64(s[i])
-			h *= prime64
-		}
-		h ^= 0xff // field separator
+	for i := 0; i < len(k.Measure); i++ {
+		h ^= uint64(k.Measure[i])
 		h *= prime64
 	}
-	hashString(k.Measure)
-	hashString(k.A)
-	hashString(k.B)
+	h ^= 0xff // field separator
+	h *= prime64
+	h ^= uint64(k.A)<<32 | uint64(k.B)
+	h *= prime64
 	h ^= k.Gen
 	h *= prime64
 	h ^= k.Proj

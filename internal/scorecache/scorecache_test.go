@@ -1,53 +1,51 @@
 package scorecache
 
 import (
-	"fmt"
 	"sync"
 	"testing"
 )
 
 func TestPairKeyCanonicalOrder(t *testing.T) {
-	if PairKey("m", "b", "a", 3, 0) != PairKey("m", "a", "b", 3, 0) {
+	if PairKey("m", 2, 1, 3, 0) != PairKey("m", 1, 2, 3, 0) {
 		t.Error("pair order not canonicalized")
 	}
-	if PairKey("m", "a", "b", 3, 0) == PairKey("m", "a", "b", 4, 0) {
+	if PairKey("m", 1, 2, 3, 0) == PairKey("m", 1, 2, 4, 0) {
 		t.Error("generation not part of the key")
 	}
-	if PairKey("m1", "a", "b", 3, 0) == PairKey("m2", "a", "b", 3, 0) {
+	if PairKey("m1", 1, 2, 3, 0) == PairKey("m2", 1, 2, 3, 0) {
 		t.Error("measure not part of the key")
 	}
-	if PairKey("m", "a", "b", 3, 1) == PairKey("m", "a", "b", 3, 2) {
+	if PairKey("m", 1, 2, 3, 1) == PairKey("m", 1, 2, 3, 2) {
 		t.Error("projector epoch not part of the key")
 	}
 }
 
 // TestSelfPairKeys: a self-pair (a == b) is an ordinary key — canonical
-// ordering is a no-op, and it never collides with a distinct pair whose
-// concatenation matches.
+// ordering is a no-op, and it never collides with a pair sharing one side.
 func TestSelfPairKeys(t *testing.T) {
 	c := New(64)
-	self := PairKey("m", "x", "x", 1, 0)
+	self := PairKey("m", 7, 7, 1, 0)
 	c.Put(self, 1.0)
-	if v, ok := c.Get(PairKey("m", "x", "x", 1, 0)); !ok || v != 1.0 {
+	if v, ok := c.Get(PairKey("m", 7, 7, 1, 0)); !ok || v != 1.0 {
 		t.Fatalf("self-pair lookup = %v/%v", v, ok)
 	}
 	// A projector change must retire the cached self-pair too.
-	if _, ok := c.Get(PairKey("m", "x", "x", 1, 1)); ok {
+	if _, ok := c.Get(PairKey("m", 7, 7, 1, 1)); ok {
 		t.Error("self-pair served across projector epochs")
 	}
-	if self == PairKey("m", "xx", "", 1, 0) {
-		t.Error("self-pair collides with concatenated IDs")
+	if self == PairKey("m", 7, 8, 1, 0) {
+		t.Error("self-pair collides with a distinct pair")
 	}
 }
 
 func TestGetPutAndCounters(t *testing.T) {
 	c := New(64)
-	k := PairKey("MS", "1", "2", 0, 0)
+	k := PairKey("MS", 1, 2, 0, 0)
 	if _, ok := c.Get(k); ok {
 		t.Fatal("hit on empty cache")
 	}
 	c.Put(k, 0.75)
-	v, ok := c.Get(PairKey("MS", "2", "1", 0, 0)) // symmetric lookup
+	v, ok := c.Get(PairKey("MS", 2, 1, 0, 0)) // symmetric lookup
 	if !ok || v != 0.75 {
 		t.Fatalf("got %v/%v", v, ok)
 	}
@@ -66,7 +64,7 @@ func TestLRUEviction(t *testing.T) {
 	c := New(shardCount) // one entry per shard
 	var keys []Key
 	for i := 0; i < 10*shardCount; i++ {
-		k := PairKey("m", fmt.Sprintf("a%d", i), fmt.Sprintf("b%d", i), 1, 0)
+		k := PairKey("m", uint32(2*i+1), uint32(2*i+2), 1, 0)
 		keys = append(keys, k)
 		c.Put(k, float64(i))
 	}
@@ -93,7 +91,7 @@ func TestConcurrentAccess(t *testing.T) {
 		go func(w int) {
 			defer wg.Done()
 			for i := 0; i < 2000; i++ {
-				k := PairKey("m", fmt.Sprintf("a%d", i%100), fmt.Sprintf("b%d", (i+w)%100), uint64(i%3), 0)
+				k := PairKey("m", uint32(i%100+1), uint32((i+w)%100+101), uint64(i%3), 0)
 				if v, ok := c.Get(k); ok && v < 0 {
 					t.Error("negative score")
 				}
@@ -118,7 +116,7 @@ func TestExportFiltersWithoutTouchingRecency(t *testing.T) {
 	c := New(64)
 	for i := 0; i < 8; i++ {
 		gen := uint64(i % 2)
-		c.Put(PairKey("MS", fmt.Sprint(i), "q", gen, 0), float64(i)/10)
+		c.Put(PairKey("MS", uint32(i+1), 999, gen, 0), float64(i)/10)
 	}
 	all := c.Export(nil)
 	if len(all) != 8 {

@@ -9,6 +9,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/corpus"
 	"repro/internal/search"
+	"repro/internal/symtab"
 	"repro/internal/workflow"
 )
 
@@ -32,11 +33,27 @@ type Coordinator struct {
 }
 
 // NewCoordinator builds a coordinator over the given shards (in ring
-// order). At least one shard is required.
+// order). At least one shard is required. Shards that expose a symbol
+// table (see Local.Symtab) must all share one instance: cross-shard
+// scans compare interned module IDs directly, and IDs from two tables
+// are meaningless against each other.
 func NewCoordinator(shards []Shard) (*Coordinator, error) {
 	ring, err := NewRing(len(shards))
 	if err != nil {
 		return nil, err
+	}
+	var tab *symtab.Table
+	for i, s := range shards {
+		st, ok := s.(interface{ Symtab() *symtab.Table })
+		if !ok || st.Symtab() == nil {
+			continue
+		}
+		switch {
+		case tab == nil:
+			tab = st.Symtab()
+		case tab != st.Symtab():
+			return nil, fmt.Errorf("shard: coordinator over %d shards with distinct symbol tables (shard %d differs); share one table via LocalConfig.Symtab", len(shards), i)
+		}
 	}
 	return &Coordinator{ring: ring, shards: shards}, nil
 }

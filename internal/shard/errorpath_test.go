@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/corpus"
 	"repro/internal/storage"
+	"repro/internal/symtab"
 	"repro/internal/workflow"
 )
 
@@ -98,8 +99,9 @@ func TestFailedApplyCommitsNothingDurably(t *testing.T) {
 	}
 
 	shards := make([]Shard, 3)
+	tab := symtab.New()
 	for i := range shards {
-		s, err := NewLocal(i, LocalConfig{MinShared: 2, Dir: ShardDir(dir, i)})
+		s, err := NewLocal(i, LocalConfig{MinShared: 2, Dir: ShardDir(dir, i), Symtab: tab})
 		if err != nil {
 			t.Fatalf("reopen shard %d: %v", i, err)
 		}

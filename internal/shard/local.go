@@ -11,6 +11,7 @@ import (
 	"repro/internal/scorecache"
 	"repro/internal/search"
 	"repro/internal/storage"
+	"repro/internal/symtab"
 	"repro/internal/workflow"
 )
 
@@ -32,6 +33,11 @@ type LocalConfig struct {
 	// persists it as the baseline snapshot when the shard is durable).
 	// Seeding a shard that recovered state is an error.
 	Seed []*workflow.Workflow
+	// Symtab, when non-nil, is the symbol table this shard's repository
+	// interns into — one table shared by every shard of a deployment, so a
+	// workflow's interned IDs mean the same thing on whichever shard scores
+	// it. Nil gives the shard's repository its own private table.
+	Symtab *symtab.Table
 }
 
 // Local is the in-process Shard implementation: it owns its slice of the
@@ -45,6 +51,7 @@ type Local struct {
 	concurrency int
 	cache       *scorecache.Cache
 	store       *storage.Store
+	syms        *symtab.Table
 	warnf       func(format string, args ...any)
 
 	rebuilds    atomic.Int64
@@ -73,7 +80,19 @@ func NewLocal(id int, cfg LocalConfig) (*Local, error) {
 	if cfg.CacheSize > 0 {
 		s.cache = scorecache.New(cfg.CacheSize)
 	}
+	// Wire the shared symbol table (or the repository's own) before any
+	// workflow enters the repository, so every ingest resolves against it.
+	tab := cfg.Symtab
+	if tab != nil {
+		if err := repo.AdoptSymtab(tab); err != nil {
+			return nil, fmt.Errorf("shard %d: %w", id, err)
+		}
+	} else {
+		tab = repo.Symtab()
+	}
+	s.syms = tab
 	if cfg.Dir != "" {
+		cfg.Storage.Symtab = tab
 		store, wfs, gen, err := storage.Open(cfg.Dir, cfg.Storage)
 		if err != nil {
 			return nil, fmt.Errorf("shard %d: %w", id, err)
@@ -214,10 +233,25 @@ func (s *Local) WarmLoad(sig string, epoch uint64) int {
 	if !ok {
 		return 0
 	}
-	for _, ent := range entries {
-		s.cache.Put(scorecache.PairKey(ent.Measure, ent.A, ent.B, packed, epoch), ent.Score)
+	// Warm entries persist workflow IDs as strings (the cache file format
+	// is symbol-table independent); resolve them against the live table.
+	// An ID with no symbol belongs to a workflow this table never saw —
+	// the entry is stale and is skipped rather than mis-keyed.
+	tab := s.repo.Symtab()
+	if tab == nil {
+		return 0
 	}
-	s.warmEntries = len(entries)
+	n := 0
+	for _, ent := range entries {
+		a, okA := tab.Lookup(ent.A)
+		b, okB := tab.Lookup(ent.B)
+		if !okA || !okB || a == 0 || b == 0 {
+			continue
+		}
+		s.cache.Put(scorecache.PairKey(ent.Measure, a, b, packed, epoch), ent.Score)
+		n++
+	}
+	s.warmEntries = n
 	return s.warmEntries
 }
 
@@ -244,10 +278,17 @@ func (s *Local) Close(warm *WarmSpec) error {
 			exported := s.cache.Export(func(k scorecache.Key) bool {
 				return k.Gen == packed && k.Proj == warm.Epoch
 			})
-			if len(exported) > 0 {
-				entries := make([]storage.CachedScore, len(exported))
-				for i, ent := range exported {
-					entries[i] = storage.CachedScore{Measure: ent.Key.Measure, A: ent.Key.A, B: ent.Key.B, Score: ent.Score}
+			if tab := s.repo.Symtab(); tab != nil && len(exported) > 0 {
+				// Persist workflow IDs as strings: the cache file outlives
+				// this process's symbol table, so entries are re-resolved at
+				// the next boot's WarmLoad.
+				entries := make([]storage.CachedScore, 0, len(exported))
+				for _, ent := range exported {
+					a, b := tab.String(ent.Key.A), tab.String(ent.Key.B)
+					if a == "" || b == "" {
+						continue
+					}
+					entries = append(entries, storage.CachedScore{Measure: ent.Key.Measure, A: a, B: b, Score: ent.Score})
 				}
 				if err := s.store.SaveScoreCache(snap.Generation(), warm.Sig, entries); err != nil && firstErr == nil {
 					firstErr = err
@@ -265,6 +306,10 @@ func (s *Local) Close(warm *WarmSpec) error {
 func (s *Local) Pin() Pin {
 	return &localPin{s: s, snap: s.repo.Snapshot(), idx: s.idx.Load()}
 }
+
+// Symtab returns the shard's symbol table. NewCoordinator uses it to
+// verify that every shard of a deployment assigns IDs from one table.
+func (s *Local) Symtab() *symtab.Table { return s.syms }
 
 // localPin is a consistent read view of a Local shard: a pinned repository
 // snapshot plus the index as of pin time.
@@ -302,7 +347,15 @@ func (sm *searchMeasure) Compare(_, wf *workflow.Workflow) (float64, error) {
 	// across a compaction, or the query itself under IncludeQuery, is scored
 	// but never cached — same ownership rule as the single-engine cache).
 	cacheable := sm.cacheable && sm.pin.snap.Get(wf.ID) == wf
-	return sm.scorer.score(sm.queryOrig, wf, sm.queryProj, sm.pr.projOf(wf, sm.prep), sm.queryGen, sm.pin.Generation(), cacheable)
+	// Evaluate in ID order (see PairsBlock): measures are symmetric in value
+	// but not in bits, and the cache key is orientation-free, so a search
+	// score must be computed exactly as the pair scan would compute it.
+	x, xProj, xGen := sm.queryOrig, sm.queryProj, sm.queryGen
+	y, yProj, yGen := wf, sm.pr.projOf(wf, sm.prep), sm.pin.Generation()
+	if !workflow.IDsInOrder(x.ID, y.ID) {
+		x, xProj, xGen, y, yProj, yGen = y, yProj, yGen, x, xProj, xGen
+	}
+	return sm.scorer.score(x, y, xProj, yProj, xGen, yGen, cacheable)
 }
 
 // Search implements Pin. The indexed filter-and-refine path is taken under
@@ -313,6 +366,17 @@ func (sm *searchMeasure) Compare(_, wf *workflow.Workflow) (float64, error) {
 //
 //wfsimvet:hotpath
 func (p *localPin) Search(ctx context.Context, prep *ScanPrep, q Query) ([]search.Result, ReadStats, error) {
+	// A query resolved by a foreign symbol table carries module IDs that are
+	// meaningless against this shard's corpus: the equal-ID fast paths would
+	// compare symbols from two ID spaces. Strip the foreign resolution by
+	// cloning — the clone is unresolved, so every comparison involving the
+	// query falls back to exact string semantics (the index likewise falls
+	// back to string lookup for unresolved queries).
+	if q.Query != nil {
+		if ref := q.Query.SymtabRef(); ref != nil && ref != p.s.syms {
+			q.Query = q.Query.Clone()
+		}
+	}
 	sm := &searchMeasure{
 		pin:       p,
 		prep:      prep,
@@ -324,6 +388,7 @@ func (p *localPin) Search(ctx context.Context, prep *ScanPrep, q Query) ([]searc
 	}
 	sm.scorer.prep = prep
 	sm.scorer.cache = p.s.cache
+	sm.scorer.tab = p.s.syms
 	k := q.K
 	if k <= 0 {
 		k = 10
@@ -371,6 +436,7 @@ func (p *localPin) PairsBlock(ctx context.Context, other Pin, prep *ScanPrep, th
 	var scorer pairScorer
 	scorer.prep = prep
 	scorer.cache = p.s.cache
+	scorer.tab = p.s.syms
 	selfGen := p.Generation()
 
 	cross := self

@@ -9,6 +9,7 @@ import (
 	"testing"
 
 	"repro/internal/corpus"
+	"repro/internal/symtab"
 	"repro/internal/workflow"
 )
 
@@ -79,9 +80,10 @@ func TestRacePinnedReadsDuringApply(t *testing.T) {
 		parts[o] = append(parts[o], wf)
 	}
 	shards := make([]Shard, nShards)
+	tab := symtab.New()
 	for i := range shards {
 		// A tiny cache forces eviction to race the generation churn.
-		s, err := NewLocal(i, LocalConfig{CacheSize: 128, Seed: parts[i]})
+		s, err := NewLocal(i, LocalConfig{CacheSize: 128, Seed: parts[i], Symtab: tab})
 		if err != nil {
 			t.Fatalf("shard %d: %v", i, err)
 		}

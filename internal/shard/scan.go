@@ -12,6 +12,7 @@ import (
 	"repro/internal/scorecache"
 	"repro/internal/search"
 	"repro/internal/storage"
+	"repro/internal/symtab"
 	"repro/internal/workflow"
 )
 
@@ -130,13 +131,13 @@ func (p *ScanPrep) MemoSize() int {
 
 // packPairGen builds the cache-key generation for a pair whose sides live on
 // shards at generations aGen and bGen: the two per-shard generations packed
-// into one uint64, ordered to match scorecache.PairKey's ID
-// canonicalization (the generation of the shard owning the
-// lexicographically-smaller ID lands in the high bits). ok is false when
-// either generation no longer fits in 32 bits — the pair is then simply not
-// cached rather than risking key collisions.
-func packPairGen(aID string, aGen uint64, bID string, bGen uint64) (uint64, bool) {
-	if !workflow.IDsInOrder(aID, bID) {
+// into one uint64, ordered to match scorecache.PairKey's symbol
+// canonicalization (the generation of the shard owning the numerically
+// smaller workflow symbol lands in the high bits). ok is false when either
+// generation no longer fits in 32 bits — the pair is then simply not cached
+// rather than risking key collisions.
+func packPairGen(ida uint32, aGen uint64, idb uint32, bGen uint64) (uint64, bool) {
+	if idb < ida {
 		aGen, bGen = bGen, aGen
 	}
 	if aGen >= 1<<32 || bGen >= 1<<32 {
@@ -159,21 +160,36 @@ func PackGen(gen uint64) (uint64, bool) {
 type pairScorer struct {
 	prep  *ScanPrep
 	cache *scorecache.Cache // nil disables caching
+	tab   *symtab.Table     // the owning shard's symbol table (cache keyspace)
 	hits  atomic.Int64
 	miss  atomic.Int64
 }
 
 // score evaluates the pair (a at aGen, b at bGen), serving and populating
-// the cache when both sides are cacheable corpus-owned objects.
+// the cache when both sides are cacheable corpus-owned objects. Cache keys
+// are built from the workflows' interned ID symbols; an unresolved side
+// (symbol 0 — e.g. a repository running without a symbol table) carries no
+// stable cache identity and is scored directly.
 func (ps *pairScorer) score(a, b, aProj, bProj *workflow.Workflow, aGen, bGen uint64, cacheable bool) (float64, error) {
 	if ps.cache == nil || !cacheable {
 		return ps.prep.Compare(aProj, bProj)
 	}
-	g, ok := packPairGen(a.ID, aGen, b.ID, bGen)
+	if ps.tab == nil || !a.ResolvedBy(ps.tab) || !b.ResolvedBy(ps.tab) {
+		// Symbols are only meaningful relative to the table that assigned
+		// them: a workflow resolved elsewhere (or not at all) could collide
+		// with an unrelated pair's key in this shard's cache keyspace, so
+		// the pair is scored directly instead.
+		return ps.prep.Compare(aProj, bProj)
+	}
+	ida, idb := a.SymID(), b.SymID()
+	if ida == 0 || idb == 0 {
+		return ps.prep.Compare(aProj, bProj)
+	}
+	g, ok := packPairGen(ida, aGen, idb, bGen)
 	if !ok {
 		return ps.prep.Compare(aProj, bProj)
 	}
-	key := scorecache.PairKey(ps.prep.Name, a.ID, b.ID, g, ps.prep.Epoch)
+	key := scorecache.PairKey(ps.prep.Name, ida, idb, g, ps.prep.Epoch)
 	if s, ok := ps.cache.Get(key); ok {
 		ps.hits.Add(1)
 		return s, nil

@@ -15,6 +15,7 @@ import (
 	"repro/internal/module"
 	"repro/internal/search"
 	"repro/internal/storage"
+	"repro/internal/symtab"
 	"repro/internal/workflow"
 )
 
@@ -184,8 +185,9 @@ func buildLocal(t *testing.T, c *gen.Corpus, nShards int, dir string) *Coordinat
 		parts[o] = append(parts[o], wf)
 	}
 	shards := make([]Shard, nShards)
+	tab := symtab.New() // one table per coordinator, shared by its shards
 	for i := range shards {
-		cfg := LocalConfig{MinShared: 2, CacheSize: 1 << 16, Seed: parts[i]}
+		cfg := LocalConfig{MinShared: 2, CacheSize: 1 << 16, Seed: parts[i], Symtab: tab}
 		if dir != "" {
 			cfg.Dir = ShardDir(dir, i)
 		}
@@ -354,10 +356,12 @@ func TestLocalShardDurableRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	// Reopen without seeds: state must come back per shard.
+	// Reopen without seeds: state must come back per shard, assigning
+	// symbols from one shared table exactly as the original deployment did.
 	shards := make([]Shard, 2)
+	tab := symtab.New()
 	for i := range shards {
-		s, err := NewLocal(i, LocalConfig{MinShared: 2, Dir: ShardDir(dir, i)})
+		s, err := NewLocal(i, LocalConfig{MinShared: 2, Dir: ShardDir(dir, i), Symtab: tab})
 		if err != nil {
 			t.Fatalf("reopen shard %d: %v", i, err)
 		}

@@ -137,6 +137,34 @@ func writeFileAtomic(path, magic string, payload []byte) error {
 	return syncDir(dir)
 }
 
+// readVersionedFileFrame loads a single-frame file that may carry either
+// the current format magic or the previous one; legacy reports which was
+// found. Any other leading bytes are a hard error — unknown formats are
+// refused, never guessed at.
+func readVersionedFileFrame(path, magic, legacyMagic string) (payload []byte, legacy bool, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, false, err
+	}
+	defer f.Close()
+	buf := make([]byte, len(magic))
+	if _, err := io.ReadFull(f, buf); err != nil {
+		return nil, false, fmt.Errorf("storage: short magic header: %w", err)
+	}
+	switch string(buf) {
+	case magic:
+	case legacyMagic:
+		legacy = true
+	default:
+		return nil, false, fmt.Errorf("storage: bad magic %q (want %q or %q)", buf, magic, legacyMagic)
+	}
+	payload, err = readFrame(f)
+	if err != nil {
+		return nil, false, fmt.Errorf("storage: %s: %w", filepath.Base(path), err)
+	}
+	return payload, legacy, nil
+}
+
 // readFileFrame loads a single-frame file written by writeFileAtomic.
 func readFileFrame(path, magic string) ([]byte, error) {
 	f, err := os.Open(path)

@@ -15,8 +15,15 @@ import (
 // walName is the mutation log's file name within a data directory.
 const walName = "wal.log"
 
-// walMagic identifies (and versions) the log format.
-const walMagic = "wfsimwl1"
+// walMagic identifies (and versions) the log format. Version 2 added
+// symbol-table deltas to records: each commit carries the shared table's
+// newly assigned strings, so recovery reproduces every interned ID.
+const walMagic = "wfsimwl2"
+
+// walMagicV1 is the pre-symbol-table log format. Still readable: recovery
+// migrates v1 logs by re-interning every recovered label, with a warning,
+// and the next compaction rewrites the log at v2.
+const walMagicV1 = "wfsimwl1"
 
 // opRecord is one mutation inside a logged transaction. Op is "add",
 // "remove" or "replace" — the same vocabulary the HTTP batch endpoint
@@ -30,10 +37,15 @@ type opRecord struct {
 // logRecord is one committed repository transaction: the batch's operations
 // and the generation the repository reached by committing them. Generations
 // increase by exactly one per commit, so the stamp doubles as the log
-// sequence number.
+// sequence number. Syms, when present, is the symbol table's delta since
+// this store's last persisted symbol: the strings assigned positions
+// [SymBase, SymBase+len(Syms)) of the table's append-only order. Replaying
+// deltas in log order reproduces every interned ID exactly.
 type logRecord struct {
-	Gen uint64     `json:"gen"`
-	Ops []opRecord `json:"ops"`
+	Gen     uint64     `json:"gen"`
+	SymBase int        `json:"symbase,omitempty"`
+	Syms    []string   `json:"syms,omitempty"`
+	Ops     []opRecord `json:"ops"`
 }
 
 // encodeOps converts a committed corpus batch to its log representation.
@@ -84,55 +96,51 @@ func decodeOps(recs []opRecord) ([]corpus.Op, error) {
 // readLog reads every whole, checksum-valid record from the log at path.
 // validSize is the byte offset up to which the file is intact; torn reports
 // whether trailing bytes past validSize had to be disregarded (the expected
-// state after a crash mid-append). A missing file is an empty log.
-func readLog(path string) (recs []logRecord, validSize int64, torn bool, err error) {
+// state after a crash mid-append); legacy reports a v1 (pre-symbol-table)
+// file. A missing file is an empty log.
+func readLog(path string) (recs []logRecord, validSize int64, torn, legacy bool, err error) {
 	f, err := os.Open(path)
 	if os.IsNotExist(err) {
-		return nil, 0, false, nil
+		return nil, 0, false, false, nil
 	}
 	if err != nil {
-		return nil, 0, false, err
+		return nil, 0, false, false, err
 	}
 	defer f.Close()
 	br := bufio.NewReaderSize(f, 1<<20)
-	if err := checkMagic(br, walMagic); err != nil {
-		// A file too short to hold the magic is a torn creation; anything
-		// else under the magic is a different format and a hard error.
-		if len(magicPrefix(path)) < len(walMagic) {
-			return nil, 0, true, nil
-		}
-		return nil, 0, false, err
+	magicBuf := make([]byte, len(walMagic))
+	if _, err := io.ReadFull(br, magicBuf); err != nil {
+		// A file too short to hold the magic is a torn creation.
+		//wfsimvet:ignore errpath a short read just means the file is smaller than the magic, i.e. a torn creation
+		return nil, 0, true, false, nil
+	}
+	switch string(magicBuf) {
+	case walMagic:
+	case walMagicV1:
+		legacy = true
+	default:
+		// Anything else under the magic is an unknown format and a hard
+		// error — refused, never guessed at.
+		return nil, 0, false, false, fmt.Errorf("storage: %s: bad magic %q (want %q or %q)", walName, magicBuf, walMagic, walMagicV1)
 	}
 	validSize = int64(len(walMagic))
 	for {
 		payload, err := readFrame(br)
 		if err == io.EOF {
-			return recs, validSize, false, nil
+			return recs, validSize, false, legacy, nil
 		}
 		if err != nil {
-			return recs, validSize, true, nil
+			return recs, validSize, true, legacy, nil
 		}
 		var rec logRecord
 		if err := json.Unmarshal(payload, &rec); err != nil {
 			// The frame checksum passed but the payload does not parse:
 			// treat like a torn tail rather than refusing to start.
-			return recs, validSize, true, nil
+			return recs, validSize, true, legacy, nil
 		}
 		recs = append(recs, rec)
 		validSize += frameHeaderSize + int64(len(payload))
 	}
-}
-
-// magicPrefix returns up to len(walMagic) leading bytes of the file.
-func magicPrefix(path string) []byte {
-	f, err := os.Open(path)
-	if err != nil {
-		return nil
-	}
-	defer f.Close()
-	buf := make([]byte, len(walMagic))
-	n, _ := io.ReadFull(f, buf) //wfsimvet:ignore errpath a short read just means the file is smaller than the magic, i.e. not a WAL
-	return buf[:n]
 }
 
 // openLogForAppend opens (creating if needed) the log for appending,

@@ -22,20 +22,20 @@ func (w *Workflow) Paths(cap int) []Path {
 	if cap <= 0 {
 		cap = DefaultPathCap
 	}
-	w.buildAdjacency()
+	a := w.buildAdjacency()
 	var out []Path
 	var stack []int
 	var dfs func(v int) bool
 	dfs = func(v int) bool {
 		stack = append(stack, v)
 		defer func() { stack = stack[:len(stack)-1] }()
-		if len(w.succ[v]) == 0 {
+		if len(a.succ[v]) == 0 {
 			p := make(Path, len(stack))
 			copy(p, stack)
 			out = append(out, p)
 			return len(out) < cap
 		}
-		for _, s := range w.succ[v] {
+		for _, s := range a.succ[v] {
 			if !dfs(s) {
 				return false
 			}
@@ -53,7 +53,7 @@ func (w *Workflow) Paths(cap int) []Path {
 // Reachable returns, for each module index, the set of module indexes
 // reachable via one or more datalinks (the strict transitive closure).
 func (w *Workflow) Reachable() []map[int]bool {
-	w.buildAdjacency()
+	a := w.buildAdjacency()
 	n := len(w.Modules)
 	reach := make([]map[int]bool, n)
 	order, err := w.TopoSort()
@@ -68,7 +68,7 @@ func (w *Workflow) Reachable() []map[int]bool {
 	for i := len(order) - 1; i >= 0; i-- {
 		v := order[i]
 		r := make(map[int]bool)
-		for _, s := range w.succ[v] {
+		for _, s := range a.succ[v] {
 			r[s] = true
 			for t := range reach[s] {
 				r[t] = true
@@ -84,17 +84,23 @@ func (w *Workflow) Reachable() []map[int]bool {
 // minimal DAG with the same reachability relation.
 func (w *Workflow) TransitiveReduction() *Workflow {
 	c := w.Clone()
+	// Edge-only rewrite: module strings are untouched, so the interned
+	// symbol IDs remain valid and are preserved for the comparison fast
+	// paths (Clone drops them by default, assuming mutation).
+	for i, m := range w.Modules {
+		c.Modules[i].LabelID, c.Modules[i].CanonID, c.Modules[i].TypeID = m.LabelID, m.CanonID, m.TypeID
+	}
 	if len(c.Edges) == 0 {
 		return c
 	}
 	// An edge u->v is redundant iff some other successor s of u (s != v)
 	// reaches v.
 	reach := c.Reachable()
-	c.buildAdjacency()
+	adj := c.buildAdjacency()
 	kept := c.Edges[:0]
 	for _, e := range c.Edges {
 		redundant := false
-		for _, s := range c.succ[e.From] {
+		for _, s := range adj.succ[e.From] {
 			if s == e.To {
 				continue
 			}
@@ -128,12 +134,16 @@ func (w *Workflow) InducedSubgraph(keep []int) *Workflow {
 	// Preserve original module order for determinism.
 	for i, m := range w.Modules {
 		if keepSet[i] {
-			remap[i] = out.AddModule(m.Clone())
+			cm := m.Clone()
+			// The projection never rewrites module strings, so the
+			// interned symbol IDs stay valid on the copy.
+			cm.LabelID, cm.CanonID, cm.TypeID = m.LabelID, m.CanonID, m.TypeID
+			remap[i] = out.AddModule(cm)
 		}
 	}
 	// Connect kept module u to kept module v iff v is reachable from u
 	// through a path whose interior nodes are all removed.
-	w.buildAdjacency()
+	a := w.buildAdjacency()
 	for u := range keepSet {
 		// BFS through removed nodes only.
 		visited := map[int]bool{u: true}
@@ -141,7 +151,7 @@ func (w *Workflow) InducedSubgraph(keep []int) *Workflow {
 		for len(frontier) > 0 {
 			next := frontier[:0:0]
 			for _, x := range frontier {
-				for _, s := range w.succ[x] {
+				for _, s := range a.succ[x] {
 					if visited[s] {
 						continue
 					}
@@ -166,7 +176,7 @@ func (w *Workflow) LongestPathLen() int {
 	if err != nil || len(order) == 0 {
 		return 0
 	}
-	w.buildAdjacency()
+	a := w.buildAdjacency()
 	depth := make([]int, len(w.Modules))
 	best := 0
 	for _, v := range order {
@@ -176,7 +186,7 @@ func (w *Workflow) LongestPathLen() int {
 		if depth[v] > best {
 			best = depth[v]
 		}
-		for _, s := range w.succ[v] {
+		for _, s := range a.succ[v] {
 			if depth[v]+1 > depth[s] {
 				depth[s] = depth[v] + 1
 			}

@@ -62,11 +62,23 @@ type Module struct {
 	Authority string `json:"authority,omitempty"`
 	// Params holds static, data-independent configuration parameters.
 	Params map[string]string `json:"params,omitempty"`
+
+	// LabelID, CanonID and TypeID are the interned symbol IDs of Label,
+	// CanonicalLabel(Label) and Type, resolved at repository ingest by
+	// Workflow.Resolve. Zero means "not resolved": comparisons fall back
+	// to the string attributes, which remain authoritative. The IDs are
+	// derived state and are never serialized.
+	LabelID uint32 `json:"-"`
+	CanonID uint32 `json:"-"`
+	TypeID  uint32 `json:"-"`
 }
 
-// Clone returns a deep copy of the module.
+// Clone returns a deep copy of the module. Interned symbol IDs are
+// dropped: a clone exists to be mutated, and stale IDs on a renamed
+// module would be worse than none. Re-ingesting the clone re-resolves.
 func (m *Module) Clone() *Module {
 	c := *m
+	c.LabelID, c.CanonID, c.TypeID = 0, 0, 0
 	if m.Params != nil {
 		c.Params = make(map[string]string, len(m.Params))
 		for k, v := range m.Params {
@@ -76,7 +88,10 @@ func (m *Module) Clone() *Module {
 	return &c
 }
 
-// String implements fmt.Stringer for debugging output.
+// String implements fmt.Stringer for debugging output. It renders the
+// string attributes directly — never the interned IDs — so a zero-value
+// module prints "()" rather than a symbol placeholder, in diagnostics
+// and serve responses alike.
 func (m *Module) String() string {
 	return fmt.Sprintf("%s(%s)", m.Label, m.Type)
 }

@@ -1,0 +1,174 @@
+package workflow
+
+import (
+	"math/bits"
+	"sort"
+
+	"repro/internal/symtab"
+)
+
+// CanonicalLabel folds author-specific label styling away: lowercase, strip
+// non-alphanumeric characters, strip trailing digits (version suffixes such
+// as "split_string_2"). "getPathwaysByGenes" and "get_pathways_by_genes"
+// share a canonical form. Package repoknow re-exports this function; it
+// lives here so ingest-time resolution can compute canonical symbol IDs
+// without an import cycle.
+func CanonicalLabel(label string) string {
+	b := make([]byte, 0, len(label))
+	for i := 0; i < len(label); i++ {
+		c := label[i]
+		switch {
+		case c >= 'a' && c <= 'z' || c >= '0' && c <= '9':
+			b = append(b, c)
+		case c >= 'A' && c <= 'Z':
+			b = append(b, c+'a'-'A')
+		}
+	}
+	for len(b) > 0 && b[len(b)-1] >= '0' && b[len(b)-1] <= '9' {
+		b = b[:len(b)-1]
+	}
+	return string(b)
+}
+
+// Resolve interns the workflow's hot strings into t and caches the
+// derived representation: each module's LabelID/CanonID/TypeID, the
+// workflow ID's own symbol, and the sorted set of canonical label IDs
+// with its bitset summary. Resolution is derived state only — string
+// attributes remain authoritative, and every consumer falls back to them
+// when IDs are zero — so resolving can never change a comparison result.
+// A nil table leaves the workflow unresolved (the string baseline).
+func (w *Workflow) Resolve(t *symtab.Table) {
+	if t == nil {
+		return
+	}
+	w.symID = t.Intern(w.ID)
+	set := make([]uint32, 0, len(w.Modules))
+	for _, m := range w.Modules {
+		m.LabelID = t.Intern(m.Label)
+		m.CanonID = t.Intern(CanonicalLabel(m.Label))
+		m.TypeID = t.Intern(m.Type)
+		if m.CanonID != 0 {
+			set = append(set, m.CanonID)
+		}
+	}
+	sort.Slice(set, func(i, j int) bool { return set[i] < set[j] })
+	// Deduplicate in place; the set semantics mirror the string-keyed
+	// canonical label sets used before interning.
+	uniq := set[:0]
+	for i, id := range set {
+		if i == 0 || id != set[i-1] {
+			uniq = append(uniq, id)
+		}
+	}
+	w.labelSet = uniq
+	w.labelBits = Bitset256{}
+	for _, id := range uniq {
+		w.labelBits.Set(id)
+	}
+	w.resolved = true
+	w.tab = t
+}
+
+// ResolvedBy reports whether the workflow's interned representation was
+// produced by t. Symbol IDs are only meaningful relative to the table
+// that assigned them; consumers holding their own table must re-derive
+// IDs for workflows resolved elsewhere.
+func (w *Workflow) ResolvedBy(t *symtab.Table) bool {
+	return w.resolved && w.tab == t
+}
+
+// SymtabRef returns the table that resolved this workflow, or nil when
+// unresolved.
+func (w *Workflow) SymtabRef() *symtab.Table {
+	if !w.resolved {
+		return nil
+	}
+	return w.tab
+}
+
+// Resolved reports whether the workflow carries an interned hot
+// representation (set by Resolve, cleared by mutation).
+func (w *Workflow) Resolved() bool { return w.resolved }
+
+// SymID returns the interned symbol of the workflow's own ID, or zero if
+// the workflow is unresolved.
+func (w *Workflow) SymID() uint32 { return w.symID }
+
+// LabelSet returns the sorted, deduplicated canonical label symbol IDs,
+// or nil if unresolved. The slice is shared cache state; callers must
+// not modify it.
+func (w *Workflow) LabelSet() []uint32 { return w.labelSet }
+
+// LabelBits returns the bitset summary of the label set. The zero value
+// is returned for unresolved workflows.
+func (w *Workflow) LabelBits() *Bitset256 {
+	return &w.labelBits
+}
+
+// Bitset256 is a fixed-width, 256-bit membership summary over symbol IDs
+// (bit index = id mod 256). It cannot answer membership exactly, but a
+// zero AND of two summaries proves the underlying sets are disjoint, and
+// the popcount of the AND upper-bounds the true overlap — the prescreen
+// that lets merge kernels skip provably-disjoint pairs.
+type Bitset256 [4]uint64
+
+// Set marks id's bit.
+func (b *Bitset256) Set(id uint32) {
+	b[(id>>6)&3] |= 1 << (id & 63)
+}
+
+// Disjoint reports whether the two summaries share no bit — a proof that
+// the summarized sets are disjoint.
+//
+//wfsimvet:hotpath
+func (b *Bitset256) Disjoint(o *Bitset256) bool {
+	return b[0]&o[0]|b[1]&o[1]|b[2]&o[2]|b[3]&o[3] == 0
+}
+
+// OverlapUpper returns the popcount of the AND of the two summaries, an
+// upper bound on the true set overlap.
+//
+//wfsimvet:hotpath
+func (b *Bitset256) OverlapUpper(o *Bitset256) int {
+	return bits.OnesCount64(b[0]&o[0]) +
+		bits.OnesCount64(b[1]&o[1]) +
+		bits.OnesCount64(b[2]&o[2]) +
+		bits.OnesCount64(b[3]&o[3])
+}
+
+// IntersectCount returns |a ∩ b| for two sorted, deduplicated ID slices
+// via a single allocation-free merge pass.
+//
+//wfsimvet:hotpath
+func IntersectCount(a, b []uint32) int {
+	n, i, j := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			n++
+			i++
+			j++
+		}
+	}
+	return n
+}
+
+// LabelOverlap returns the number of shared canonical labels between two
+// resolved workflows, or -1 if either side is unresolved (callers fall
+// back to string sets). The bitset prescreen rejects provably-disjoint
+// pairs without touching the sorted sets.
+//
+//wfsimvet:hotpath
+func LabelOverlap(a, b *Workflow) int {
+	if !a.resolved || !b.resolved || a.tab != b.tab {
+		return -1
+	}
+	if a.labelBits.Disjoint(&b.labelBits) {
+		return 0
+	}
+	return IntersectCount(a.labelSet, b.labelSet)
+}

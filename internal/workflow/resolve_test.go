@@ -1,0 +1,163 @@
+package workflow
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/symtab"
+)
+
+func TestCanonicalLabel(t *testing.T) {
+	cases := map[string]string{
+		"get_pathways_by_genes": "getpathwaysbygenes",
+		"getPathwaysByGenes":    "getpathwaysbygenes",
+		"Split String 2":        "splitstring",
+		"split_string_2":        "splitstring",
+		"":                      "",
+		"42":                    "",
+	}
+	for in, want := range cases {
+		if got := CanonicalLabel(in); got != want {
+			t.Errorf("CanonicalLabel(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func resolveTestWorkflow(id string) *Workflow {
+	w := New(id)
+	w.AddModule(&Module{ID: "m0", Label: "Fetch_Sequence", Type: TypeWSDL})
+	w.AddModule(&Module{ID: "m1", Label: "fetch sequence", Type: TypeWSDL}) // same canonical form
+	w.AddModule(&Module{ID: "m2", Label: "run_blast", Type: TypeSoaplabWSDL})
+	w.AddModule(&Module{ID: "m3", Label: "", Type: TypeStringConst}) // empty label: not in the set
+	return w
+}
+
+func TestResolveDerivedState(t *testing.T) {
+	tab := symtab.New()
+	w := resolveTestWorkflow("wf1")
+	if w.Resolved() || w.SymID() != 0 || w.LabelSet() != nil || w.SymtabRef() != nil {
+		t.Fatal("fresh workflow must be unresolved with zero derived state")
+	}
+
+	w.Resolve(tab)
+	if !w.Resolved() || !w.ResolvedBy(tab) || w.SymtabRef() != tab {
+		t.Fatal("Resolve did not mark the workflow resolved by tab")
+	}
+	if w.SymID() == 0 {
+		t.Error("workflow ID symbol is zero after Resolve")
+	}
+	for _, m := range w.Modules {
+		if m.LabelID != tab.Intern(m.Label) || m.CanonID != tab.Intern(CanonicalLabel(m.Label)) || m.TypeID != tab.Intern(m.Type) {
+			t.Errorf("module %s: IDs do not round-trip through the table", m.ID)
+		}
+	}
+	// Label set: canonical, sorted, deduplicated, no zero ID. The two
+	// fetch-sequence spellings collapse; the empty label contributes nothing.
+	set := w.LabelSet()
+	if len(set) != 2 {
+		t.Fatalf("label set %v, want 2 entries", set)
+	}
+	for i, id := range set {
+		if id == 0 {
+			t.Error("label set contains the empty symbol")
+		}
+		if i > 0 && set[i-1] >= id {
+			t.Errorf("label set not strictly sorted: %v", set)
+		}
+	}
+	if other := symtab.New(); w.ResolvedBy(other) {
+		t.Error("ResolvedBy(true) for a table that never resolved the workflow")
+	}
+}
+
+func TestLabelOverlapKernel(t *testing.T) {
+	tab := symtab.New()
+	a := resolveTestWorkflow("a")
+	b := New("b")
+	b.AddModule(&Module{ID: "m0", Label: "FETCH_SEQUENCE", Type: TypeWSDL})
+	b.AddModule(&Module{ID: "m1", Label: "plot_hits", Type: TypeWSDL})
+	c := New("c")
+	c.AddModule(&Module{ID: "m0", Label: "segment_cells", Type: TypeTool})
+
+	if got := LabelOverlap(a, b); got != -1 {
+		t.Fatalf("unresolved pair overlap = %d, want -1 (string fallback)", got)
+	}
+	for _, w := range []*Workflow{a, b, c} {
+		w.Resolve(tab)
+	}
+	if got := LabelOverlap(a, b); got != 1 {
+		t.Errorf("overlap(a,b) = %d, want 1", got)
+	}
+	if got := LabelOverlap(a, c); got != 0 {
+		t.Errorf("overlap(a,c) = %d, want 0 (bitset prescreen)", got)
+	}
+	foreign := resolveTestWorkflow("a")
+	foreign.Resolve(symtab.New())
+	if got := LabelOverlap(a, foreign); got != -1 {
+		t.Errorf("cross-table overlap = %d, want -1: symbols from two tables must never be compared", got)
+	}
+}
+
+func TestBitset256(t *testing.T) {
+	var x, y Bitset256
+	x.Set(3)
+	x.Set(64 + 5)
+	x.Set(255)
+	y.Set(255)
+	if x.Disjoint(&y) {
+		t.Error("sets sharing bit 255 reported disjoint")
+	}
+	if got := x.OverlapUpper(&y); got != 1 {
+		t.Errorf("OverlapUpper = %d, want 1", got)
+	}
+	var z Bitset256
+	z.Set(256 + 3) // aliases bit 3 (mod 256): upper bound, not exact
+	if x.Disjoint(&z) {
+		t.Error("aliased bit must count as potential overlap")
+	}
+	if !y.Disjoint(&z) {
+		t.Error("bits 255 and 3 reported overlapping")
+	}
+}
+
+func TestIntersectCount(t *testing.T) {
+	cases := []struct {
+		a, b []uint32
+		want int
+	}{
+		{nil, nil, 0},
+		{[]uint32{1, 2, 3}, nil, 0},
+		{[]uint32{1, 3, 5, 9}, []uint32{2, 3, 4, 9}, 2},
+		{[]uint32{1, 2}, []uint32{1, 2}, 2},
+		{[]uint32{7}, []uint32{8}, 0},
+	}
+	for _, c := range cases {
+		if got := IntersectCount(c.a, c.b); got != c.want {
+			t.Errorf("IntersectCount(%v, %v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+// Rendering always goes through the retained string attributes: a
+// zero-value module prints its (empty) strings, and resolving a module
+// must not change how it renders — symbol IDs never leak into output.
+func TestModuleStringNeverRendersSymbols(t *testing.T) {
+	var zero Module
+	if got := zero.String(); got != "()" {
+		t.Errorf("zero-value Module.String() = %q, want %q", got, "()")
+	}
+	m := &Module{ID: "m0", Label: "fetch_sequence", Type: TypeWSDL}
+	before := m.String()
+	w := New("wf")
+	w.AddModule(m)
+	w.Resolve(symtab.New())
+	if m.LabelID == 0 {
+		t.Fatal("module not resolved")
+	}
+	if got := m.String(); got != before {
+		t.Errorf("String changed across Resolve: %q -> %q", before, got)
+	}
+	if s := fmt.Sprint(m); s != before {
+		t.Errorf("fmt.Sprint renders %q, want %q", s, before)
+	}
+}

@@ -3,6 +3,9 @@ package workflow
 import (
 	"errors"
 	"fmt"
+	"sync/atomic"
+
+	"repro/internal/symtab"
 )
 
 // Edge is a datalink from one module to another, identified by their indexes
@@ -38,9 +41,24 @@ type Workflow struct {
 	// Edges are the datalinks between modules, by module index.
 	Edges []Edge `json:"edges"`
 
-	// adjacency caches, built lazily and invalidated by mutation.
-	succ [][]int
-	pred [][]int
+	// adj is the adjacency cache, built lazily and invalidated by
+	// mutation. It is an atomic pointer because parallel scans share
+	// workflows across scoring goroutines (the query of a search, both
+	// sides of a pair scan): concurrent first readers each build the
+	// same adjacency from the immutable Edges and store it idempotently.
+	// Mutating a workflow while another goroutine reads it remains the
+	// caller's bug — the ownership rules already forbid it.
+	adj atomic.Pointer[adjacency]
+
+	// interned hot representation, resolved at ingest by Resolve and
+	// invalidated by mutation. symID is the workflow ID's symbol;
+	// labelSet is the sorted, deduplicated set of canonical module-label
+	// symbol IDs; labelBits is its fixed-width bitset summary.
+	symID     uint32
+	labelSet  []uint32
+	labelBits Bitset256
+	resolved  bool
+	tab       *symtab.Table
 }
 
 // New returns an empty workflow with the given repository ID.
@@ -83,8 +101,12 @@ func (w *Workflow) AddEdge(from, to int) error {
 }
 
 func (w *Workflow) invalidate() {
-	w.succ = nil
-	w.pred = nil
+	w.adj.Store(nil)
+	w.symID = 0
+	w.labelSet = nil
+	w.labelBits = Bitset256{}
+	w.resolved = false
+	w.tab = nil
 }
 
 // Size returns the number of modules, |V|.
@@ -96,36 +118,43 @@ func (w *Workflow) EdgeCount() int { return len(w.Edges) }
 // Successors returns the indexes of modules directly downstream of i.
 // The returned slice is shared cache state and must not be modified.
 func (w *Workflow) Successors(i int) []int {
-	w.buildAdjacency()
-	return w.succ[i]
+	return w.buildAdjacency().succ[i]
 }
 
 // Predecessors returns the indexes of modules directly upstream of i.
 // The returned slice is shared cache state and must not be modified.
 func (w *Workflow) Predecessors(i int) []int {
-	w.buildAdjacency()
-	return w.pred[i]
+	return w.buildAdjacency().pred[i]
 }
 
-func (w *Workflow) buildAdjacency() {
-	if w.succ != nil {
-		return
+// adjacency is the immutable successor/predecessor cache of one workflow.
+type adjacency struct {
+	succ [][]int
+	pred [][]int
+}
+
+func (w *Workflow) buildAdjacency() *adjacency {
+	if a := w.adj.Load(); a != nil {
+		return a
 	}
 	n := len(w.Modules)
-	w.succ = make([][]int, n)
-	w.pred = make([][]int, n)
+	a := &adjacency{succ: make([][]int, n), pred: make([][]int, n)}
 	for _, e := range w.Edges {
-		w.succ[e.From] = append(w.succ[e.From], e.To)
-		w.pred[e.To] = append(w.pred[e.To], e.From)
+		a.succ[e.From] = append(a.succ[e.From], e.To)
+		a.pred[e.To] = append(a.pred[e.To], e.From)
 	}
+	// Concurrent first readers build identical adjacencies from the same
+	// Edges; last store wins and every reader holds a complete copy.
+	w.adj.Store(a)
+	return a
 }
 
 // Sources returns the indexes of modules without inbound datalinks.
 func (w *Workflow) Sources() []int {
-	w.buildAdjacency()
+	a := w.buildAdjacency()
 	var src []int
 	for i := range w.Modules {
-		if len(w.pred[i]) == 0 {
+		if len(a.pred[i]) == 0 {
 			src = append(src, i)
 		}
 	}
@@ -134,10 +163,10 @@ func (w *Workflow) Sources() []int {
 
 // Sinks returns the indexes of modules without outbound datalinks.
 func (w *Workflow) Sinks() []int {
-	w.buildAdjacency()
+	a := w.buildAdjacency()
 	var snk []int
 	for i := range w.Modules {
-		if len(w.succ[i]) == 0 {
+		if len(a.succ[i]) == 0 {
 			snk = append(snk, i)
 		}
 	}
@@ -147,7 +176,7 @@ func (w *Workflow) Sinks() []int {
 // TopoSort returns the module indexes in a topological order of the datalink
 // graph, or ErrCycle if the graph is not acyclic.
 func (w *Workflow) TopoSort() ([]int, error) {
-	w.buildAdjacency()
+	a := w.buildAdjacency()
 	n := len(w.Modules)
 	indeg := make([]int, n)
 	for _, e := range w.Edges {
@@ -164,7 +193,7 @@ func (w *Workflow) TopoSort() ([]int, error) {
 		v := queue[0]
 		queue = queue[1:]
 		order = append(order, v)
-		for _, s := range w.succ[v] {
+		for _, s := range a.succ[v] {
 			indeg[s]--
 			if indeg[s] == 0 {
 				queue = append(queue, s)

@@ -1,0 +1,158 @@
+package wfsim
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/index"
+	"repro/internal/measures"
+	"repro/internal/storage"
+)
+
+// benchStringRepo clones the corpus into a repository with interning
+// disabled — the pre-intern string representation the hot paths are
+// benchmarked against.
+func benchStringRepo(b *testing.B, c *GeneratedCorpus) *Repository {
+	b.Helper()
+	base, err := NewRepository()
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := base.AdoptSymtab(nil); err != nil {
+		b.Fatal(err)
+	}
+	for _, wf := range c.Repo.Workflows() {
+		if err := base.Add(wf.Clone()); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return base
+}
+
+// BenchmarkLabelSetDuplicates is the label-set-heavy full pair scan: the
+// pure label-set measure over every pair of a corpus, where the interned
+// representation replaces per-pair canonical-set construction and hashing
+// with a 256-bit popcount prescreen plus one sorted merge over []uint32.
+// No score cache: every iteration pays the full scan.
+func BenchmarkLabelSetDuplicates(b *testing.B) {
+	const corpusSize = 10000
+	c := benchCorpusN(b, corpusSize)
+	ctx := context.Background()
+	run := func(b *testing.B, repo *Repository) {
+		eng, err := New(repo, WithMeasure("LS", measures.LabelSets{}))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			pairs, _, err := eng.Duplicates(ctx, 0.9, DuplicateOptions{Measure: "LS"})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(pairs) == 0 {
+				b.Fatal("no high-overlap pairs in bench corpus")
+			}
+		}
+	}
+	b.Run("interned", func(b *testing.B) { run(b, c.Repo) })
+	b.Run("string", func(b *testing.B) { run(b, benchStringRepo(b, c)) })
+}
+
+// BenchmarkIndexBuild times a full inverted-index build over the corpus.
+// Interned workflows contribute their cached sorted label sets directly;
+// the string path canonicalizes and interns every label per insert.
+func BenchmarkIndexBuild(b *testing.B) {
+	const corpusSize = 10000
+	c := benchCorpusN(b, corpusSize)
+	run := func(b *testing.B, repo *Repository) {
+		snap := repo.Snapshot()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			idx := index.Build(snap)
+			if idx.Size() != corpusSize {
+				b.Fatalf("index holds %d workflows", idx.Size())
+			}
+		}
+	}
+	b.Run("interned", func(b *testing.B) { run(b, c.Repo) })
+	b.Run("string", func(b *testing.B) { run(b, benchStringRepo(b, c)) })
+}
+
+// BenchmarkBootReintern times engine boot over a pre-symbol-table data
+// directory: recovery reads the legacy snapshot and WAL tail, re-interns
+// every recovered label, and reports the layout as migrated. The fixture
+// is rebuilt outside the timed section each iteration (a boot converts
+// nothing on disk, but Close writes a current-format snapshot).
+func BenchmarkBootReintern(b *testing.B) {
+	const corpusSize = 2000
+	c := benchCorpusN(b, corpusSize)
+	wfs := make([]*Workflow, 0, corpusSize)
+	for _, wf := range c.Repo.Workflows() {
+		wfs = append(wfs, wf.Clone())
+	}
+	quiet := StorageWarnings(func(string, ...any) {})
+	b.Run("legacy", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			dir := b.TempDir()
+			if err := storage.WriteLegacyFixture(dir, 1, wfs[:corpusSize-8], wfs[corpusSize-8:]); err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+			eng, err := New(mustRepo(b), WithStorage(dir, quiet))
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.StopTimer()
+			st, _ := eng.StorageStats()
+			if !st.Recovery.MigratedFormat || eng.Size() != corpusSize {
+				b.Fatalf("migration boot recovered %d workflows (migrated=%v)",
+					eng.Size(), st.Recovery.MigratedFormat)
+			}
+			if err := eng.Close(); err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+		}
+	})
+	b.Run("current", func(b *testing.B) {
+		dir := b.TempDir()
+		if err := storage.WriteLegacyFixture(dir, 1, wfs[:corpusSize-8], wfs[corpusSize-8:]); err != nil {
+			b.Fatal(err)
+		}
+		// One boot+close converts the directory to the current format.
+		eng, err := New(mustRepo(b), WithStorage(dir, quiet))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := eng.Close(); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			eng, err := New(mustRepo(b), WithStorage(dir, quiet))
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.StopTimer()
+			st, _ := eng.StorageStats()
+			if st.Recovery.MigratedFormat || eng.Size() != corpusSize {
+				b.Fatalf("current-format boot recovered %d workflows (migrated=%v)",
+					eng.Size(), st.Recovery.MigratedFormat)
+			}
+			if err := eng.Close(); err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+		}
+	})
+}
+
+func mustRepo(b *testing.B) *Repository {
+	b.Helper()
+	repo, err := NewRepository()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return repo
+}

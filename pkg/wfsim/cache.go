@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/corpus"
 	"repro/internal/scorecache"
+	"repro/internal/workflow"
 )
 
 // CacheStats reports the shared score cache's cumulative hit/miss counters
@@ -75,7 +76,7 @@ type cachedMeasure struct {
 // (*cachedMeasure).fill, which tolerates nil.
 func (e *Engine) cachedFor(m Measure, snap *corpus.Snapshot, projEpoch uint64) (Measure, *cachedMeasure) {
 	if e.cache == nil {
-		return m, nil
+		return orderedMeasure{m}, nil
 	}
 	cm := &cachedMeasure{
 		inner: m,
@@ -90,11 +91,40 @@ func (e *Engine) cachedFor(m Measure, snap *corpus.Snapshot, projEpoch uint64) (
 
 func (cm *cachedMeasure) Name() string { return cm.name }
 
+// orderedMeasure evaluates pairs in canonical ID order (workflow.OrderPair).
+// Measures are symmetric in value but not in bits — a maximum-weight matching
+// summed over a transposed weight matrix can differ by ulps — so every scan
+// path must fix one evaluation order per unordered pair, or a score computed
+// on the Search path (query first) would differ from the same pair's
+// Duplicates-scan score. Engines without a cache wrap their measures in this
+// so they stay bit-identical to cached engines, which apply the same ordering
+// inside cachedMeasure.
+type orderedMeasure struct {
+	inner Measure
+}
+
+func (om orderedMeasure) Name() string { return om.inner.Name() }
+
+func (om orderedMeasure) Compare(a, b *Workflow) (float64, error) {
+	a, b = workflow.OrderPair(a, b)
+	return om.inner.Compare(a, b)
+}
+
 func (cm *cachedMeasure) Compare(a, b *Workflow) (float64, error) {
+	// Canonical evaluation order (see orderedMeasure): the cache key is
+	// orientation-free, so the cached value must be too.
+	a, b = workflow.OrderPair(a, b)
 	if cm.snap.Get(a.ID) != a || cm.snap.Get(b.ID) != b {
 		return cm.inner.Compare(a, b)
 	}
-	key := scorecache.PairKey(cm.name, a.ID, b.ID, cm.gen, cm.proj)
+	// Keys are built from the workflows' interned ID symbols. A repository
+	// running without a symbol table leaves symbols at 0, which identifies
+	// nothing — such pairs are scored directly rather than mis-keyed.
+	ida, idb := a.SymID(), b.SymID()
+	if ida == 0 || idb == 0 {
+		return cm.inner.Compare(a, b)
+	}
+	key := scorecache.PairKey(cm.name, ida, idb, cm.gen, cm.proj)
 	if s, ok := cm.cache.Get(key); ok {
 		cm.hits.Add(1)
 		return s, nil

@@ -248,15 +248,15 @@ func TestRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 	var wfResp struct {
-		Workflow   wfsim.Workflow `json:"workflow"`
-		Generation uint64         `json:"generation"`
+		Workflow   *wfsim.Workflow `json:"workflow"`
+		Generation uint64          `json:"generation"`
 	}
 	if err := json.NewDecoder(resp.Body).Decode(&wfResp); err != nil {
 		t.Fatal(err)
 	}
 	resp.Body.Close()
 	wf := wfResp.Workflow
-	if resp.StatusCode != http.StatusOK || wf.ID != "w4" || len(wf.Modules) != 2 {
+	if resp.StatusCode != http.StatusOK || wf == nil || wf.ID != "w4" || len(wf.Modules) != 2 {
 		t.Errorf("workflow fetch: status %d, wf %+v", resp.StatusCode, wf)
 	}
 	if wfResp.Generation == 0 {

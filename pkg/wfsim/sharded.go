@@ -12,6 +12,7 @@ import (
 	"repro/internal/scorecache"
 	"repro/internal/shard"
 	"repro/internal/storage"
+	"repro/internal/symtab"
 	"repro/internal/workflow"
 )
 
@@ -85,6 +86,14 @@ func (e *Engine) openSharded() error {
 		}
 		perCache = (total + n - 1) / n
 	}
+	// One symbol table for the whole deployment: cross-shard reads compare
+	// and cache-key workflows from different shards, so their interned IDs
+	// must come from the same assignment order. The seed repository's table
+	// is reused so already-resolved seed workflows keep their IDs.
+	tab := e.repo.Symtab()
+	if tab == nil {
+		tab = symtab.New()
+	}
 	shards := make([]shard.Shard, n)
 	closeBuilt := func() {
 		for _, s := range shards {
@@ -99,6 +108,7 @@ func (e *Engine) openSharded() error {
 			CacheSize:   perCache,
 			Concurrency: e.concurrency,
 			Seed:        parts[i],
+			Symtab:      tab,
 		}
 		if durable {
 			cfg.Dir = shard.ShardDir(e.storageDir, i)

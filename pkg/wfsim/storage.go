@@ -110,6 +110,8 @@ func (e *Engine) StorageStats() (stats StorageStats, ok bool) {
 			stats.Recovery.TornTailTruncated = stats.Recovery.TornTailTruncated || info.Storage.Recovery.TornTailTruncated
 			stats.Recovery.Generation += info.Storage.Recovery.Generation
 			stats.Recovery.Workflows += info.Storage.Recovery.Workflows
+			stats.Recovery.SymbolsRecovered += info.Storage.Recovery.SymbolsRecovered
+			stats.Recovery.MigratedFormat = stats.Recovery.MigratedFormat || info.Storage.Recovery.MigratedFormat
 			stats.WarmCacheEntries += info.WarmEntries
 		}
 		return stats, true
@@ -139,6 +141,7 @@ func (e *Engine) openStorage() error {
 		CompactRecords: e.storageCfg.compactRecords,
 		NoSync:         e.storageCfg.noSync,
 		Warnf:          e.storageCfg.warnf,
+		Symtab:         e.repo.Symtab(),
 	})
 	if err != nil {
 		return err
@@ -194,10 +197,24 @@ func (e *Engine) loadWarmCache() {
 	}
 	gen := snap.Generation()
 	_, epoch := e.projectionFor(snap)
-	for _, ent := range entries {
-		e.cache.Put(scorecache.PairKey(ent.Measure, ent.A, ent.B, gen, epoch), ent.Score)
+	// Warm entries persist workflow IDs as strings; resolve them against
+	// the repository's symbol table. An ID the table never saw marks a
+	// stale entry, which is skipped rather than mis-keyed.
+	tab := e.repo.Symtab()
+	if tab == nil {
+		return
 	}
-	e.warmEntries = len(entries)
+	n := 0
+	for _, ent := range entries {
+		a, okA := tab.Lookup(ent.A)
+		b, okB := tab.Lookup(ent.B)
+		if !okA || !okB || a == 0 || b == 0 {
+			continue
+		}
+		e.cache.Put(scorecache.PairKey(ent.Measure, a, b, gen, epoch), ent.Score)
+		n++
+	}
+	e.warmEntries = n
 }
 
 // maybeCompact runs after a committed Apply batch, under applyMu: when the
@@ -244,10 +261,17 @@ func (e *Engine) Close() error {
 		exported := e.cache.Export(func(k scorecache.Key) bool {
 			return k.Gen == gen && k.Proj == epoch
 		})
-		if len(exported) > 0 {
-			entries := make([]storage.CachedScore, len(exported))
-			for i, ent := range exported {
-				entries[i] = storage.CachedScore{Measure: ent.Key.Measure, A: ent.Key.A, B: ent.Key.B, Score: ent.Score}
+		if tab := e.repo.Symtab(); tab != nil && len(exported) > 0 {
+			// Persist workflow IDs as strings: the cache file outlives this
+			// process's symbol table, so entries are re-resolved at the next
+			// boot's warm load.
+			entries := make([]storage.CachedScore, 0, len(exported))
+			for _, ent := range exported {
+				a, b := tab.String(ent.Key.A), tab.String(ent.Key.B)
+				if a == "" || b == "" {
+					continue
+				}
+				entries = append(entries, storage.CachedScore{Measure: ent.Key.Measure, A: a, B: b, Score: ent.Score})
 			}
 			if err := e.store.SaveScoreCache(gen, e.projectionSig(), entries); err != nil && firstErr == nil {
 				firstErr = err

@@ -16,6 +16,12 @@
 # and the search hit survive; a restart with a different -shards value must
 # be refused.
 #
+# Phase 4 (format migration): write a pre-symbol-table (v1 format) data
+# directory holding the same fixture corpus, boot a server over it, and
+# assert the boot logs the legacy-migration recovery warning, stats report
+# migrated_format, and a search returns the same results phase 1 got from
+# a fresh ingest.
+#
 # Run from the repository root: ./scripts/smoke_wfsimd.sh
 set -euo pipefail
 
@@ -62,6 +68,10 @@ OUT=$(search_a)
 echo "smoke: search response: $OUT"
 echo "$OUT" | grep -q '"id":"b"' || { echo "smoke: search results missing expected hit b" >&2; exit 1; }
 echo "$OUT" | grep -q '"generation":1' || { echo "smoke: response does not report the ingest generation" >&2; exit 1; }
+# The result list (IDs and similarities) is the reference phase 4 must
+# reproduce bit-for-bit after a format migration.
+RESULTS1=$(echo "$OUT" | sed -n 's/.*"results":\(\[[^]]*\]\).*/\1/p')
+[ -n "$RESULTS1" ] || { echo "smoke: could not extract result list" >&2; exit 1; }
 kill "$PID"; wait "$PID" 2>/dev/null || true; PID=""
 echo "smoke: phase 1 (RAM-only) OK"
 
@@ -139,4 +149,28 @@ OUT=$(search_a)
 echo "smoke: post-restart sharded search: $OUT"
 echo "$OUT" | grep -q '"id":"b"' || { echo "smoke: sharded search hit b did not survive the restart" >&2; exit 1; }
 echo "smoke: phase 3 (sharded durable restart) OK"
+kill "$PID"; wait "$PID" 2>/dev/null || true; PID=""
+
+# ---- Phase 4: pre-symbol-table layout migration ----
+LDATA="$WORK/data-legacy"
+go run ./cmd/wfsimfixture -data "$LDATA"
+"$BIN" -addr "$ADDR" -index -cache 4096 -data "$LDATA" 2>"$WORK/legacy.log" &
+PID=$!
+wait_healthy
+grep -q "legacy" "$WORK/legacy.log" && grep -q "re-interning" "$WORK/legacy.log" || {
+  echo "smoke: boot over a v1 directory logged no legacy-migration warning:" >&2
+  cat "$WORK/legacy.log" >&2; exit 1; }
+STATS=$(curl -fsS "http://$ADDR/v1/stats")
+echo "smoke: migration stats: $STATS"
+echo "$STATS" | grep -q '"migrated_format":true' || {
+  echo "smoke: stats do not report the format migration" >&2; exit 1; }
+echo "$STATS" | grep -q '"workflows":3' || { echo "smoke: migration lost workflows" >&2; exit 1; }
+OUT=$(search_a)
+echo "smoke: post-migration search: $OUT"
+RESULTS4=$(echo "$OUT" | sed -n 's/.*"results":\(\[[^]]*\]\).*/\1/p')
+[ "$RESULTS4" = "$RESULTS1" ] || {
+  echo "smoke: migrated search results differ from fresh-ingest results" >&2
+  echo "  fresh:    $RESULTS1" >&2
+  echo "  migrated: $RESULTS4" >&2; exit 1; }
+echo "smoke: phase 4 (format migration) OK"
 echo "smoke: OK"
